@@ -1,0 +1,108 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5–§6) through the simulator, then microbenchmarks the
+   compiler pass itself with Bechamel.
+
+   Usage:
+     main.exe                 run everything
+     main.exe quick           skip the slowest figures (fig6 sweep, fig9)
+     main.exe fig4 fig7 ...   run selected pieces only                     *)
+
+module Figures = Spf_harness.Figures
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: compile-time cost of the pass (analysis +
+   code generation) on each kernel's IR.  One Test.make per kernel; the
+   IR is rebuilt inside the staged closure because the pass mutates it. *)
+
+open Bechamel
+open Toolkit
+
+let pass_test ~name build_func =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let f = build_func () in
+         ignore (Spf_core.Pass.run f)))
+
+let pass_tests () =
+  let module Is = Spf_workloads.Is in
+  let module Cg = Spf_workloads.Cg in
+  let module Ra = Spf_workloads.Ra in
+  let module Hj = Spf_workloads.Hj in
+  let module G500 = Spf_workloads.G500 in
+  let g =
+    G500.kronecker { G500.scale = 8; edge_factor = 8; seed = 1; max_vertices = None }
+  in
+  Test.make_grouped ~name:"pass"
+    [
+      pass_test ~name:"IS" (fun () -> Is.build_func Is.default);
+      pass_test ~name:"CG" (fun () -> Cg.build_func Cg.default);
+      pass_test ~name:"RA" (fun () -> Ra.build_func Ra.default);
+      pass_test ~name:"HJ-2" (fun () -> Hj.build_func Hj.default_hj2);
+      pass_test ~name:"HJ-8" (fun () -> Hj.build_func Hj.default_hj8);
+      pass_test ~name:"G500" (fun () -> G500.build_func g);
+    ]
+
+let run_bechamel () =
+  Format.printf "@.=== Pass compile-time microbenchmarks (Bechamel) ===@.";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all cfg instances (pass_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+          Format.printf "  %-12s %10.1f ns/run  (r² %s)@." name t
+            (match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.3f" r
+            | None -> "n/a")
+      | Some [] | None -> Format.printf "  %-12s (no estimate)@." name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let pieces : (string * (unit -> unit)) list =
+  [
+    ("table1", Figures.table1);
+    ("fig2", Figures.fig2);
+    ("fig4", fun () -> Figures.fig4 ());
+    ("fig5", Figures.fig5);
+    ("fig6", fun () -> Figures.fig6 ());
+    ("fig7", Figures.fig7);
+    ("fig8", Figures.fig8);
+    ("fig9", fun () -> Figures.fig9 ());
+    ("fig10", Figures.fig10);
+    ("ablation", Figures.ablation_flat_offsets);
+    ("ablation-split", Figures.ablation_split);
+    ("bechamel", run_bechamel);
+  ]
+
+let quick_set =
+  [ "table1"; "fig2"; "fig4"; "fig5"; "fig7"; "fig8"; "fig10"; "bechamel" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] -> List.map fst pieces
+    | [ "quick" ] -> quick_set
+    | names -> names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name pieces with
+      | Some f ->
+          let t = Unix.gettimeofday () in
+          f ();
+          Format.printf "  [%s: %.1fs]@." name (Unix.gettimeofday () -. t)
+      | None ->
+          Format.eprintf "unknown piece %S; known: quick %s@." name
+            (String.concat " " (List.map fst pieces)))
+    selected;
+  Format.printf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,271 @@
+(* spf — command-line driver for the software-prefetching reproduction.
+
+   Subcommands:
+     list                      available benchmarks and machines
+     show <bench>              dump a benchmark's IR before/after the pass
+     run <bench>               simulate one benchmark on one machine
+     fig <id>|all              regenerate a paper figure/table
+     sweep <bench>             look-ahead sweep for one benchmark
+     profile <bench>           per-load hit/miss attribution (untimed)
+     split <bench>             loop splitting + clamp-free prefetching *)
+
+module Machine = Spf_sim.Machine
+module Workload = Spf_workloads.Workload
+module Benches = Spf_harness.Benches
+module Figures = Spf_harness.Figures
+module Runner = Spf_harness.Runner
+open Cmdliner
+
+let bench_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun (b : Benches.bench) ->
+          String.lowercase_ascii b.id = String.lowercase_ascii s)
+        (Benches.all ())
+    with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (try: %s)" s
+               (String.concat ", "
+                  (List.map (fun (b : Benches.bench) -> b.id) (Benches.all ())))))
+  in
+  Arg.conv (parse, fun fmt (b : Benches.bench) -> Format.pp_print_string fmt b.id)
+
+let machine_conv =
+  let parse s =
+    match Machine.by_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (try: %s)" s
+               (String.concat ", " (List.map (fun m -> m.Machine.name) Machine.all))))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Machine.name)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Machine.haswell
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Target machine model (haswell, a57, a53, xeonphi).")
+
+type variant = Baseline | Auto | Icc | Manual
+
+let variant_arg =
+  let alts =
+    [ ("baseline", Baseline); ("auto", Auto); ("icc", Icc); ("manual", Manual) ]
+  in
+  Arg.(
+    value
+    & opt (enum alts) Auto
+    & info [ "v"; "variant" ] ~docv:"VARIANT"
+        ~doc:"baseline | auto (our pass) | icc (restricted model) | manual.")
+
+let c_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "c" ] ~docv:"C" ~doc:"Look-ahead constant of eq. (1).")
+
+let build_variant (b : Benches.bench) variant ~machine ~c =
+  match variant with
+  | Baseline -> b.Benches.plain ()
+  | Auto ->
+      Benches.auto
+        ~config:(Spf_core.Config.with_c c Spf_core.Config.default)
+        (b.Benches.plain ())
+  | Icc ->
+      Benches.icc
+        ~config:(Spf_core.Config.with_c c Spf_core.Config.default)
+        (b.Benches.plain ())
+  | Manual -> b.Benches.manual ~machine ~c:(Some c)
+
+(* --- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List benchmarks and machine models." in
+  let run () =
+    Format.printf "benchmarks:@.";
+    List.iter
+      (fun (b : Benches.bench) -> Format.printf "  %s@." b.id)
+      (Benches.all ());
+    Format.printf "machines:@.";
+    List.iter (fun m -> Format.printf "  %a@." Machine.pp m) Machine.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- show ------------------------------------------------------------- *)
+
+let show_cmd =
+  let doc = "Dump a benchmark's IR before and after the prefetching pass." in
+  let run bench c =
+    let b = bench.Benches.plain () in
+    Format.printf "=== %s: IR before the pass ===@.%s@." b.Workload.name
+      (Spf_ir.Printer.func_to_string b.Workload.func);
+    let report =
+      Spf_core.Pass.run
+        ~config:(Spf_core.Config.with_c c Spf_core.Config.default)
+        b.Workload.func
+    in
+    Format.printf "=== pass report ===@.%a@."
+      (Spf_core.Pass.pp_report b.Workload.func)
+      report;
+    Format.printf "=== IR after the pass ===@.%s@."
+      (Spf_ir.Printer.func_to_string b.Workload.func)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
+      $ c_arg)
+
+(* --- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Simulate one benchmark variant on one machine." in
+  let run bench machine variant c =
+    let built = build_variant bench variant ~machine ~c in
+    let r = Runner.run ~machine built in
+    Format.printf "%s on %s: %a@." built.Workload.name machine.Machine.name
+      Spf_sim.Stats.pp r.Runner.stats;
+    if variant <> Baseline then begin
+      let base = Runner.run ~machine (bench.Benches.plain ()) in
+      Format.printf "speedup vs baseline: %.2fx (insts %+.0f%%)@."
+        (Runner.speedup ~baseline:base r)
+        (Runner.extra_instructions ~baseline:base r)
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
+      $ machine_arg $ variant_arg $ c_arg)
+
+(* --- fig -------------------------------------------------------------- *)
+
+let fig_cmd =
+  let doc = "Regenerate a figure/table from the paper's evaluation." in
+  let figs =
+    [
+      ("table1", Figures.table1);
+      ("fig2", Figures.fig2);
+      ("fig4", fun () -> Figures.fig4 ());
+      ("fig5", Figures.fig5);
+      ("fig6", fun () -> Figures.fig6 ());
+      ("fig7", Figures.fig7);
+      ("fig8", Figures.fig8);
+      ("fig9", fun () -> Figures.fig9 ());
+      ("fig10", Figures.fig10);
+      ("ablation", Figures.ablation_flat_offsets);
+      ("ablation-split", Figures.ablation_split);
+    ]
+  in
+  let run which =
+    if which = "all" then List.iter (fun (_, f) -> f ()) figs
+    else
+      match List.assoc_opt which figs with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "unknown figure %S; known: all %s@." which
+            (String.concat " " (List.map fst figs))
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc)
+    Term.(const run $ Arg.(value & pos 0 string "all" & info [] ~docv:"FIG"))
+
+(* --- split ------------------------------------------------------------ *)
+
+let split_cmd =
+  let doc =
+    "Apply loop splitting + clamp-free prefetching (the hoisted-checks      optimisation, §6.1) to a benchmark and show the result."
+  in
+  let run bench machine c =
+    let b = bench.Benches.plain () in
+    let config = Spf_core.Config.with_c c Spf_core.Config.default in
+    let splits, report =
+      Spf_core.Split.split_and_prefetch ~config b.Workload.func
+    in
+    Format.printf "%d loop(s) split@." (List.length splits);
+    Format.printf "=== pass report ===@.%a@."
+      (Spf_core.Pass.pp_report b.Workload.func)
+      report;
+    Format.printf "=== IR after split + prefetch ===@.%s@."
+      (Spf_ir.Printer.func_to_string b.Workload.func);
+    let r = Runner.run ~machine b in
+    let base = Runner.run ~machine (bench.Benches.plain ()) in
+    Format.printf "speedup vs baseline on %s: %.2fx (insts %+.0f%%)@."
+      machine.Machine.name
+      (Runner.speedup ~baseline:base r)
+      (Runner.extra_instructions ~baseline:base r)
+  in
+  Cmd.v
+    (Cmd.info "split" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
+      $ machine_arg $ c_arg)
+
+(* --- profile ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let doc =
+    "Profile a benchmark's memory accesses per instruction site (untimed \
+     cache model) — shows exactly which loads miss."
+  in
+  let run bench machine variant c =
+    let built = build_variant bench variant ~machine ~c in
+    let prof = Spf_sim.Profile.create machine in
+    let retval =
+      Spf_sim.Profile.run prof built.Workload.func ~mem:built.Workload.mem
+        ~args:built.Workload.args
+    in
+    Workload.validate built ~retval;
+    Format.printf "%a" Spf_sim.Profile.pp prof
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
+      $ machine_arg $ variant_arg $ c_arg)
+
+(* --- sweep ------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let doc = "Sweep the look-ahead constant for one benchmark (manual scheme)." in
+  let run bench machine =
+    let base = Runner.run ~machine (bench.Benches.plain ()) in
+    List.iter
+      (fun c ->
+        let r = Runner.run ~machine (bench.Benches.manual ~machine ~c:(Some c)) in
+        Format.printf "c=%-4d speedup %.2fx@." c (Runner.speedup ~baseline:base r))
+      [ 4; 8; 16; 32; 64; 128; 256 ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
+      $ machine_arg)
+
+let () =
+  let doc = "Software prefetching for indirect memory accesses (CGO'17) — reproduction" in
+  let info = Cmd.info "spf" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            show_cmd;
+            run_cmd;
+            fig_cmd;
+            sweep_cmd;
+            profile_cmd;
+            split_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Format List Spf_core Spf_ir Spf_sim Spf_workloads

@@ -1,0 +1,1 @@
+examples/graph_bfs_demo.ml: Format List Spf_core Spf_harness Spf_sim Spf_workloads

@@ -1,0 +1,1 @@
+examples/hash_join_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Spf_core Spf_ir Spf_sim Spf_workloads

@@ -1,0 +1,75 @@
+(* Quickstart: build the paper's motivating loop (Fig 1 / code listing 1),
+   run the automatic prefetching pass over it, and simulate the before/after
+   on a Haswell-class machine model.
+
+     for (i = 0; i < n; i++) target[base[i]]++;
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Memory = Spf_sim.Memory
+module Interp = Spf_sim.Interp
+module Machine = Spf_sim.Machine
+
+let n_keys = 1 lsl 16
+let n_buckets = 1 lsl 22
+
+(* 1. Build the kernel in SSA IR with the builder API. *)
+let build_kernel () =
+  let b = Builder.create ~name:"stride_indirect" ~nparams:2 in
+  let base = Builder.param b 0 and target = Builder.param b 1 in
+  let _exit =
+    Builder.counted_loop b ~init:(Ir.Imm 0) ~bound:(Ir.Imm n_keys)
+      ~step:(Ir.Imm 1) (fun i ->
+        let k = Builder.load ~name:"key" b Ir.I32 (Builder.gep b base i 4) in
+        let slot = Builder.gep ~name:"slot" b target k 4 in
+        let v = Builder.load ~name:"count" b Ir.I32 slot in
+        Builder.store b Ir.I32 slot (Builder.add b v (Ir.Imm 1)))
+  in
+  Builder.ret b None;
+  Builder.finish b
+
+(* 2. Set up memory: a random index array and an empty bucket array. *)
+let setup () =
+  let mem = Memory.create ~initial:(1 lsl 25) () in
+  let rng = Spf_workloads.Rng.create ~seed:1 in
+  let base =
+    Memory.alloc_i32_array mem
+      (Array.init n_keys (fun _ -> Spf_workloads.Rng.int rng n_buckets))
+  in
+  let target = Memory.alloc mem (4 * n_buckets) in
+  (mem, [| base; target |])
+
+let simulate func =
+  let mem, args = setup () in
+  let interp = Interp.create ~machine:Machine.haswell ~mem ~args func in
+  Interp.run interp;
+  Interp.stats interp
+
+let () =
+  let func = build_kernel () in
+  Format.printf "--- kernel before the pass ---@.%s@."
+    (Spf_ir.Printer.func_to_string func);
+  let before = simulate (build_kernel ()) in
+
+  (* 3. Run the pass (defaults: c = 64, stride companions on). *)
+  let report = Spf_core.Pass.run func in
+  Format.printf "--- pass report ---@.%a@."
+    (Spf_core.Pass.pp_report func) report;
+  Format.printf "--- kernel after the pass ---@.%s@."
+    (Spf_ir.Printer.func_to_string func);
+
+  (* 4. The transformation is verified and semantics-preserving. *)
+  Spf_ir.Verifier.check_exn func;
+
+  (* 5. Simulate both versions. *)
+  let after = simulate func in
+  Format.printf "baseline: %d cycles (%d instructions)@."
+    before.Spf_sim.Stats.cycles before.Spf_sim.Stats.instructions;
+  Format.printf "prefetch: %d cycles (%d instructions, %d prefetches)@."
+    after.Spf_sim.Stats.cycles after.Spf_sim.Stats.instructions
+    after.Spf_sim.Stats.sw_prefetches;
+  Format.printf "speedup: %.2fx@."
+    (float_of_int before.Spf_sim.Stats.cycles
+    /. float_of_int after.Spf_sim.Stats.cycles)

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Analysis Array Config Dfs Hashtbl List Safety Schedule Spf_ir

@@ -1,0 +1,1 @@
+lib/core/dfs.ml: Analysis Hashtbl Int List Option Set Spf_ir

@@ -1,0 +1,1 @@
+lib/core/dfs.mli: Analysis Spf_ir

@@ -1,0 +1,1 @@
+lib/core/hoist.ml: Analysis Config Hashtbl List Spf_ir

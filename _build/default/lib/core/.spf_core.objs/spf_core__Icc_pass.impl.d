@@ -1,0 +1,1 @@
+lib/core/icc_pass.ml: Analysis Codegen Config Dfs List Pass Safety Spf_ir

@@ -1,0 +1,1 @@
+lib/core/icc_pass.mli: Config Pass Spf_ir

@@ -1,0 +1,1 @@
+lib/core/pass.ml: Analysis Codegen Config Dfs Format Hoist List Safety Spf_ir

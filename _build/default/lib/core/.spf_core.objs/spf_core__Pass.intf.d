@@ -1,0 +1,1 @@
+lib/core/pass.mli: Codegen Config Format Hoist Safety Spf_ir

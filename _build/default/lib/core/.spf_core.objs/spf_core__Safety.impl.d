@@ -1,0 +1,1 @@
+lib/core/safety.ml: Analysis Array Config Dfs Int List Set Spf_ir

@@ -1,0 +1,1 @@
+lib/core/safety.mli: Analysis Config Dfs Spf_ir

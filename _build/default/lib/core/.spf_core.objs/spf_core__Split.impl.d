@@ -1,0 +1,1 @@
+lib/core/split.ml: Analysis Array Config Hashtbl List Option Pass Spf_ir

@@ -1,0 +1,63 @@
+module Ir = Spf_ir.Ir
+module Cfg = Spf_ir.Cfg
+module Dom = Spf_ir.Dom
+module Loops = Spf_ir.Loops
+module Indvar = Spf_ir.Indvar
+
+(* Read-only analysis bundle shared by every stage of the pass.  Built once
+   per function; the pass gathers and vets all candidates against it before
+   mutating the function, so it never works from stale data. *)
+
+type t = {
+  func : Ir.func;
+  cfg : Cfg.t;
+  dom : Dom.t;
+  loops : Loops.t;
+  ivs : Indvar.t;
+  order : int array; (* program-order key per instruction id *)
+}
+
+let order_stride = 1 lsl 20
+
+let make (func : Ir.func) =
+  let cfg = Cfg.build func in
+  let dom = Dom.build cfg in
+  let loops = Loops.analyze func cfg dom in
+  let ivs = Indvar.analyze func cfg loops in
+  let order = Array.make (max 1 (Ir.n_instrs func)) max_int in
+  Ir.iter_blocks func (fun b ->
+      let r = Cfg.rpo_index cfg b.bid in
+      if r >= 0 then
+        Array.iteri (fun pos id -> order.(id) <- (r * order_stride) + pos) b.instrs);
+  { func; cfg; dom; loops; ivs; order }
+
+let compare_order t a b = compare t.order.(a) t.order.(b)
+
+let sort_program_order t ids = List.sort (compare_order t) ids
+
+(* The loop a candidate's induction variable belongs to. *)
+let loop_of_iv t (iv : Indvar.ivar) = Loops.loop t.loops iv.loop_index
+
+(* Base-object roots for the simple may-alias test of §4.2: addresses are
+   traced through geps to an allocation or parameter.  Distinct roots are
+   assumed not to alias (our IR builders never create aliased parameters);
+   anything else is [Unknown] and treated conservatively. *)
+type root = Ralloc of int | Rparam of int | Unknown
+
+let rec root_of t (o : Ir.operand) =
+  match o with
+  | Ir.Imm _ | Ir.Fimm _ -> Unknown
+  | Ir.Var id -> (
+      match (Ir.instr t.func id).kind with
+      | Ir.Gep { base; _ } -> root_of t base
+      | Ir.Alloc _ -> Ralloc id
+      | Ir.Param k -> Rparam k
+      | Ir.Binop _ | Ir.Cmp _ | Ir.Select _ | Ir.Load _ | Ir.Store _
+      | Ir.Phi _ | Ir.Call _ | Ir.Prefetch _ -> Unknown)
+
+let roots_may_alias a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> true
+  | Ralloc x, Ralloc y -> x = y
+  | Rparam x, Rparam y -> x = y
+  | Ralloc _, Rparam _ | Rparam _, Ralloc _ -> false

@@ -1,0 +1,23 @@
+(** Read-only analysis bundle shared by every stage of the pass. *)
+
+type t = {
+  func : Spf_ir.Ir.func;
+  cfg : Spf_ir.Cfg.t;
+  dom : Spf_ir.Dom.t;
+  loops : Spf_ir.Loops.t;
+  ivs : Spf_ir.Indvar.t;
+  order : int array;  (** program-order key per instruction id *)
+}
+
+val make : Spf_ir.Ir.func -> t
+
+val compare_order : t -> int -> int -> int
+val sort_program_order : t -> int list -> int list
+
+val loop_of_iv : t -> Spf_ir.Indvar.ivar -> Spf_ir.Loops.loop
+
+(** Base-object roots for the simple may-alias test of §4.2. *)
+type root = Ralloc of int | Rparam of int | Unknown
+
+val root_of : t -> Spf_ir.Ir.operand -> root
+val roots_may_alias : root -> root -> bool

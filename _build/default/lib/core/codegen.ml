@@ -1,0 +1,194 @@
+module Ir = Spf_ir.Ir
+
+(* Code generation (Algorithm 1, lines 42-54).
+
+   For each load of a candidate's dependent chain we clone its address-
+   generation sub-slice with every use of the induction variable replaced
+   by [min (iv + offset) limit], convert the cloned load itself into a
+   prefetch, and splice the whole group immediately before the original
+   candidate load.  Earlier chain loads get larger offsets (eq. 1), so by
+   the time a deeper prefetch re-executes an earlier load for real, that
+   line has already been prefetched — the staggering of §4.4.  The cloned
+   code is O(t^2) in the chain length, as §6.2 observes.
+
+   Two cleanups keep the instruction overhead close to what an optimising
+   backend would produce:
+   - clones are shared across groups and candidates through a cache keyed
+     by (block, original instruction, offset), so several loads probing the
+     same structure (e.g. a hash bucket's slots) share one cloned address
+     chain;
+   - a second prefetch whose address provably lands in an already-
+     prefetched cache line (same cloned base, small constant displacement)
+     is elided. *)
+
+type emitted = {
+  chain_load : int; (* original load this prefetch covers *)
+  offset_iters : int; (* look-ahead distance in induction steps *)
+  prefetch_id : int; (* the emitted prefetch instruction *)
+  support_ids : int list; (* address-generation clones, program order *)
+}
+
+(* Should the group for chain position [l] (of [t]) be emitted?  Position 0
+   is the sequential look-ahead access: a stride prefetch, only emitted as
+   a companion when requested (§4.3 / Fig 5).  [max_stagger] keeps only the
+   first loads of deep chains (§6.2 / Fig 7). *)
+let keep_group (config : Config.t) ~l ~t =
+  ignore t;
+  l < config.max_stagger && (l > 0 || config.stride_companion)
+
+(* Pass-wide emission state, shared across candidates so that common
+   address-generation code is cloned once. *)
+type state = {
+  seen : (int * int, unit) Hashtbl.t; (* (chain load, offset) emitted *)
+  clone_cache : (int * int * int * int, int) Hashtbl.t;
+      (* (block, induction variable, orig instr / pseudo-id, offset)
+         -> clone id *)
+  pf_lines : (int * int * int, unit) Hashtbl.t;
+      (* (block, address base id, line displacement) prefetched *)
+}
+
+let create_state () =
+  {
+    seen = Hashtbl.create 16;
+    clone_cache = Hashtbl.create 32;
+    pf_lines = Hashtbl.create 16;
+  }
+
+(* Pseudo-ids for the advance/clamp/limit instructions in the clone cache
+   (they have no original-instruction identity). *)
+let pseudo_adv = -1
+let pseudo_clamp = -2
+let pseudo_limit = -3
+
+(* Resolve a prefetch address to (base id, byte displacement) when it is a
+   gep with a constant index off an SSA base. *)
+let line_key func ~block (addr : Ir.operand) =
+  match addr with
+  | Ir.Var v -> (
+      match (Ir.instr func v).kind with
+      | Ir.Gep { base = Ir.Var b; index = Ir.Imm k; scale }
+        when abs (k * scale) < 4096 ->
+          Some (block, b, k * scale / 64)
+      | _ -> Some (block, v, 0))
+  | Ir.Imm _ | Ir.Fimm _ -> None
+
+let emit (a : Analysis.t) (config : Config.t) (cand : Dfs.candidate)
+    (clamp : Safety.clamp) ~(state : state) : emitted list =
+  let func = a.Analysis.func in
+  let anchor = cand.load_id in
+  let block = (Ir.instr func anchor).block in
+  let chain = Array.of_list (Dfs.chain_loads a cand) in
+  let t = Array.length chain in
+  if t <= 1 then []
+  else begin
+    let new_ids = ref [] in
+    let fresh ~name kind =
+      let i = Ir.fresh_instr func ~name ~block kind in
+      new_ids := i.id :: !new_ids;
+      i.id
+    in
+    (* Clone-or-reuse an instruction for a given look-ahead offset. *)
+    let iv_id = cand.iv.iv_id in
+    let cached ~key ~off ~name mk =
+      match Hashtbl.find_opt state.clone_cache (block, iv_id, key, off) with
+      | Some id -> id
+      | None ->
+          let id = fresh ~name (mk ()) in
+          Hashtbl.replace state.clone_cache (block, iv_id, key, off) id;
+          id
+    in
+    let limit_operand () =
+      match clamp with
+      | Safety.Clamp_imm n -> Ir.Imm n
+      | Safety.Clamp_expr (bound, delta) ->
+          let id =
+            cached ~key:pseudo_limit ~off:delta ~name:"pf.limit" (fun () ->
+                Ir.Binop (Ir.Add, bound, Ir.Imm delta))
+          in
+          Ir.Var id
+    in
+    let clamped_iv ~off =
+      let adv =
+        cached ~key:pseudo_adv ~off ~name:"pf.adv" (fun () ->
+            Ir.Binop (Ir.Add, Ir.Var cand.iv.iv_id, Ir.Imm off))
+      in
+      (* Inside a Split-peeled main loop the bound already guarantees
+         [iv + off] is in range; skip the clamp (Config.assume_margin). *)
+      if off <= config.Config.assume_margin then adv
+      else
+        cached ~key:pseudo_clamp ~off ~name:"pf.clamp" (fun () ->
+            Ir.Binop (Ir.Smin, Ir.Var adv, limit_operand ()))
+    in
+    let groups = ref [] in
+    for l = 0 to t - 1 do
+      if keep_group config ~l ~t then begin
+        let off = Schedule.offset ~c:config.Config.c ~t ~l * cand.iv.step in
+        let key = (chain.(l), off) in
+        if not (Hashtbl.mem state.seen key) then begin
+          Hashtbl.replace state.seen key ();
+          let sub = Dfs.sub_slice a cand ~root:chain.(l) in
+          let clamped = clamped_iv ~off in
+          let support = ref [] in
+          (* Clone the address-generation prefix (everything but the chain
+             load itself), sharing clones through the cache. *)
+          let map_operand (o : Ir.operand) =
+            match o with
+            | Ir.Var v when v = cand.iv.iv_id -> Ir.Var clamped
+            | Ir.Var v -> (
+                match Hashtbl.find_opt state.clone_cache (block, iv_id, v, off) with
+                | Some c -> Ir.Var c
+                | None -> o)
+            | Ir.Imm _ | Ir.Fimm _ -> o
+          in
+          List.iter
+            (fun id ->
+              if id <> chain.(l) then begin
+                let orig = Ir.instr func id in
+                let already =
+                  Hashtbl.mem state.clone_cache (block, iv_id, id, off)
+                in
+                let cid =
+                  cached ~key:id ~off ~name:("pf." ^ orig.name) (fun () ->
+                      Ir.map_srcs map_operand orig.kind)
+                in
+                if not already then support := cid :: !support
+              end)
+            sub;
+          (* The chain load becomes the prefetch — unless its line was
+             already covered by an earlier group. *)
+          let orig = Ir.instr func chain.(l) in
+          let addr =
+            match Ir.map_srcs map_operand orig.kind with
+            | Ir.Load (_, addr) -> addr
+            | _ -> assert false
+          in
+          let covered =
+            match line_key func ~block addr with
+            | Some k ->
+                if Hashtbl.mem state.pf_lines k then true
+                else begin
+                  Hashtbl.replace state.pf_lines k ();
+                  false
+                end
+            | None -> false
+          in
+          if covered then ()
+          else begin
+            let pf = fresh ~name:"pf" (Ir.Prefetch addr) in
+            groups :=
+              {
+                chain_load = chain.(l);
+                offset_iters = off / max cand.iv.step 1;
+                prefetch_id = pf;
+                support_ids = List.rev !support;
+              }
+              :: !groups
+          end
+        end
+      end
+    done;
+    (* Splice everything (in creation order) just before the original
+       load — line 53 of Algorithm 1. *)
+    Ir.insert_before func ~anchor (List.rev !new_ids);
+    List.rev !groups
+  end

@@ -1,0 +1,30 @@
+(** Code generation (Algorithm 1, lines 42–54): clone each chain load's
+    address-generation slice with the induction variable advanced and
+    clamped, convert the cloned load into a prefetch, and splice the group
+    immediately before the original load. *)
+
+type emitted = {
+  chain_load : int;  (** original load this prefetch covers *)
+  offset_iters : int;  (** look-ahead distance in induction steps *)
+  prefetch_id : int;  (** the emitted prefetch instruction *)
+  support_ids : int list;  (** address-generation clones, program order *)
+}
+
+val keep_group : Config.t -> l:int -> t:int -> bool
+(** Stagger/companion policy: which chain positions receive a prefetch. *)
+
+type state
+(** Pass-wide emission state: deduplication of (load, offset) pairs, the
+    cross-candidate clone cache, and the prefetched-line set. *)
+
+val create_state : unit -> state
+
+val emit :
+  Analysis.t ->
+  Config.t ->
+  Dfs.candidate ->
+  Safety.clamp ->
+  state:state ->
+  emitted list
+(** Mutates the function.  Candidates must be emitted in program order so
+    that shared clones dominate their reuses. *)

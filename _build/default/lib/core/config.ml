@@ -1,0 +1,34 @@
+(* Pass configuration.  Defaults match the paper's evaluation setup:
+   c = 64 for every system (§5), stride companion prefetches on (§4.3),
+   unbounded stagger depth, the prototype's direct-induction-index
+   restriction (§4.2), and loop hoisting (§4.6) enabled. *)
+
+type t = {
+  c : int; (* look-ahead constant of eq. (1) *)
+  stride_companion : bool; (* also prefetch the sequential look-ahead array *)
+  max_stagger : int; (* how many loads of a dependent chain to prefetch *)
+  allow_pure_calls : bool; (* permit side-effect-free calls in slices (§4.1) *)
+  hoist : bool; (* hoist inner-loop prefetches (§4.6) *)
+  require_direct_iv_index : bool; (* look-ahead array must be indexed by the
+                                     raw induction variable (§4.2) *)
+  cleanup : bool; (* run DCE after emission: duplicate-line elision can
+                     strand unused address-generation clones *)
+  assume_margin : int; (* offsets <= this margin skip the fault-avoidance
+                          clamp; only sound after Split has peeled the
+                          last [margin] iterations (cf. ICC's hoisted
+                          checks, §6.1) *)
+}
+
+let default =
+  {
+    c = 64;
+    stride_companion = true;
+    max_stagger = max_int;
+    allow_pure_calls = false;
+    hoist = true;
+    require_direct_iv_index = true;
+    cleanup = true;
+    assume_margin = 0;
+  }
+
+let with_c c t = { t with c }

@@ -1,0 +1,30 @@
+(** Pass configuration.  {!default} matches the paper's evaluation setup
+    ([c = 64], stride companions on, unbounded stagger, no calls, hoisting
+    on, direct induction-variable indexing required). *)
+
+type t = {
+  c : int;  (** look-ahead constant of eq. (1) *)
+  stride_companion : bool;
+      (** also emit the staggered prefetch of the sequential look-ahead
+          array (§4.3 / Fig 5) *)
+  max_stagger : int;
+      (** prefetch at most this many loads of a dependent chain (§6.2) *)
+  allow_pure_calls : bool;
+      (** permit side-effect-free calls inside prefetch slices — the
+          extension discussed in §4.1 *)
+  hoist : bool;  (** inner-loop prefetch hoisting (§4.6) *)
+  require_direct_iv_index : bool;
+      (** insist the look-ahead array is indexed by the raw induction
+          variable, as the paper's prototype does (§4.2) *)
+  cleanup : bool;
+      (** run dead-code elimination after emission (duplicate-line elision
+          can strand unused address-generation clones) *)
+  assume_margin : int;
+      (** offsets up to this margin skip the fault-avoidance clamp — only
+          sound after {!Split} has peeled the last [margin] iterations
+          (the hoisted-checks optimisation the paper attributes to ICC,
+          §6.1) *)
+}
+
+val default : t
+val with_c : int -> t -> t

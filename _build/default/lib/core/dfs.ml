@@ -1,0 +1,135 @@
+module Ir = Spf_ir.Ir
+module Loops = Spf_ir.Loops
+module Indvar = Spf_ir.Indvar
+module Iset = Set.Make (Int)
+
+(* The depth-first search of Algorithm 1 (lines 1-24): starting from a load,
+   walk the data-dependence graph backwards until induction variables are
+   found, recording every instruction on each path.  Search stops along a
+   path at any instruction defined outside all loops.  When paths reach
+   several induction variables we keep the one belonging to the innermost
+   loop ("closest loop to the load", line 21) and merge the paths that
+   depend on it (line 24). *)
+
+type candidate = {
+  load_id : int;
+  iv : Indvar.ivar;
+  slice : int list;
+      (* the address-generation code: every instruction on a path from the
+         induction variable to the load (inclusive of the load, exclusive of
+         the induction phi), in program order *)
+}
+
+(* One DFS result: paths grouped by the induction variable they reached. *)
+type paths = (Indvar.ivar * Iset.t) list
+
+let merge_paths (a : Analysis.t) (paths : paths) : (Indvar.ivar * Iset.t) option
+    =
+  match paths with
+  | [] -> None
+  | [ p ] -> Some p
+  | _ ->
+      (* Pick the induction variable of the deepest loop, then union every
+         path that reached it. *)
+      let depth (iv : Indvar.ivar) = (Loops.loop a.Analysis.loops iv.loop_index).depth in
+      let best =
+        List.fold_left
+          (fun acc (iv, _) ->
+            match acc with
+            | Some b when depth b >= depth iv -> acc
+            | _ -> Some iv)
+          None paths
+      in
+      Option.map
+        (fun (best : Indvar.ivar) ->
+          let set =
+            List.fold_left
+              (fun acc ((iv : Indvar.ivar), s) ->
+                if iv.iv_id = best.iv_id then Iset.union acc s else acc)
+              Iset.empty paths
+          in
+          (best, set))
+        best
+
+let find_candidate (a : Analysis.t) (load : Ir.instr) : candidate option =
+  let func = a.Analysis.func in
+  let memo : (int, (Indvar.ivar * Iset.t) option) Hashtbl.t = Hashtbl.create 32 in
+  let on_path : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let rec dfs id : (Indvar.ivar * Iset.t) option =
+    match Hashtbl.find_opt memo id with
+    | Some r -> r
+    | None ->
+        if Hashtbl.mem on_path id then None (* loop-carried cycle: dead path *)
+        else begin
+          Hashtbl.replace on_path id ();
+          let i = Ir.instr func id in
+          let paths = ref [] in
+          List.iter
+            (fun (o : Ir.operand) ->
+              match o with
+              | Ir.Imm _ | Ir.Fimm _ -> ()
+              | Ir.Var v -> (
+                  match Indvar.ivar_of a.Analysis.ivs v with
+                  | Some iv ->
+                      (* Found an induction variable: this path ends. *)
+                      paths := (iv, Iset.singleton id) :: !paths
+                  | None ->
+                      let vi = Ir.instr func v in
+                      if
+                        Ir.defines_value vi.kind
+                        && Loops.in_any_loop a.Analysis.loops vi.block
+                      then
+                        (match dfs v with
+                        | Some (iv, set) ->
+                            paths := (iv, Iset.add id set) :: !paths
+                        | None -> ())))
+            (Ir.srcs i.kind);
+          Hashtbl.remove on_path id;
+          let r = merge_paths a !paths in
+          Hashtbl.replace memo id r;
+          r
+        end
+  in
+  match dfs load.id with
+  | None -> None
+  | Some (iv, set) ->
+      (* The induction variable's loop must actually contain the load for
+         look-ahead to make sense. *)
+      let l = Analysis.loop_of_iv a iv in
+      if Loops.contains l load.block then
+        Some
+          {
+            load_id = load.id;
+            iv;
+            slice = Analysis.sort_program_order a (Iset.elements set);
+          }
+      else None
+
+(* Loads of the slice in dependence (= program) order; the last one is the
+   candidate load itself.  [t] of eq. (1) is the length of this list. *)
+let chain_loads (a : Analysis.t) (c : candidate) =
+  List.filter
+    (fun id ->
+      match (Ir.instr a.Analysis.func id).kind with
+      | Ir.Load _ -> true
+      | _ -> false)
+    c.slice
+
+(* Transitive dependencies of [root] within the slice, including [root],
+   in program order.  This is the code one staggered prefetch must clone. *)
+let sub_slice (a : Analysis.t) (c : candidate) ~root =
+  let func = a.Analysis.func in
+  let in_slice = Iset.of_list c.slice in
+  let keep = Hashtbl.create 16 in
+  let rec visit id =
+    if (not (Hashtbl.mem keep id)) && Iset.mem id in_slice then begin
+      Hashtbl.replace keep id ();
+      List.iter
+        (function
+          | Ir.Var v -> visit v
+          | Ir.Imm _ | Ir.Fimm _ -> ())
+        (Ir.srcs (Ir.instr func id).kind)
+    end
+  in
+  visit root;
+  List.filter (Hashtbl.mem keep) c.slice

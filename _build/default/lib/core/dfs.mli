@@ -1,0 +1,25 @@
+(** The depth-first search of Algorithm 1 (lines 1–24): walk the
+    data-dependence graph backwards from a load until induction variables
+    are found, keep the induction variable of the innermost loop when
+    several are reachable, and merge the paths that depend on it. *)
+
+type candidate = {
+  load_id : int;
+  iv : Spf_ir.Indvar.ivar;
+  slice : int list;
+      (** address-generation code: every instruction on a path from the
+          induction variable to the load (load included, induction phi
+          excluded), in program order *)
+}
+
+val find_candidate : Analysis.t -> Spf_ir.Ir.instr -> candidate option
+(** [None] when no path reaches an induction variable whose loop contains
+    the load. *)
+
+val chain_loads : Analysis.t -> candidate -> int list
+(** The slice's loads in dependence order; the candidate load comes last.
+    Its length is [t] in the scheduling formula (eq. 1). *)
+
+val sub_slice : Analysis.t -> candidate -> root:int -> int list
+(** Transitive in-slice dependencies of [root], including [root], in
+    program order — the code one staggered prefetch clones. *)

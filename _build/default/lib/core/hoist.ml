@@ -1,0 +1,138 @@
+module Ir = Spf_ir.Ir
+module Loops = Spf_ir.Loops
+
+(* Prefetch loop hoisting (§4.6).
+
+   Loads inside an inner loop whose address depends on a header phi taking
+   its initial value from outside the loop (a linked-list walk, or an edge
+   scan seeded by an outer-loop value) cannot be given look-ahead within the
+   inner loop.  When the path from that phi to the load is pure address
+   arithmetic — no further loads, calls or phis — we can substitute the
+   phi's initial value, hoist the cloned computation into the preheader,
+   and prefetch the inner loop's first access one trip early.
+
+   Because the clone contains no loads the hoisted code cannot fault, which
+   discharges §4.6's safety obligation trivially (the restricted form we
+   implement; DESIGN.md §5 records the restriction). *)
+
+type hoisted = {
+  load_id : int;
+  prefetch_id : int;
+  preheader : int;
+  support_ids : int list;
+}
+
+exception Not_hoistable
+
+(* Gather the address-computation chain of [load] within [l], substituting
+   header phis by their initial values.  Returns the chain (ids inside the
+   loop, in discovery postorder = dependence order) and the substitution. *)
+let chain_of (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) =
+  let func = a.Analysis.func in
+  let subst : (int, Ir.operand) Hashtbl.t = Hashtbl.create 4 in
+  let chain = ref [] in
+  let visited = Hashtbl.create 8 in
+  let has_phi = ref false in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.replace visited id ();
+      let i = Ir.instr func id in
+      if not (Loops.contains l i.block) then () (* usable directly *)
+      else
+        match i.kind with
+        | Ir.Phi incoming when i.block = l.header -> (
+            let outside, _ =
+              List.partition (fun (p, _) -> not (Loops.contains l p)) incoming
+            in
+            match outside with
+            | [ (_, (Ir.Var _ as init)) ] ->
+                (* §4.6: the phi must reference a *value* from an outer
+                   loop; constant-seeded phis are ordinary induction
+                   variables, served by the main pass's look-ahead. *)
+                has_phi := true;
+                Hashtbl.replace subst id init
+            | _ -> raise Not_hoistable)
+        | Ir.Load _ when id <> load.id -> raise Not_hoistable
+        | Ir.Call _ | Ir.Phi _ -> raise Not_hoistable
+        | Ir.Store _ | Ir.Prefetch _ -> raise Not_hoistable
+        | Ir.Binop _ | Ir.Cmp _ | Ir.Select _ | Ir.Gep _ | Ir.Alloc _
+        | Ir.Param _ | Ir.Load _ ->
+            List.iter
+              (function
+                | Ir.Var v -> visit v
+                | Ir.Imm _ | Ir.Fimm _ -> ())
+              (Ir.srcs i.kind);
+            chain := id :: !chain
+    end
+  in
+  visit load.id;
+  if not !has_phi then raise Not_hoistable;
+  (List.rev !chain, subst)
+
+let try_hoist (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) =
+  match l.preheader with
+  | None -> None
+  | Some preheader -> (
+      match chain_of a l load with
+      | exception Not_hoistable -> None
+      | chain, subst ->
+          let func = a.Analysis.func in
+          let clones = Hashtbl.create 8 in
+          let map_operand (o : Ir.operand) =
+            match o with
+            | Ir.Var v -> (
+                match Hashtbl.find_opt subst v with
+                | Some init -> init
+                | None -> (
+                    match Hashtbl.find_opt clones v with
+                    | Some c -> Ir.Var c
+                    | None -> o))
+            | Ir.Imm _ | Ir.Fimm _ -> o
+          in
+          let new_ids = ref [] in
+          let prefetch_id = ref (-1) in
+          List.iter
+            (fun id ->
+              let orig = Ir.instr func id in
+              let mapped = Ir.map_srcs map_operand orig.kind in
+              let kind =
+                if id = load.id then
+                  match mapped with
+                  | Ir.Load (_, addr) -> Ir.Prefetch addr
+                  | _ -> assert false
+                else mapped
+              in
+              let c =
+                Ir.fresh_instr func ~name:("pfh." ^ orig.name) ~block:preheader
+                  kind
+              in
+              Hashtbl.replace clones id c.id;
+              if id = load.id then prefetch_id := c.id
+              else new_ids := c.id :: !new_ids)
+            chain;
+          let support = List.rev !new_ids in
+          Ir.insert_at_end func ~bid:preheader (support @ [ !prefetch_id ]);
+          Some
+            {
+              load_id = load.id;
+              prefetch_id = !prefetch_id;
+              preheader;
+              support_ids = support;
+            })
+
+(* Hoist every eligible load (outside [exclude_blocks]).  Runs before the
+   main pass on the pristine function; the code it inserts contains no
+   loads, so it cannot create new candidates for the main pass. *)
+let run ?(exclude_blocks = []) (a : Analysis.t) (_config : Config.t) =
+  let func = a.Analysis.func in
+  let loads = ref [] in
+  Ir.iter_instrs func (fun i ->
+      match i.kind with
+      | Ir.Load _ when not (List.mem i.block exclude_blocks) -> (
+          match Loops.innermost a.Analysis.loops i.block with
+          | Some li -> loads := (i, li) :: !loads
+          | None -> ())
+      | _ -> ());
+  List.filter_map
+    (fun (load, li) -> try_hoist a (Loops.loop a.Analysis.loops li) load)
+    (List.rev !loads)

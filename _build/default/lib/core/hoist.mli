@@ -1,0 +1,18 @@
+(** Prefetch loop hoisting (§4.6), restricted to load-free address chains:
+    inner-loop loads whose address flows from a header phi are prefetched in
+    the preheader with the phi replaced by its initial value. *)
+
+type hoisted = {
+  load_id : int;
+  prefetch_id : int;
+  preheader : int;
+  support_ids : int list;
+}
+
+val try_hoist :
+  Analysis.t -> Spf_ir.Loops.loop -> Spf_ir.Ir.instr -> hoisted option
+
+val run : ?exclude_blocks:int list -> Analysis.t -> Config.t -> hoisted list
+(** Hoist every eligible load whose block is not excluded.  Mutates the
+    function; the inserted code contains no loads, so it cannot feed the
+    main pass new candidates. *)

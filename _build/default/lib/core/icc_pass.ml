@@ -1,0 +1,61 @@
+module Ir = Spf_ir.Ir
+module Loops = Spf_ir.Loops
+
+(* A model of the Intel compiler's stride-indirect prefetching pass
+   (Krishnaiyer et al., IPDPSW'13), the "ICC-generated" baseline of
+   Fig 4(d).  Per the paper's observations it "only looks for the simplest
+   patterns":
+
+   - exactly an [A[B[i]]] chain — two loads, geps only, no intermediate
+     computation (so the hash computations of RA and HJ defeat it);
+   - a compile-time-constant trip count, standing in for its need to prove
+     array extents statically (so Graph500's runtime frontier/row bounds
+     defeat it, as §6.1 reports).
+
+   Everything else (clamping, scheduling, emission) is shared with the main
+   pass. *)
+
+let simple_enough (a : Analysis.t) (cand : Dfs.candidate) =
+  let func = a.Analysis.func in
+  let gep_or_load id =
+    match (Ir.instr func id).kind with
+    | Ir.Gep _ | Ir.Load _ -> true
+    | _ -> false
+  in
+  List.length (Dfs.chain_loads a cand) = 2
+  && List.for_all gep_or_load cand.slice
+  && match cand.iv.bound with Some (Ir.Imm _) -> true | _ -> false
+
+let run ?(config = Config.default) (func : Ir.func) : Pass.report =
+  let config = { config with Config.hoist = false } in
+  let a = Analysis.make func in
+  let loads = ref [] in
+  Ir.iter_instrs func (fun i ->
+      match i.kind with
+      | Ir.Load _ when Loops.in_any_loop a.Analysis.loops i.block ->
+          loads := i.Ir.id :: !loads
+      | _ -> ());
+  let loads = Analysis.sort_program_order a (List.rev !loads) in
+  let state = Codegen.create_state () in
+  let decisions =
+    List.map
+      (fun load_id ->
+        let load = Ir.instr func load_id in
+        match Dfs.find_candidate a load with
+        | None -> (load_id, Pass.Rejected Safety.No_candidate)
+        | Some cand -> (
+            if List.length (Dfs.chain_loads a cand) <= 1 then
+              (load_id, Pass.Rejected Safety.Pure_stride)
+            else if not (simple_enough a cand) then
+              (load_id, Pass.Rejected Safety.Indirect_iv_use)
+            else
+              match Safety.vet a config cand with
+              | Error r -> (load_id, Pass.Rejected r)
+              | Ok clamp -> (
+                  match Codegen.emit a config cand clamp ~state with
+                  | [] -> (load_id, Pass.Rejected Safety.Duplicate)
+                  | groups -> (load_id, Pass.Emitted groups))))
+      loads
+  in
+  let n_prefetches, n_support = Pass.count_prefetches decisions in
+  { Pass.decisions; n_prefetches; n_support }

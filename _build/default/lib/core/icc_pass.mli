@@ -1,0 +1,6 @@
+(** Model of the Intel compiler's stride-indirect prefetching pass — the
+    "ICC-generated" baseline of Fig 4(d).  Accepts only pure [A[B[i]]]
+    chains under compile-time-constant trip counts; hash computation
+    (RA, HJ) and runtime bounds (G500, CG-with-CSR) defeat it. *)
+
+val run : ?config:Config.t -> Spf_ir.Ir.func -> Pass.report

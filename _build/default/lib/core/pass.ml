@@ -1,0 +1,124 @@
+module Ir = Spf_ir.Ir
+module Loops = Spf_ir.Loops
+
+(* The pass driver: Algorithm 1 end to end.
+
+   Phases:
+   1. hoisting (§4.6) on the pristine function — inserts only load-free
+      code, so it cannot perturb phase 2's candidate search;
+   2. analysis + candidate collection + vetting, all read-only;
+   3. code emission, which mutates the function.
+
+   The returned report records, for every load inspected, either what was
+   emitted or precisely why the load was rejected — tests and the CLI lean
+   on this heavily. *)
+
+type decision =
+  | Emitted of Codegen.emitted list
+  | Hoisted of Hoist.hoisted
+  | Rejected of Safety.reject
+
+type report = {
+  decisions : (int * decision) list; (* load id -> decision, program order *)
+  n_prefetches : int;
+  n_support : int; (* address-generation instructions added *)
+}
+
+let count_prefetches decisions =
+  List.fold_left
+    (fun (npf, nsup) (_, d) ->
+      match d with
+      | Emitted groups ->
+          ( npf + List.length groups,
+            nsup
+            + List.fold_left
+                (fun acc (g : Codegen.emitted) ->
+                  (* +2 for the advance and clamp of each group *)
+                  acc + List.length g.support_ids + 2)
+                0 groups )
+      | Hoisted h -> (npf + 1, nsup + List.length h.support_ids)
+      | Rejected _ -> (npf, nsup))
+    (0, 0) decisions
+
+let run ?(config = Config.default) ?(exclude_blocks = []) (func : Ir.func) :
+    report =
+  let excluded b = List.mem b exclude_blocks in
+  (* Phase 1: hoisting. *)
+  let hoisted =
+    if config.Config.hoist then
+      Hoist.run ~exclude_blocks (Analysis.make func) config
+    else []
+  in
+  let hoist_decisions =
+    List.map (fun (h : Hoist.hoisted) -> (h.load_id, Hoisted h)) hoisted
+  in
+  (* Phase 2: analyse and vet (read-only). *)
+  let a = Analysis.make func in
+  let loads = ref [] in
+  Ir.iter_instrs func (fun i ->
+      match i.kind with
+      | Ir.Load _
+        when Loops.in_any_loop a.Analysis.loops i.block
+             && not (excluded i.block) ->
+          loads := i :: !loads
+      | _ -> ());
+  let loads = Analysis.sort_program_order a (List.rev_map (fun i -> i.Ir.id) !loads) in
+  let vetted =
+    List.map
+      (fun load_id ->
+        let load = Ir.instr func load_id in
+        match Dfs.find_candidate a load with
+        | None -> (load_id, Error Safety.No_candidate)
+        | Some cand -> (
+            if List.length (Dfs.chain_loads a cand) <= 1 then
+              (load_id, Error Safety.Pure_stride)
+            else
+              match Safety.vet a config cand with
+              | Error r -> (load_id, Error r)
+              | Ok clamp -> (load_id, Ok (cand, clamp))))
+      loads
+  in
+  (* Phase 3: emit. *)
+  let state = Codegen.create_state () in
+  let decisions =
+    List.map
+      (fun (load_id, v) ->
+        match v with
+        | Error r -> (load_id, Rejected r)
+        | Ok (cand, clamp) -> (
+            match Codegen.emit a config cand clamp ~state with
+            | [] -> (load_id, Rejected Safety.Duplicate)
+            | groups -> (load_id, Emitted groups)))
+      vetted
+  in
+  let decisions = hoist_decisions @ decisions in
+  (* Duplicate-line elision can leave address-generation clones with no
+     remaining users; sweep them so instruction-count reports (Fig 8)
+     reflect the code a real backend would run. *)
+  if config.Config.cleanup then ignore (Spf_ir.Simplify.dce func);
+  let n_prefetches, n_support = count_prefetches decisions in
+  { decisions; n_prefetches; n_support }
+
+let pp_report (func : Ir.func) fmt (r : report) =
+  let pp_decision fmt = function
+    | Emitted groups ->
+        Format.fprintf fmt "emitted %d prefetch(es):" (List.length groups);
+        List.iter
+          (fun (g : Codegen.emitted) ->
+            Format.fprintf fmt "@   load %%%s.%d at offset %d (+%d insts)"
+              (Ir.instr func g.chain_load).name g.chain_load g.offset_iters
+              (List.length g.support_ids + 2))
+          groups
+    | Hoisted h ->
+        Format.fprintf fmt "hoisted prefetch into bb%d (+%d insts)"
+          h.preheader
+          (List.length h.support_ids)
+    | Rejected r -> Format.fprintf fmt "rejected: %s" (Safety.string_of_reject r)
+  in
+  Format.fprintf fmt "prefetch pass: %d prefetches, %d support instructions@."
+    r.n_prefetches r.n_support;
+  List.iter
+    (fun (load_id, d) ->
+      Format.fprintf fmt "  load %%%s.%d: %a@."
+        (Ir.instr func load_id).name load_id pp_decision d)
+    r.decisions

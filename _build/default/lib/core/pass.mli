@@ -1,0 +1,26 @@
+(** The automatic software-prefetch generation pass (Algorithm 1, with the
+    fault-avoidance rules of §4.2, eq. 1 scheduling, and §4.6 hoisting). *)
+
+type decision =
+  | Emitted of Codegen.emitted list
+  | Hoisted of Hoist.hoisted
+  | Rejected of Safety.reject
+
+type report = {
+  decisions : (int * decision) list;
+      (** per inspected load (id), in program order *)
+  n_prefetches : int;
+  n_support : int;  (** address-generation instructions added *)
+}
+
+val count_prefetches : (int * decision) list -> int * int
+(** (prefetches, support instructions) summed over a decision list. *)
+
+val run :
+  ?config:Config.t -> ?exclude_blocks:int list -> Spf_ir.Ir.func -> report
+(** Mutate [func] in place, inserting prefetches and their address
+    generation; returns what was done and why.  Loads in [exclude_blocks]
+    are not considered (used by {!Split} to leave peeled epilogues
+    prefetch-free). *)
+
+val pp_report : Spf_ir.Ir.func -> Format.formatter -> report -> unit

@@ -1,0 +1,16 @@
+(* Prefetch scheduling (§4.4, eq. 1):
+
+       offset(l) = c * (t - l) / t
+
+   where [t] is the number of loads in the dependent chain and [l] the
+   position of a given load (0 = the sequential look-ahead access).  Each
+   chain load is thereby prefetched c/t iterations before the next one
+   consumes it, spacing dependent prefetches evenly: for the paper's
+   integer-sort example (t = 2, c = 64) the stride access is prefetched at
+   i+64 and the indirect one at i+32. *)
+
+let offset ~c ~t ~l =
+  if t <= 0 then invalid_arg "Schedule.offset: empty chain";
+  c * (t - l) / t
+
+let offsets ~c ~t = List.init t (fun l -> offset ~c ~t ~l)

@@ -1,0 +1,8 @@
+(** Prefetch scheduling (§4.4, eq. 1): [offset = c (t - l) / t]. *)
+
+val offset : c:int -> t:int -> l:int -> int
+(** Look-ahead distance in iterations for the [l]-th load (0-based) of a
+    [t]-load dependent chain. *)
+
+val offsets : c:int -> t:int -> int list
+(** All [t] offsets, outermost load first. *)

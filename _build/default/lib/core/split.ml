@@ -1,0 +1,230 @@
+module Ir = Spf_ir.Ir
+module Loops = Spf_ir.Loops
+module Indvar = Spf_ir.Indvar
+
+(* Loop splitting for clamp-free prefetching.
+
+   The pass guards every look-ahead index with [min (iv + off) limit]
+   (Algorithm 1, line 49).  The Intel compiler instead "reduc[es] overhead
+   by moving the checks on the prefetch to outer loops" (§6.1): run the
+   bulk of the loop over [init, bound - c), where [iv + off < bound] holds
+   for every offset the pass emits, and finish with an epilogue over the
+   remaining iterations.  The pass can then skip the clamps in the main
+   loop (Config.assume_margin) — saving one add-like instruction per
+   prefetch per iteration, the overhead Fig 8 measures.
+
+   Mechanically we clone the loop to serve as the *main* loop and let the
+   original become the epilogue, which keeps every exit use of the
+   original loop's values intact:
+
+       preheader -> clone(header..latch) over [init, max(init, bound-c))
+                 -> original loop, its phis re-seeded with the clone's
+                    final values, over [wherever the clone stopped, bound)
+
+   Eligibility is deliberately conservative: a canonical +1 induction
+   variable, a loop-invariant bound tested with [slt] in the header, a
+   single latch, and the header as the only exit. *)
+
+type split = {
+  loop_header : int; (* original header (now the epilogue's) *)
+  main_header : int; (* cloned header: the clamp-free main loop *)
+  main_blocks : int list; (* all cloned block ids *)
+  epilogue_blocks : int list; (* the original loop's blocks *)
+}
+
+(* A loop is splittable when it has the canonical counted shape. *)
+let eligible (a : Analysis.t) (l : Loops.loop) =
+  let func = a.Analysis.func in
+  match l.latches with
+  | [ _latch ] -> (
+      let header = Ir.block func l.header in
+      match header.term with
+      | Ir.Cbr (_, _, _) -> (
+          (* The header must be the only exit. *)
+          match Loops.exit_edges a.Analysis.cfg l with
+          | [ (from, _) ] when from = l.header -> (
+              (* Exactly one canonical induction variable with slt bound. *)
+              let ivs =
+                List.filter
+                  (fun (iv : Indvar.ivar) -> iv.loop_index = l.index)
+                  (Indvar.ivars a.Analysis.ivs)
+              in
+              match ivs with
+              | [ iv ]
+                when iv.step = 1
+                     && iv.bound <> None
+                     && iv.bound_cmp = Some Ir.Slt ->
+                  Some iv
+              | _ -> None)
+          | _ -> None)
+      | Ir.Br _ | Ir.Ret _ | Ir.Unreachable -> None)
+  | _ -> None
+
+(* Clone the loop's blocks with an operand remapping; returns the block id
+   map and instruction id map. *)
+let clone_loop (func : Ir.func) (l : Loops.loop) =
+  let block_map = Hashtbl.create 8 in
+  let instr_map = Hashtbl.create 32 in
+  (* Create the blocks first so branches can be remapped. *)
+  Array.iteri
+    (fun bid inside ->
+      if inside then begin
+        let orig = Ir.block func bid in
+        let nb =
+          Ir.add_block func ~name:("main." ^ orig.Ir.bname) Ir.Unreachable
+        in
+        Hashtbl.replace block_map bid nb.Ir.bid
+      end)
+    l.Loops.member;
+  let map_block b = match Hashtbl.find_opt block_map b with Some b' -> b' | None -> b in
+  let map_operand (o : Ir.operand) =
+    match o with
+    | Ir.Var v -> (
+        match Hashtbl.find_opt instr_map v with
+        | Some v' -> Ir.Var v'
+        | None -> o)
+    | Ir.Imm _ | Ir.Fimm _ -> o
+  in
+  (* Clone instructions in program order per block. *)
+  Array.iteri
+    (fun bid inside ->
+      if inside then begin
+        let orig = Ir.block func bid in
+        let nbid = map_block bid in
+        let ids =
+          Array.to_list orig.Ir.instrs
+          |> List.map (fun id ->
+                 let oi = Ir.instr func id in
+                 let ni =
+                   Ir.fresh_instr func ~name:oi.Ir.name ~block:nbid oi.Ir.kind
+                 in
+                 Hashtbl.replace instr_map id ni.Ir.id;
+                 ni.Ir.id)
+        in
+        Ir.insert_at_end func ~bid:nbid ids
+      end)
+    l.Loops.member;
+  (* Remap the clones' operands and phi labels, and the terminators. *)
+  Hashtbl.iter
+    (fun _ nid ->
+      let ni = Ir.instr func nid in
+      let kind = Ir.map_srcs map_operand ni.Ir.kind in
+      let kind =
+        match kind with
+        | Ir.Phi incoming ->
+            Ir.Phi (List.map (fun (p, v) -> (map_block p, v)) incoming)
+        | k -> k
+      in
+      ni.Ir.kind <- kind)
+    instr_map;
+  Array.iteri
+    (fun bid inside ->
+      if inside then begin
+        let orig = Ir.block func bid in
+        let nb = Ir.block func (map_block bid) in
+        nb.Ir.term <-
+          (match orig.Ir.term with
+          | Ir.Br b -> Ir.Br (map_block b)
+          | Ir.Cbr (c, t, e) -> Ir.Cbr (map_operand c, map_block t, map_block e)
+          | (Ir.Ret _ | Ir.Unreachable) as t -> t)
+      end)
+    l.Loops.member;
+  (block_map, instr_map)
+
+(* Split one eligible loop by margin [c]. *)
+let split_loop (a : Analysis.t) (l : Loops.loop) (iv : Indvar.ivar) ~c =
+  let func = a.Analysis.func in
+  match l.preheader with
+  | None -> None
+  | Some preheader ->
+      let bound = Option.get iv.bound in
+      let block_map, instr_map = clone_loop func l in
+      let main_header = Hashtbl.find block_map l.header in
+      (* Main-loop bound: max(init, bound - c), materialised in the
+         preheader. *)
+      let sub =
+        Ir.fresh_instr func ~name:"split.sub" ~block:preheader
+          (Ir.Binop (Ir.Sub, bound, Ir.Imm c))
+      in
+      let main_bound =
+        Ir.fresh_instr func ~name:"split.bound" ~block:preheader
+          (Ir.Binop (Ir.Smax, iv.init, Ir.Var sub.id))
+      in
+      Ir.insert_at_end func ~bid:preheader [ sub.id; main_bound.id ];
+      (* Point the preheader at the main loop. *)
+      (Ir.block func preheader).Ir.term <-
+        (match (Ir.block func preheader).Ir.term with
+        | Ir.Br b when b = l.header -> Ir.Br main_header
+        | Ir.Cbr (cnd, t, e) ->
+            let swap b = if b = l.header then main_header else b in
+            Ir.Cbr (cnd, swap t, swap e)
+        | t -> t);
+      (* The main loop's header compare tests against the reduced bound,
+         and its exit edge enters the original (epilogue) header. *)
+      let mh = Ir.block func main_header in
+      (match mh.Ir.term with
+      | Ir.Cbr (Ir.Var cid, bt, bf) ->
+          let ci = Ir.instr func cid in
+          (match ci.Ir.kind with
+          | Ir.Cmp (pred, lhs, _) -> ci.Ir.kind <- Ir.Cmp (pred, lhs, Ir.Var main_bound.id)
+          | _ -> ());
+          let exit_to_epilogue b = if Loops.contains l b || Hashtbl.fold (fun _ v acc -> acc || v = b) block_map false then b else l.header in
+          mh.Ir.term <- Ir.Cbr (Ir.Var cid, exit_to_epilogue bt, exit_to_epilogue bf)
+      | _ -> ());
+      (* Re-seed the epilogue's header phis: the preheader edge is replaced
+         by the main-loop header, carrying each phi's cloned value. *)
+      Array.iter
+        (fun id ->
+          let i = Ir.instr func id in
+          match i.Ir.kind with
+          | Ir.Phi incoming ->
+              i.Ir.kind <-
+                Ir.Phi
+                  (List.map
+                     (fun (p, v) ->
+                       if Loops.contains l p then (p, v)
+                       else
+                         ( main_header,
+                           Ir.Var (Hashtbl.find instr_map i.Ir.id) ))
+                     incoming)
+          | _ -> ())
+        (Ir.block func l.header).Ir.instrs;
+      let epilogue = ref [] in
+      Array.iteri
+        (fun bid inside -> if inside then epilogue := bid :: !epilogue)
+        l.Loops.member;
+      Some
+        {
+          loop_header = l.header;
+          main_header;
+          main_blocks = Hashtbl.fold (fun _ v acc -> v :: acc) block_map [];
+          epilogue_blocks = !epilogue;
+        }
+
+(* Split every eligible top-level loop; returns the splits performed. *)
+let run ?(config = Config.default) (func : Ir.func) : split list =
+  let a = Analysis.make func in
+  let candidates =
+    Array.to_list (Loops.loops a.Analysis.loops)
+    |> List.filter_map (fun (l : Loops.loop) ->
+           if l.depth = 1 then
+             Option.map (fun iv -> (l, iv)) (eligible a l)
+           else None)
+  in
+  List.filter_map
+    (fun (l, iv) -> split_loop a l iv ~c:config.Config.c)
+    candidates
+
+(* The full recipe modelled on ICC's hoisted checks: peel each eligible
+   loop by [config.c], then run the pass with clamps suppressed in the
+   peeled main loops and the epilogues left prefetch-free. *)
+let split_and_prefetch ?(config = Config.default) (func : Ir.func) :
+    split list * Pass.report =
+  let splits = run ~config func in
+  let epilogue_blocks = List.concat_map (fun s -> s.epilogue_blocks) splits in
+  let config =
+    if splits = [] then config
+    else { config with Config.assume_margin = config.Config.c }
+  in
+  let report = Pass.run ~config ~exclude_blocks:epilogue_blocks func in
+  (splits, report)

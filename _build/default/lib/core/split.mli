@@ -1,0 +1,26 @@
+(** Loop splitting for clamp-free prefetching — the hoisted-checks
+    optimisation the paper attributes to the Intel compiler (§6.1).
+
+    Each eligible counted loop is peeled: a cloned {e main} loop runs over
+    [[init, max(init, bound - c))], where [iv + off < bound] holds for
+    every offset the pass can emit, and the original loop finishes the
+    remaining iterations as an epilogue.  Run the pass afterwards with
+    {!Config.t.assume_margin}[ = c] and the epilogue excluded, or use
+    {!split_and_prefetch} which does both. *)
+
+type split = {
+  loop_header : int;  (** original header — now the epilogue's *)
+  main_header : int;  (** the cloned, clamp-free main loop's header *)
+  main_blocks : int list;
+  epilogue_blocks : int list;
+}
+
+val run : ?config:Config.t -> Spf_ir.Ir.func -> split list
+(** Peel every eligible top-level loop by [config.c].  Eligibility:
+    canonical +1 induction variable, loop-invariant [slt] bound tested in
+    the header, single latch, header as the only exit, and a preheader. *)
+
+val split_and_prefetch :
+  ?config:Config.t -> Spf_ir.Ir.func -> split list * Pass.report
+(** The full recipe: {!run}, then {!Pass.run} with clamps suppressed in
+    the peeled main loops and epilogues left prefetch-free. *)

@@ -1,0 +1,1 @@
+lib/harness/benches.ml: List Option Spf_core Spf_sim Spf_workloads

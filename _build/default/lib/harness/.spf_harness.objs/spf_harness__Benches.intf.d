@@ -1,0 +1,1 @@
+lib/harness/benches.mli: Spf_core Spf_sim Spf_workloads

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Benches Format List Option Printf Runner Spf_core Spf_sim Spf_workloads

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Format List Printf Spf_ir Spf_sim Spf_workloads String

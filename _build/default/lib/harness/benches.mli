@@ -1,0 +1,40 @@
+(** The seven benchmark configurations of §5.1, with plain builders and the
+    best-known manual scheme for each machine ("the best manual software
+    prefetches we could generate", §6.1). *)
+
+type bench = {
+  id : string;
+  plain : unit -> Spf_workloads.Workload.built;
+  manual :
+    machine:Spf_sim.Machine.t ->
+    c:int option ->
+    Spf_workloads.Workload.built;
+      (** [c] overrides the look-ahead constant (the Fig 6 sweeps) *)
+}
+
+val is_bench : ?params:Spf_workloads.Is.params -> unit -> bench
+val cg_bench : ?params:Spf_workloads.Cg.params -> unit -> bench
+val ra_bench : ?params:Spf_workloads.Ra.params -> unit -> bench
+val hj2_bench : ?params:Spf_workloads.Hj.params -> unit -> bench
+val hj8_bench : ?params:Spf_workloads.Hj.params -> unit -> bench
+val g500_bench : id:string -> params:Spf_workloads.G500.params -> unit -> bench
+
+val all : unit -> bench list
+(** IS, CG, RA, HJ-2, HJ-8, G500-s16, G500-s21 — Fig 4's benchmark order. *)
+
+val sweepable : unit -> bench list
+(** The Fig 6 subjects: IS, CG, RA, HJ-2. *)
+
+val auto :
+  ?config:Spf_core.Config.t ->
+  Spf_workloads.Workload.built ->
+  Spf_workloads.Workload.built
+(** Apply the paper's pass in place. *)
+
+val icc :
+  ?config:Spf_core.Config.t ->
+  Spf_workloads.Workload.built ->
+  Spf_workloads.Workload.built
+(** Apply the ICC-model baseline pass in place. *)
+
+val geomean : float list -> float

@@ -1,0 +1,33 @@
+module Interp = Spf_sim.Interp
+module Machine = Spf_sim.Machine
+module Stats = Spf_sim.Stats
+module Workload = Spf_workloads.Workload
+
+(* Run one built workload instance on one machine, verifying the IR and
+   validating the result checksum — every number the harness reports comes
+   from a semantically-checked execution. *)
+
+type result = { stats : Stats.t; machine : string; bench : string }
+
+let run ?fuel ~(machine : Machine.t) (b : Workload.built) : result =
+  (match Spf_ir.Verifier.check b.func with
+  | [] -> ()
+  | vs ->
+      let msg =
+        String.concat "; "
+          (List.map (Format.asprintf "%a" Spf_ir.Verifier.pp_violation) vs)
+      in
+      failwith (Printf.sprintf "%s: verifier: %s" b.name msg));
+  let interp = Interp.create ~machine ~mem:b.mem ~args:b.args b.func in
+  Interp.run ?fuel interp;
+  Workload.validate b ~retval:(Interp.retval interp);
+  { stats = Interp.stats interp; machine = machine.name; bench = b.name }
+
+let cycles r = r.stats.Stats.cycles
+
+let speedup ~baseline r =
+  float_of_int (cycles baseline) /. float_of_int (cycles r)
+
+let extra_instructions ~baseline r =
+  let b = baseline.stats.Stats.instructions in
+  100.0 *. float_of_int (r.stats.Stats.instructions - b) /. float_of_int b

@@ -1,0 +1,22 @@
+(** Run one built workload instance on one machine model.  Every run
+    verifies the IR first and validates the result checksum afterwards, so
+    every number the harness reports comes from a semantically-checked
+    execution. *)
+
+type result = {
+  stats : Spf_sim.Stats.t;
+  machine : string;
+  bench : string;
+}
+
+val run :
+  ?fuel:int ->
+  machine:Spf_sim.Machine.t ->
+  Spf_workloads.Workload.built ->
+  result
+(** @raise Failure on verifier violations or checksum mismatch. *)
+
+val cycles : result -> int
+val speedup : baseline:result -> result -> float
+val extra_instructions : baseline:result -> result -> float
+(** Percentage increase in dynamic instructions (Fig 8's metric). *)

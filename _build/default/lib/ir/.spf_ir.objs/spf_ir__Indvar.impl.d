@@ -1,0 +1,1 @@
+lib/ir/indvar.ml: Array Cfg Hashtbl Ir List Loops

@@ -1,0 +1,1 @@
+lib/ir/indvar.mli: Cfg Ir Loops

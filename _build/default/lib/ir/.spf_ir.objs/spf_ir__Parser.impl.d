@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Format Ir List Option Printf Seq String

@@ -1,0 +1,1 @@
+lib/ir/usedef.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/ir/usedef.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Cfg Dom Format Ir List Printf String

@@ -1,0 +1,103 @@
+(* Imperative construction of SSA functions.
+
+   The builder keeps a current block; every emission helper appends to it
+   and returns the operand naming the new value.  Loop back-edges are closed
+   with [add_incoming] after the body has been built. *)
+
+type t = {
+  func : Ir.func;
+  mutable cur : int;
+  mutable sealed : bool;
+}
+
+let create ~name ~nparams =
+  let func = Ir.create_func ~name in
+  let entry = Ir.add_block func ~name:"entry" Ir.Unreachable in
+  let params =
+    Array.init nparams (fun k ->
+        (Ir.append_instr func ~bid:entry.bid
+           ~name:(Printf.sprintf "arg%d" k)
+           (Ir.Param k))
+          .id)
+  in
+  func.param_ids <- params;
+  func.entry <- entry.bid;
+  { func; cur = entry.bid; sealed = false }
+
+let func b = b.func
+let current_block b = b.cur
+let param b k = Ir.Var b.func.param_ids.(k)
+
+let new_block b name =
+  let blk = Ir.add_block b.func ~name Ir.Unreachable in
+  blk.bid
+
+let set_block b bid = b.cur <- bid
+
+let emit ?(name = "v") b kind =
+  let i = Ir.append_instr b.func ~bid:b.cur ~name kind in
+  Ir.Var i.id
+
+(* Arithmetic / misc value producers ---------------------------------- *)
+
+let binop ?name b op x y = emit ?name b (Ir.Binop (op, x, y))
+let add ?name b x y = binop ?name b Ir.Add x y
+let sub ?name b x y = binop ?name b Ir.Sub x y
+let mul ?name b x y = binop ?name b Ir.Mul x y
+let cmp ?name b pred x y = emit ?name b (Ir.Cmp (pred, x, y))
+let select ?name b c x y = emit ?name b (Ir.Select (c, x, y))
+let load ?name b ty addr = emit ?name b (Ir.Load (ty, addr))
+let store b ty addr v = ignore (emit ~name:"st" b (Ir.Store (ty, addr, v)))
+let gep ?name b base index scale = emit ?name b (Ir.Gep { base; index; scale })
+let prefetch b addr = ignore (emit ~name:"pf" b (Ir.Prefetch addr))
+let alloc ?name b size = emit ?name b (Ir.Alloc size)
+
+let call ?name b ~pure callee args =
+  emit ?name b (Ir.Call { callee; args; pure })
+
+let phi ?name b incoming = emit ?name b (Ir.Phi incoming)
+
+let add_incoming b phi_op ~pred value =
+  match phi_op with
+  | Ir.Var id -> (
+      let i = Ir.instr b.func id in
+      match i.kind with
+      | Ir.Phi incoming -> i.kind <- Ir.Phi (incoming @ [ (pred, value) ])
+      | _ -> invalid_arg "Builder.add_incoming: not a phi")
+  | Ir.Imm _ | Ir.Fimm _ -> invalid_arg "Builder.add_incoming: not a phi"
+
+(* Terminators --------------------------------------------------------- *)
+
+let set_term b t = (Ir.block b.func b.cur).term <- t
+let br b target = set_term b (Ir.Br target)
+let cbr b c bthen belse = set_term b (Ir.Cbr (c, bthen, belse))
+let ret b v = set_term b (Ir.Ret v)
+
+let finish b =
+  b.sealed <- true;
+  b.func
+
+(* Structured helpers --------------------------------------------------- *)
+
+(* Counted loop [for iv = init; iv < bound; iv += step].  Calls [body]
+   with the induction variable while positioned inside the loop body
+   block, then closes the back edge.  Returns the exit block id, with the
+   builder positioned there. *)
+let counted_loop ?(name = "loop") b ~init ~bound ~step body =
+  let header = new_block b (name ^ ".head") in
+  let body_b = new_block b (name ^ ".body") in
+  let exit_b = new_block b (name ^ ".exit") in
+  let pred = current_block b in
+  br b header;
+  set_block b header;
+  let iv = phi ~name:(name ^ ".iv") b [ (pred, init) ] in
+  let c = cmp ~name:(name ^ ".cond") b Ir.Slt iv bound in
+  cbr b c body_b exit_b;
+  set_block b body_b;
+  body iv;
+  let next = add ~name:(name ^ ".next") b iv step in
+  let latch = current_block b in
+  br b header;
+  add_incoming b iv ~pred:latch next;
+  set_block b exit_b;
+  exit_b

@@ -1,0 +1,72 @@
+(** Imperative construction of SSA functions.
+
+    The builder keeps a {e current block}; each emission helper appends an
+    instruction there and returns the operand naming its value.  Loop
+    back-edges are closed with {!add_incoming} once the body exists. *)
+
+type t
+
+val create : name:string -> nparams:int -> t
+(** Fresh function with [nparams] parameters materialised in the entry
+    block. *)
+
+val func : t -> Ir.func
+(** The function under construction (also available before {!finish}). *)
+
+val current_block : t -> int
+val param : t -> int -> Ir.operand
+
+val new_block : t -> string -> int
+(** Create an (unterminated) block and return its id; does not move the
+    insertion point. *)
+
+val set_block : t -> int -> unit
+(** Move the insertion point. *)
+
+val emit : ?name:string -> t -> Ir.kind -> Ir.operand
+(** Append an arbitrary instruction to the current block. *)
+
+(** {1 Typed emission helpers} *)
+
+val binop : ?name:string -> t -> Ir.binop -> Ir.operand -> Ir.operand -> Ir.operand
+val add : ?name:string -> t -> Ir.operand -> Ir.operand -> Ir.operand
+val sub : ?name:string -> t -> Ir.operand -> Ir.operand -> Ir.operand
+val mul : ?name:string -> t -> Ir.operand -> Ir.operand -> Ir.operand
+val cmp : ?name:string -> t -> Ir.cmp -> Ir.operand -> Ir.operand -> Ir.operand
+val select : ?name:string -> t -> Ir.operand -> Ir.operand -> Ir.operand -> Ir.operand
+val load : ?name:string -> t -> Ir.ty -> Ir.operand -> Ir.operand
+val store : t -> Ir.ty -> Ir.operand -> Ir.operand -> unit
+val gep : ?name:string -> t -> Ir.operand -> Ir.operand -> int -> Ir.operand
+(** [gep b base index scale] emits address [base + index * scale]. *)
+
+val prefetch : t -> Ir.operand -> unit
+val alloc : ?name:string -> t -> Ir.operand -> Ir.operand
+val call : ?name:string -> t -> pure:bool -> string -> Ir.operand list -> Ir.operand
+val phi : ?name:string -> t -> (int * Ir.operand) list -> Ir.operand
+
+val add_incoming : t -> Ir.operand -> pred:int -> Ir.operand -> unit
+(** Append an incoming edge to a previously-created phi. *)
+
+(** {1 Terminators} *)
+
+val br : t -> int -> unit
+val cbr : t -> Ir.operand -> int -> int -> unit
+val ret : t -> Ir.operand option -> unit
+
+val finish : t -> Ir.func
+
+(** {1 Structured helpers} *)
+
+val counted_loop :
+  ?name:string ->
+  t ->
+  init:Ir.operand ->
+  bound:Ir.operand ->
+  step:Ir.operand ->
+  (Ir.operand -> unit) ->
+  int
+(** [counted_loop b ~init ~bound ~step body] builds the canonical loop
+    [for (iv = init; iv < bound; iv += step) body iv], leaves the builder
+    positioned in the exit block and returns that block's id.  [body] may
+    create additional blocks; the loop latch is whichever block is current
+    when [body] returns. *)

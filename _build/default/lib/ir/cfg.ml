@@ -1,0 +1,41 @@
+(* Control-flow graph queries over an [Ir.func]: predecessor lists and a
+   reverse-postorder numbering.  Built once per analysis; the pass rebuilds
+   analyses after mutating the function. *)
+
+type t = {
+  func : Ir.func;
+  preds : int list array;
+  succs : int list array;
+  rpo : int array;           (* rpo.(k) = block id in reverse postorder  *)
+  rpo_index : int array;     (* rpo_index.(bid) = k, or -1 if unreachable *)
+}
+
+let build (func : Ir.func) =
+  let n = Ir.n_blocks func in
+  let succs = Array.init n (fun b -> Ir.successors (Ir.block func b).term) in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun b ss -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss)
+    succs;
+  Array.iteri (fun b ps -> preds.(b) <- List.rev ps) preds;
+  (* Postorder DFS from the entry. *)
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs succs.(b);
+      post := b :: !post
+    end
+  in
+  dfs func.entry;
+  let rpo = Array.of_list !post in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun k b -> rpo_index.(b) <- k) rpo;
+  { func; preds; succs; rpo; rpo_index }
+
+let preds t b = t.preds.(b)
+let succs t b = t.succs.(b)
+let rpo t = t.rpo
+let rpo_index t b = t.rpo_index.(b)
+let reachable t b = t.rpo_index.(b) >= 0

@@ -1,0 +1,19 @@
+(** Control-flow graph queries: predecessors, successors and a reverse
+    postorder numbering of the reachable blocks. *)
+
+type t
+
+val build : Ir.func -> t
+(** Snapshot the CFG.  Invalidated by any mutation of the function's blocks
+    or terminators. *)
+
+val preds : t -> int -> int list
+val succs : t -> int -> int list
+
+val rpo : t -> int array
+(** Reachable block ids in reverse postorder (entry first). *)
+
+val rpo_index : t -> int -> int
+(** Position of a block in {!rpo}, or [-1] if unreachable. *)
+
+val reachable : t -> int -> bool

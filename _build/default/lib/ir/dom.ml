@@ -1,0 +1,75 @@
+(* Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm,
+   operating on the CFG's reverse-postorder numbering. *)
+
+type t = {
+  cfg : Cfg.t;
+  entry : int;
+  idom : int array; (* idom.(bid) = immediate dominator; entry maps to itself *)
+}
+
+let build (cfg : Cfg.t) =
+  let rpo = Cfg.rpo cfg in
+  let n_blocks = Array.fold_left (fun m b -> max m (b + 1)) 1 rpo in
+  let idom = Array.make n_blocks (-1) in
+  let entry = rpo.(0) in
+  idom.(entry) <- entry;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while Cfg.rpo_index cfg !f1 > Cfg.rpo_index cfg !f2 do
+        f1 := idom.(!f1)
+      done;
+      while Cfg.rpo_index cfg !f2 > Cfg.rpo_index cfg !f1 do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed = List.filter (fun p -> idom.(p) >= 0) (Cfg.preds cfg b) in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { cfg; entry; idom }
+
+let idom t b = if b = t.entry then None else Some t.idom.(b)
+
+let dominates t a b =
+  if not (Cfg.reachable t.cfg b) then false
+  else if a = b then true
+  else begin
+    let cur = ref b in
+    let result = ref false in
+    while (not !result) && !cur <> t.entry do
+      cur := t.idom.(!cur);
+      if !cur = a then result := true
+    done;
+    !result
+  end
+
+let def_dominates_use (func : Ir.func) t ~def ~use_at =
+  let di = Ir.instr func def and ui = Ir.instr func use_at in
+  if di.block <> ui.block then dominates t di.block ui.block
+  else begin
+    let b = Ir.block func di.block in
+    let dpos = ref (-1) and upos = ref (-1) in
+    Array.iteri
+      (fun k id ->
+        if id = def then dpos := k;
+        if id = use_at then upos := k)
+      b.instrs;
+    !dpos >= 0 && !upos >= 0 && !dpos < !upos
+  end

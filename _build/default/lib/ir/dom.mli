@@ -1,0 +1,16 @@
+(** Dominator tree (Cooper–Harvey–Kennedy). *)
+
+type t
+
+val build : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator of a block; [None] for the entry. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — block [a] dominates block [b] (reflexive). *)
+
+val def_dominates_use : Ir.func -> t -> def:int -> use_at:int -> bool
+(** Whether instruction [def]'s definition site strictly precedes
+    instruction [use_at] in program order (by block dominance, or by
+    within-block position when they share a block). *)

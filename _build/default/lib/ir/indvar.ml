@@ -1,0 +1,96 @@
+(* Canonical induction-variable recognition.
+
+   An induction variable is a phi in a loop header with exactly two incoming
+   edges: a loop-invariant initial value from outside the loop and
+   [phi + step] (constant step) from a latch.  When the loop's exit test is
+   a header comparison of the phi against a loop-invariant limit we record
+   that limit; the prefetching pass uses it as the clamp bound
+   ("max(iv.val)" in Algorithm 1, line 49). *)
+
+type ivar = {
+  iv_id : int; (* phi instruction id *)
+  loop_index : int;
+  init : Ir.operand;
+  step : int;
+  next_id : int; (* id of the increment instruction *)
+  bound : Ir.operand option; (* loop-invariant exit limit, if recognised *)
+  bound_cmp : Ir.cmp option; (* predicate used against [bound] *)
+}
+
+type t = { by_phi : (int, ivar) Hashtbl.t; all : ivar list }
+
+let is_loop_invariant (func : Ir.func) (l : Loops.loop) (o : Ir.operand) =
+  match o with
+  | Ir.Imm _ | Ir.Fimm _ -> true
+  | Ir.Var id -> not (Loops.contains l (Ir.instr func id).block)
+
+(* Match [phi + c] / [c + phi] / [phi - c]. *)
+let step_of (func : Ir.func) ~phi_id (o : Ir.operand) =
+  match o with
+  | Ir.Var id -> (
+      match (Ir.instr func id).kind with
+      | Ir.Binop (Ir.Add, Ir.Var p, Ir.Imm c) when p = phi_id -> Some (id, c)
+      | Ir.Binop (Ir.Add, Ir.Imm c, Ir.Var p) when p = phi_id -> Some (id, c)
+      | Ir.Binop (Ir.Sub, Ir.Var p, Ir.Imm c) when p = phi_id -> Some (id, -c)
+      | _ -> None)
+  | Ir.Imm _ | Ir.Fimm _ -> None
+
+(* Recognise the exit limit for [iv]: the header must end in a conditional
+   branch on [cmp pred iv limit] (or the symmetric form) with [limit]
+   loop-invariant. *)
+let bound_of (func : Ir.func) (l : Loops.loop) ~iv_id =
+  let header = Ir.block func l.header in
+  match header.term with
+  | Ir.Cbr (Ir.Var cid, _, _) -> (
+      match (Ir.instr func cid).kind with
+      | Ir.Cmp (pred, Ir.Var v, limit)
+        when v = iv_id && is_loop_invariant func l limit ->
+          (Some limit, Some pred)
+      | Ir.Cmp (pred, limit, Ir.Var v)
+        when v = iv_id && is_loop_invariant func l limit ->
+          let flipped =
+            match pred with
+            | Ir.Slt -> Ir.Sgt | Ir.Sle -> Ir.Sge
+            | Ir.Sgt -> Ir.Slt | Ir.Sge -> Ir.Sle
+            | Ir.Eq -> Ir.Eq | Ir.Ne -> Ir.Ne
+          in
+          (Some limit, Some flipped)
+      | _ -> (None, None))
+  | Ir.Cbr (_, _, _) | Ir.Br _ | Ir.Ret _ | Ir.Unreachable -> (None, None)
+
+let analyze (func : Ir.func) (_cfg : Cfg.t) (loops : Loops.t) =
+  let by_phi = Hashtbl.create 16 in
+  let all = ref [] in
+  Array.iter
+    (fun (l : Loops.loop) ->
+      let header = Ir.block func l.header in
+      Array.iter
+        (fun id ->
+          let i = Ir.instr func id in
+          match i.kind with
+          | Ir.Phi incoming when List.length incoming = 2 ->
+              let outside, inside =
+                List.partition (fun (p, _) -> not (Loops.contains l p)) incoming
+              in
+              (match (outside, inside) with
+              | [ (_, init) ], [ (_, loop_val) ]
+                when is_loop_invariant func l init -> (
+                  match step_of func ~phi_id:id loop_val with
+                  | Some (next_id, step) when step <> 0 ->
+                      let bound, bound_cmp = bound_of func l ~iv_id:id in
+                      let iv =
+                        { iv_id = id; loop_index = l.index; init; step;
+                          next_id; bound; bound_cmp }
+                      in
+                      Hashtbl.replace by_phi id iv;
+                      all := iv :: !all
+                  | Some _ | None -> ())
+              | _ -> ())
+          | _ -> ())
+        header.instrs)
+    (Loops.loops loops);
+  { by_phi; all = List.rev !all }
+
+let ivars t = t.all
+let ivar_of t id = Hashtbl.find_opt t.by_phi id
+let is_ivar t id = Hashtbl.mem t.by_phi id

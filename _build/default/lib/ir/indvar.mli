@@ -1,0 +1,30 @@
+(** Canonical induction-variable recognition.
+
+    An induction variable is a header phi with a loop-invariant initial
+    value and a constant-step increment along the back edge.  If the loop
+    exits via a header comparison of the phi against a loop-invariant limit,
+    the limit is recorded — the prefetching pass clamps look-ahead indices
+    against it (Algorithm 1, line 49). *)
+
+type ivar = {
+  iv_id : int;  (** the phi's instruction id *)
+  loop_index : int;
+  init : Ir.operand;
+  step : int;
+  next_id : int;  (** the increment instruction's id *)
+  bound : Ir.operand option;  (** loop-invariant exit limit, if recognised *)
+  bound_cmp : Ir.cmp option;  (** predicate comparing the phi to [bound] *)
+}
+
+type t
+
+val analyze : Ir.func -> Cfg.t -> Loops.t -> t
+
+val ivars : t -> ivar list
+val ivar_of : t -> int -> ivar option
+(** The induction variable whose phi has the given instruction id. *)
+
+val is_ivar : t -> int -> bool
+
+val is_loop_invariant : Ir.func -> Loops.loop -> Ir.operand -> bool
+(** Whether an operand's value cannot change between iterations of [loop]. *)

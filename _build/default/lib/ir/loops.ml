@@ -1,0 +1,116 @@
+(* Natural-loop detection.  A back edge is an edge n->h where h dominates n;
+   the loop body is everything that reaches n without passing through h.
+   Loops sharing a header are merged.  Nesting is recovered by block-set
+   inclusion. *)
+
+type loop = {
+  index : int;
+  header : int;
+  member : bool array; (* membership, indexed by block id *)
+  latches : int list;
+  preheader : int option;
+  mutable parent : int option; (* index of the innermost enclosing loop *)
+  mutable depth : int; (* 1 for outermost *)
+}
+
+type t = {
+  loops : loop array;
+  innermost_of : int option array; (* per block id *)
+}
+
+let analyze (func : Ir.func) (cfg : Cfg.t) (dom : Dom.t) =
+  let n = Ir.n_blocks func in
+  (* Collect back edges grouped by header. *)
+  let by_header = Hashtbl.create 8 in
+  for b = 0 to n - 1 do
+    if Cfg.reachable cfg b then
+      List.iter
+        (fun s ->
+          if Dom.dominates dom s b then
+            Hashtbl.replace by_header s (b :: (try Hashtbl.find by_header s with Not_found -> [])))
+        (Cfg.succs cfg b)
+  done;
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] in
+  let headers = List.sort compare headers in
+  let make_loop index header =
+    let latches = List.rev (Hashtbl.find by_header header) in
+    let member = Array.make n false in
+    member.(header) <- true;
+    let rec mark b =
+      if not member.(b) then begin
+        member.(b) <- true;
+        List.iter mark (Cfg.preds cfg b)
+      end
+    in
+    List.iter mark latches;
+    let preheader =
+      match List.filter (fun p -> not member.(p)) (Cfg.preds cfg header) with
+      | [ p ] -> Some p
+      | _ -> None
+    in
+    { index; header; member; latches; preheader; parent = None; depth = 1 }
+  in
+  let loops = Array.of_list (List.mapi make_loop headers) in
+  (* Parent = smallest strictly containing loop (by block count). *)
+  let size l = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 l.member in
+  let sizes = Array.map size loops in
+  Array.iteri
+    (fun i li ->
+      let best = ref None in
+      Array.iteri
+        (fun j lj ->
+          if i <> j && lj.member.(li.header) && (sizes.(j) > sizes.(i)
+             || (sizes.(j) = sizes.(i) && not li.member.(lj.header)))
+          then
+            match !best with
+            | Some k when sizes.(k) <= sizes.(j) -> ()
+            | _ -> best := Some j)
+        loops;
+      li.parent <- !best)
+    loops;
+  let rec depth_of l =
+    match l.parent with None -> 1 | Some p -> 1 + depth_of loops.(p)
+  in
+  Array.iter (fun l -> l.depth <- depth_of l) loops;
+  (* Innermost loop per block: the containing loop of maximal depth. *)
+  let innermost_of = Array.make n None in
+  for b = 0 to n - 1 do
+    Array.iter
+      (fun l ->
+        if l.member.(b) then
+          match innermost_of.(b) with
+          | Some k when loops.(k).depth >= l.depth -> ()
+          | _ -> innermost_of.(b) <- Some l.index)
+      loops
+  done;
+  { loops; innermost_of }
+
+let loops t = t.loops
+let loop t i = t.loops.(i)
+let innermost t bid = t.innermost_of.(bid)
+let in_any_loop t bid = t.innermost_of.(bid) <> None
+let contains l bid = bid < Array.length l.member && l.member.(bid)
+
+let loop_depth t bid =
+  match t.innermost_of.(bid) with None -> 0 | Some i -> t.loops.(i).depth
+
+(* All loops containing [bid], innermost first. *)
+let loops_containing t bid =
+  let rec chain i =
+    let l = t.loops.(i) in
+    l :: (match l.parent with None -> [] | Some p -> chain p)
+  in
+  match t.innermost_of.(bid) with None -> [] | Some i -> chain i
+
+(* Exit edges of a loop: (from-block, to-block) with [from] inside and [to]
+   outside. *)
+let exit_edges cfg l =
+  let acc = ref [] in
+  Array.iteri
+    (fun b inside ->
+      if inside then
+        List.iter
+          (fun s -> if not (contains l s) then acc := (b, s) :: !acc)
+          (Cfg.succs cfg b))
+    l.member;
+  List.rev !acc

@@ -1,0 +1,31 @@
+(** Natural-loop detection and loop-nest queries. *)
+
+type loop = {
+  index : int;  (** position in {!loops} *)
+  header : int;
+  member : bool array;  (** block membership, indexed by block id *)
+  latches : int list;  (** back-edge sources *)
+  preheader : int option;  (** unique out-of-loop predecessor, if any *)
+  mutable parent : int option;  (** innermost enclosing loop index *)
+  mutable depth : int;  (** 1 for outermost loops *)
+}
+
+type t
+
+val analyze : Ir.func -> Cfg.t -> Dom.t -> t
+
+val loops : t -> loop array
+val loop : t -> int -> loop
+val innermost : t -> int -> int option
+(** Innermost loop containing block [bid], if any. *)
+
+val in_any_loop : t -> int -> bool
+val contains : loop -> int -> bool
+val loop_depth : t -> int -> int
+(** Nesting depth of a block (0 when outside all loops). *)
+
+val loops_containing : t -> int -> loop list
+(** Loops containing a block, innermost first. *)
+
+val exit_edges : Cfg.t -> loop -> (int * int) list
+(** Edges leaving the loop as [(from, to)] pairs. *)

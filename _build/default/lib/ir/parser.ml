@@ -1,0 +1,386 @@
+(* Parser for the textual IR syntax emitted by {!Printer}, so functions can
+   round-trip through text — used by golden tests and for writing kernels
+   by hand.  The concrete syntax is line-oriented:
+
+     func NAME (2 params, entry bb0) {
+     bb0 (entry):
+       %arg0.0 = param 0
+       ...
+       br bb1
+     bb1 (loop.head):
+       %i.2 = phi [bb0: #0], [bb2: %next.9]
+       ...
+     }
+
+   Instruction ids are explicit in the text (%name.ID), so parsing
+   reconstructs the exact instruction table. *)
+
+exception Parse_error of { line : int; msg : string }
+
+let fail ~line fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenising helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* "%name.id" -> id; also accepts bare "%id". *)
+let parse_var ~line w =
+  if String.length w < 2 || w.[0] <> '%' then fail ~line "expected %%var, got %S" w
+  else begin
+    let body = String.sub w 1 (String.length w - 1) in
+    let id_str =
+      match String.rindex_opt body '.' with
+      | Some k -> String.sub body (k + 1) (String.length body - k - 1)
+      | None -> body
+    in
+    match int_of_string_opt id_str with
+    | Some id -> id
+    | None -> fail ~line "bad instruction id in %S" w
+  end
+
+let var_name w =
+  (* "%name.id" -> "name" *)
+  let body = String.sub w 1 (String.length w - 1) in
+  match String.rindex_opt body '.' with
+  | Some k -> String.sub body 0 k
+  | None -> body
+
+let looks_float s =
+  String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') s
+
+let parse_operand ~line w : Ir.operand =
+  let w = if String.length w > 0 && w.[String.length w - 1] = ',' then String.sub w 0 (String.length w - 1) else w in
+  if w = "" then fail ~line "empty operand"
+  else if w.[0] = '#' then begin
+    let body = String.sub w 1 (String.length w - 1) in
+    if looks_float body then
+      match float_of_string_opt body with
+      | Some f -> Ir.Fimm f
+      | None -> fail ~line "bad float immediate %S" w
+    else
+      match int_of_string_opt body with
+      | Some n -> Ir.Imm n
+      | None -> (
+          match float_of_string_opt body with
+          | Some f -> Ir.Fimm f
+          | None -> fail ~line "bad immediate %S" w)
+  end
+  else if w.[0] = '%' then Ir.Var (parse_var ~line w)
+  else fail ~line "expected operand, got %S" w
+
+let parse_block_ref ~line w =
+  let w =
+    String.to_seq w
+    |> Seq.filter (fun c -> c <> ',' && c <> ':')
+    |> String.of_seq
+  in
+  if String.length w > 2 && String.sub w 0 2 = "bb" then
+    match int_of_string_opt (String.sub w 2 (String.length w - 2)) with
+    | Some b -> b
+    | None -> fail ~line "bad block reference %S" w
+  else fail ~line "expected bbN, got %S" w
+
+let ty_of_string ~line = function
+  | "i8" -> Ir.I8
+  | "i16" -> Ir.I16
+  | "i32" -> Ir.I32
+  | "i64" -> Ir.I64
+  | "f64" -> Ir.F64
+  | s -> fail ~line "unknown type %S" s
+
+let strip_comma w =
+  if String.length w > 0 && w.[String.length w - 1] = ',' then
+    String.sub w 0 (String.length w - 1)
+  else w
+
+let binop_of_string = function
+  | "add" -> Some Ir.Add | "sub" -> Some Ir.Sub | "mul" -> Some Ir.Mul
+  | "sdiv" -> Some Ir.Sdiv | "srem" -> Some Ir.Srem
+  | "and" -> Some Ir.And | "or" -> Some Ir.Or | "xor" -> Some Ir.Xor
+  | "shl" -> Some Ir.Shl | "lshr" -> Some Ir.Lshr | "ashr" -> Some Ir.Ashr
+  | "smin" -> Some Ir.Smin | "smax" -> Some Ir.Smax
+  | "fadd" -> Some Ir.Fadd | "fsub" -> Some Ir.Fsub
+  | "fmul" -> Some Ir.Fmul | "fdiv" -> Some Ir.Fdiv
+  | _ -> None
+
+let cmp_of_string ~line = function
+  | "eq" -> Ir.Eq | "ne" -> Ir.Ne | "slt" -> Ir.Slt
+  | "sle" -> Ir.Sle | "sgt" -> Ir.Sgt | "sge" -> Ir.Sge
+  | s -> fail ~line "unknown comparison %S" s
+
+(* Parse the phi incoming list "[bb0: v], [bb2: v]" from the raw rhs. *)
+let parse_phi_incoming ~line rhs =
+  (* Split on '[' ... ']' groups. *)
+  let groups = ref [] in
+  let n = String.length rhs in
+  let i = ref 0 in
+  while !i < n do
+    if rhs.[!i] = '[' then begin
+      match String.index_from_opt rhs !i ']' with
+      | None -> fail ~line "unterminated phi group"
+      | Some j ->
+          groups := String.sub rhs (!i + 1) (j - !i - 1) :: !groups;
+          i := j + 1
+    end
+    else incr i
+  done;
+  List.rev_map
+    (fun g ->
+      match String.split_on_char ':' g with
+      | [ blk; v ] ->
+          let blk = String.trim blk and v = String.trim v in
+          (parse_block_ref ~line blk, parse_operand ~line v)
+      | _ -> fail ~line "bad phi group [%s]" g)
+    !groups
+
+(* Parse a call "call [pure] f(a, b)" rhs. *)
+let parse_call ~line rhs =
+  let rhs = String.trim rhs in
+  let pure, rhs =
+    if String.length rhs >= 5 && String.sub rhs 0 5 = "pure " then
+      (true, String.sub rhs 5 (String.length rhs - 5))
+    else (false, rhs)
+  in
+  match String.index_opt rhs '(' with
+  | None -> fail ~line "call without argument list"
+  | Some k ->
+      let callee = String.trim (String.sub rhs 0 k) in
+      let close =
+        match String.rindex_opt rhs ')' with
+        | Some c -> c
+        | None -> fail ~line "call without closing paren"
+      in
+      let args_str = String.sub rhs (k + 1) (close - k - 1) in
+      let args =
+        String.split_on_char ',' args_str
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map (parse_operand ~line)
+      in
+      Ir.Call { callee; args; pure }
+
+let parse_kind ~line (rhs : string) : Ir.kind =
+  let words = split_words rhs in
+  match words with
+  | [] -> fail ~line "empty instruction"
+  | op :: rest -> (
+      match (binop_of_string op, rest) with
+      | Some b, [ x; y ] -> Ir.Binop (b, parse_operand ~line x, parse_operand ~line y)
+      | Some _, _ -> fail ~line "binop expects two operands"
+      | None, _ -> (
+          match (op, rest) with
+          | "cmp", [ pred; x; y ] ->
+              Ir.Cmp (cmp_of_string ~line pred, parse_operand ~line x, parse_operand ~line y)
+          | "select", [ c; x; y ] ->
+              Ir.Select (parse_operand ~line c, parse_operand ~line x, parse_operand ~line y)
+          | "load", [ ty; a ] ->
+              Ir.Load (ty_of_string ~line (strip_comma ty), parse_operand ~line a)
+          | "store", [ ty; v; "->"; a ] ->
+              Ir.Store (ty_of_string ~line ty, parse_operand ~line a, parse_operand ~line v)
+          | "gep", [ base; index; "x"; scale ] -> (
+              match int_of_string_opt scale with
+              | Some s ->
+                  Ir.Gep
+                    { base = parse_operand ~line base;
+                      index = parse_operand ~line index;
+                      scale = s }
+              | None -> fail ~line "bad gep scale %S" scale)
+          | "phi", _ -> Ir.Phi (parse_phi_incoming ~line rhs)
+          | "call", _ ->
+              parse_call ~line (String.sub rhs 4 (String.length rhs - 4))
+          | "prefetch", [ a ] -> Ir.Prefetch (parse_operand ~line a)
+          | "alloc", [ a ] -> Ir.Alloc (parse_operand ~line a)
+          | "param", [ k ] -> (
+              match int_of_string_opt k with
+              | Some k -> Ir.Param k
+              | None -> fail ~line "bad param index %S" k)
+          | _ -> fail ~line "cannot parse instruction %S" rhs))
+
+let parse_terminator ~line words : Ir.terminator =
+  match words with
+  | [ "br"; b ] -> Ir.Br (parse_block_ref ~line b)
+  | [ "cbr"; c; b1; b2 ] ->
+      Ir.Cbr (parse_operand ~line c, parse_block_ref ~line b1, parse_block_ref ~line b2)
+  | [ "ret" ] -> Ir.Ret None
+  | [ "ret"; v ] -> Ir.Ret (Some (parse_operand ~line v))
+  | [ "unreachable" ] -> Ir.Unreachable
+  | _ -> fail ~line "cannot parse terminator %S" (String.concat " " words)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pending_block = {
+  pbid : int;
+  pname : string;
+  mutable pinstrs : (int * string * Ir.kind) list; (* id, name, kind *)
+  mutable pterm : Ir.terminator option;
+}
+
+let parse (text : string) : Ir.func =
+  let lines = String.split_on_char '\n' text in
+  let fname = ref "f" in
+  let entry = ref 0 in
+  let blocks : pending_block list ref = ref [] in
+  let current : pending_block option ref = ref None in
+  List.iteri
+    (fun lineno raw ->
+      let line = lineno + 1 in
+      let s = String.trim raw in
+      if s = "" || s = "}" then ()
+      else if String.length s >= 5 && String.sub s 0 5 = "func " then begin
+        (match split_words s with
+        | "func" :: name :: _ -> fname := name
+        | _ -> fail ~line "bad func header");
+        (* entry block: "... entry bbK) {" *)
+        let needle = "entry " in
+        let pos = ref None in
+        for k = 0 to String.length s - String.length needle do
+          if !pos = None && String.sub s k (String.length needle) = needle then
+            pos := Some k
+        done;
+        match !pos with
+        | Some k -> (
+            let tail =
+              String.sub s
+                (k + String.length needle)
+                (String.length s - k - String.length needle)
+            in
+            match split_words tail with
+            | w :: _ ->
+                entry :=
+                  (try
+                     parse_block_ref ~line
+                       (String.concat "" (String.split_on_char ')' w))
+                   with _ -> 0)
+            | [] -> ())
+        | None -> ()
+      end
+      else if String.length s >= 2 && String.sub s 0 2 = "bb"
+              && String.contains s ':' then begin
+        (* "bbN (name):" *)
+        let words = split_words s in
+        match words with
+        | bb :: rest ->
+            let bid = parse_block_ref ~line bb in
+            let bname =
+              match rest with
+              | name :: _ ->
+                  String.to_seq name
+                  |> Seq.filter (fun c -> c <> '(' && c <> ')' && c <> ':')
+                  |> String.of_seq
+              | [] -> Printf.sprintf "bb%d" bid
+            in
+            let pb = { pbid = bid; pname = bname; pinstrs = []; pterm = None } in
+            blocks := pb :: !blocks;
+            current := Some pb
+        | [] -> ()
+      end
+      else begin
+        let pb =
+          match !current with
+          | Some pb -> pb
+          | None -> fail ~line "instruction outside any block"
+        in
+        if String.length s > 0 && s.[0] = '%' then begin
+          (* "%name.id = kind" *)
+          match String.index_opt s '=' with
+          | None -> fail ~line "expected '=' in %S" s
+          | Some k ->
+              let lhs = String.trim (String.sub s 0 k) in
+              let rhs = String.trim (String.sub s (k + 1) (String.length s - k - 1)) in
+              let id = parse_var ~line lhs in
+              let name = var_name lhs in
+              pb.pinstrs <- (id, name, parse_kind ~line rhs) :: pb.pinstrs
+        end
+        else begin
+          let words = split_words s in
+          match words with
+          | ("br" | "cbr" | "ret" | "unreachable") :: _ ->
+              pb.pterm <- Some (parse_terminator ~line words)
+          | ("store" | "prefetch") :: _ ->
+              (* value-less instructions are printed without an id; assign
+                 a fresh one after parsing (below) via id -1 *)
+              pb.pinstrs <- (-1, "st", parse_kind ~line s) :: pb.pinstrs
+          | _ -> fail ~line "cannot parse line %S" s
+        end
+      end)
+    lines;
+  let blocks = List.rev !blocks in
+  if blocks = [] then fail ~line:0 "no blocks";
+  (* Assign ids to value-less instructions that were printed without one:
+     give them ids after the maximum explicit id. *)
+  let max_id = ref (-1) in
+  List.iter
+    (fun pb ->
+      List.iter (fun (id, _, _) -> if id > !max_id then max_id := id) pb.pinstrs)
+    blocks;
+  let next_anon = ref (!max_id + 1) in
+  let func = Ir.create_func ~name:!fname in
+  let n_blocks = List.fold_left (fun m pb -> max m (pb.pbid + 1)) 0 blocks in
+  (* Create blocks in id order. *)
+  let by_id = Array.make n_blocks None in
+  List.iter (fun pb -> by_id.(pb.pbid) <- Some pb) blocks;
+  Array.iteri
+    (fun bid slot ->
+      match slot with
+      | None -> ignore (Ir.add_block func ~name:(Printf.sprintf "bb%d" bid) Ir.Unreachable)
+      | Some pb ->
+          ignore
+            (Ir.add_block func ~name:pb.pname
+               (Option.value pb.pterm ~default:Ir.Unreachable)))
+    by_id;
+  (* Materialise instructions with their explicit ids. *)
+  let place (pb : pending_block) =
+    let ids =
+      List.rev_map
+        (fun (id, name, kind) ->
+          let id = if id >= 0 then id else begin
+            let a = !next_anon in
+            incr next_anon;
+            a
+          end
+          in
+          (* fresh_instr assigns sequential ids; we need explicit ones, so
+             pad the table up to [id] first. *)
+          while Ir.n_instrs func <= id do
+            ignore
+              (Ir.fresh_instr func ~name:"pad" ~block:pb.pbid
+                 (Ir.Binop (Ir.Add, Ir.Imm 0, Ir.Imm 0)))
+          done;
+          let i = Ir.instr func id in
+          i.Ir.kind <- kind;
+          i.Ir.name <- name;
+          i.Ir.block <- pb.pbid;
+          id)
+        pb.pinstrs
+    in
+    (Ir.block func pb.pbid).Ir.instrs <- Array.of_list ids
+  in
+  List.iter place blocks;
+  func.Ir.entry <- !entry;
+  (* Parameters, in index order. *)
+  let params = ref [] in
+  Ir.iter_instrs func (fun i ->
+      match i.Ir.kind with
+      | Ir.Param k -> params := (k, i.Ir.id) :: !params
+      | _ -> ());
+  func.Ir.param_ids <-
+    Array.of_list
+      (List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !params));
+  func
+
+let parse_exn = parse
+
+let parse_result text =
+  match parse text with
+  | f -> Ok f
+  | exception Parse_error { line; msg } ->
+      Error (Printf.sprintf "line %d: %s" line msg)

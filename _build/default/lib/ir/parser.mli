@@ -1,0 +1,12 @@
+(** Parser for the textual IR syntax emitted by {!Printer}, enabling
+    text round-trips (golden tests) and hand-written kernels. *)
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> Ir.func
+(** @raise Parse_error on malformed input. *)
+
+val parse_exn : string -> Ir.func
+(** Alias of {!parse}. *)
+
+val parse_result : string -> (Ir.func, string) result

@@ -1,0 +1,77 @@
+(* Human-readable IR dumps in an LLVM-flavoured syntax, e.g.
+
+     loop.body:
+       %t3 = gep %b, %t2 x 4
+       %t4 = load i32, %t3
+       ... *)
+
+let pp_operand (func : Ir.func) fmt (o : Ir.operand) =
+  match o with
+  | Ir.Imm n -> Format.fprintf fmt "#%d" n
+  | Ir.Fimm x -> Format.fprintf fmt "#%g" x
+  | Ir.Var id ->
+      let i = Ir.instr func id in
+      Format.fprintf fmt "%%%s.%d" i.name i.id
+
+let pp_kind func fmt (k : Ir.kind) =
+  let op = pp_operand func in
+  match k with
+  | Ir.Binop (b, x, y) ->
+      Format.fprintf fmt "%s %a, %a" (Ir.string_of_binop b) op x op y
+  | Ir.Cmp (c, x, y) ->
+      Format.fprintf fmt "cmp %s %a, %a" (Ir.string_of_cmp c) op x op y
+  | Ir.Select (c, x, y) ->
+      Format.fprintf fmt "select %a, %a, %a" op c op x op y
+  | Ir.Load (ty, a) ->
+      Format.fprintf fmt "load %s, %a" (Ir.string_of_ty ty) op a
+  | Ir.Store (ty, a, v) ->
+      Format.fprintf fmt "store %s %a -> %a" (Ir.string_of_ty ty) op v op a
+  | Ir.Gep { base; index; scale } ->
+      Format.fprintf fmt "gep %a, %a x %d" op base op index scale
+  | Ir.Phi incoming ->
+      Format.fprintf fmt "phi %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           (fun fmt (b, v) -> Format.fprintf fmt "[bb%d: %a]" b op v))
+        incoming
+  | Ir.Call { callee; args; pure } ->
+      Format.fprintf fmt "call%s %s(%a)"
+        (if pure then " pure" else "")
+        callee
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           op)
+        args
+  | Ir.Prefetch a -> Format.fprintf fmt "prefetch %a" op a
+  | Ir.Alloc sz -> Format.fprintf fmt "alloc %a" op sz
+  | Ir.Param i -> Format.fprintf fmt "param %d" i
+
+let pp_terminator func fmt (t : Ir.terminator) =
+  let op = pp_operand func in
+  match t with
+  | Ir.Br b -> Format.fprintf fmt "br bb%d" b
+  | Ir.Cbr (c, b1, b2) -> Format.fprintf fmt "cbr %a, bb%d, bb%d" op c b1 b2
+  | Ir.Ret None -> Format.fprintf fmt "ret"
+  | Ir.Ret (Some v) -> Format.fprintf fmt "ret %a" op v
+  | Ir.Unreachable -> Format.fprintf fmt "unreachable"
+
+let pp_instr func fmt (i : Ir.instr) =
+  if Ir.defines_value i.kind then
+    Format.fprintf fmt "%%%s.%d = %a" i.name i.id (pp_kind func) i.kind
+  else pp_kind func fmt i.kind
+
+let pp_block func fmt (b : Ir.block) =
+  Format.fprintf fmt "bb%d (%s):@." b.bid b.bname;
+  Array.iter
+    (fun id -> Format.fprintf fmt "  %a@." (pp_instr func) (Ir.instr func id))
+    b.instrs;
+  Format.fprintf fmt "  %a@." (pp_terminator func) b.term
+
+let pp_func fmt (f : Ir.func) =
+  Format.fprintf fmt "func %s (%d params, entry bb%d) {@."
+    f.fname (Array.length f.param_ids) f.entry;
+  Ir.iter_blocks f (fun b -> pp_block f fmt b);
+  Format.fprintf fmt "}@."
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+let instr_to_string f i = Format.asprintf "%a" (pp_instr f) i

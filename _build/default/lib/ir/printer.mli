@@ -1,0 +1,11 @@
+(** Human-readable IR dumps in an LLVM-flavoured syntax. *)
+
+val pp_operand : Ir.func -> Format.formatter -> Ir.operand -> unit
+val pp_kind : Ir.func -> Format.formatter -> Ir.kind -> unit
+val pp_terminator : Ir.func -> Format.formatter -> Ir.terminator -> unit
+val pp_instr : Ir.func -> Format.formatter -> Ir.instr -> unit
+val pp_block : Ir.func -> Format.formatter -> Ir.block -> unit
+val pp_func : Format.formatter -> Ir.func -> unit
+
+val func_to_string : Ir.func -> string
+val instr_to_string : Ir.func -> Ir.instr -> string

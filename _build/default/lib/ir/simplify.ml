@@ -1,0 +1,119 @@
+(* Scalar simplifications: constant folding and dead-code elimination.
+
+   Run after the prefetching pass (it can leave unused address-generation
+   clones when a duplicate-line prefetch is elided) and available to any IR
+   producer.  Both transforms iterate to a fixed point. *)
+
+(* Evaluate a constant-operand instruction, mirroring the interpreter's
+   integer semantics.  Floats are folded only for exact operations. *)
+let fold_kind (k : Ir.kind) : Ir.operand option =
+  match k with
+  | Ir.Binop (op, Ir.Imm a, Ir.Imm b) -> (
+      match op with
+      | Ir.Add -> Some (Ir.Imm (a + b))
+      | Ir.Sub -> Some (Ir.Imm (a - b))
+      | Ir.Mul -> Some (Ir.Imm (a * b))
+      | Ir.Sdiv -> if b = 0 then None else Some (Ir.Imm (a / b))
+      | Ir.Srem -> if b = 0 then None else Some (Ir.Imm (a mod b))
+      | Ir.And -> Some (Ir.Imm (a land b))
+      | Ir.Or -> Some (Ir.Imm (a lor b))
+      | Ir.Xor -> Some (Ir.Imm (a lxor b))
+      | Ir.Shl -> if b < 0 || b > 62 then None else Some (Ir.Imm (a lsl b))
+      | Ir.Lshr -> if b < 0 || b > 62 then None else Some (Ir.Imm (a lsr b))
+      | Ir.Ashr -> if b < 0 || b > 62 then None else Some (Ir.Imm (a asr b))
+      | Ir.Smin -> Some (Ir.Imm (min a b))
+      | Ir.Smax -> Some (Ir.Imm (max a b))
+      | Ir.Fadd | Ir.Fsub | Ir.Fmul | Ir.Fdiv -> None)
+  | Ir.Cmp (pred, Ir.Imm a, Ir.Imm b) ->
+      let r =
+        match pred with
+        | Ir.Eq -> a = b
+        | Ir.Ne -> a <> b
+        | Ir.Slt -> a < b
+        | Ir.Sle -> a <= b
+        | Ir.Sgt -> a > b
+        | Ir.Sge -> a >= b
+      in
+      Some (Ir.Imm (if r then 1 else 0))
+  | Ir.Select (Ir.Imm c, a, b) -> Some (if c <> 0 then a else b)
+  | Ir.Gep { base = Ir.Imm b; index = Ir.Imm i; scale } ->
+      Some (Ir.Imm (b + (i * scale)))
+  (* Algebraic identities. *)
+  | Ir.Binop (Ir.Add, x, Ir.Imm 0) | Ir.Binop (Ir.Add, Ir.Imm 0, x) -> Some x
+  | Ir.Binop (Ir.Sub, x, Ir.Imm 0) -> Some x
+  | Ir.Binop (Ir.Mul, x, Ir.Imm 1) | Ir.Binop (Ir.Mul, Ir.Imm 1, x) -> Some x
+  | Ir.Binop (Ir.Mul, _, Ir.Imm 0) | Ir.Binop (Ir.Mul, Ir.Imm 0, _) ->
+      Some (Ir.Imm 0)
+  | Ir.Binop ((Ir.Or | Ir.Xor), x, Ir.Imm 0)
+  | Ir.Binop ((Ir.Or | Ir.Xor), Ir.Imm 0, x) -> Some x
+  | Ir.Binop ((Ir.Shl | Ir.Lshr | Ir.Ashr), x, Ir.Imm 0) -> Some x
+  | Ir.Gep { base; index = Ir.Imm 0; _ } -> Some base
+  | _ -> None
+
+(* Replace every use of [id] (instruction operands and terminators) with
+   [replacement]. *)
+let replace_uses (func : Ir.func) ~id ~replacement =
+  let subst (o : Ir.operand) =
+    match o with Ir.Var v when v = id -> replacement | _ -> o
+  in
+  Ir.iter_instrs func (fun i -> i.Ir.kind <- Ir.map_srcs subst i.Ir.kind);
+  Ir.iter_blocks func (fun b ->
+      b.Ir.term <-
+        (match b.Ir.term with
+        | Ir.Cbr (c, t, e) -> Ir.Cbr (subst c, t, e)
+        | Ir.Ret (Some v) -> Ir.Ret (Some (subst v))
+        | (Ir.Br _ | Ir.Ret None | Ir.Unreachable) as t -> t))
+
+(* One constant-folding sweep; returns how many instructions were folded
+   away. *)
+let constant_fold_once (func : Ir.func) =
+  let folded = ref 0 in
+  Ir.iter_instrs func (fun i ->
+      match i.Ir.kind with
+      | Ir.Phi _ | Ir.Load _ | Ir.Store _ | Ir.Call _ | Ir.Prefetch _
+      | Ir.Alloc _ | Ir.Param _ -> ()
+      | _ -> (
+          match fold_kind i.Ir.kind with
+          | Some replacement ->
+              replace_uses func ~id:i.Ir.id ~replacement;
+              Ir.remove_instr func i.Ir.id;
+              incr folded
+          | None -> ()));
+  !folded
+
+let constant_fold (func : Ir.func) =
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let n = constant_fold_once func in
+    total := !total + n;
+    continue_ := n > 0
+  done;
+  !total
+
+(* Dead-code elimination: drop value-producing, side-effect-free
+   instructions with no uses, to a fixed point.  Parameters survive even
+   when unused (they are the calling convention). *)
+let dce (func : Ir.func) =
+  let removed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let uses = Usedef.build func in
+    let dead = ref [] in
+    Ir.iter_instrs func (fun i ->
+        if
+          Ir.defines_value i.Ir.kind
+          && (not (Ir.has_side_effect i.Ir.kind))
+          && Usedef.n_uses uses i.Ir.id = 0
+          && not (Array.mem i.Ir.id func.Ir.param_ids)
+        then dead := i.Ir.id :: !dead);
+    List.iter (fun id -> Ir.remove_instr func id) !dead;
+    removed := !removed + List.length !dead;
+    continue_ := !dead <> []
+  done;
+  !removed
+
+let simplify func =
+  let f = constant_fold func in
+  let d = dce func in
+  (f, d)

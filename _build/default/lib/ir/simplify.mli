@@ -1,0 +1,13 @@
+(** Scalar simplifications: constant folding (with basic algebraic
+    identities) and dead-code elimination, each run to a fixed point. *)
+
+val constant_fold : Ir.func -> int
+(** Fold constant-operand arithmetic/compares/selects/geps, rewriting all
+    uses; returns the number of instructions eliminated. *)
+
+val dce : Ir.func -> int
+(** Remove unused, side-effect-free value definitions (parameters are
+    kept); returns the number of instructions removed. *)
+
+val simplify : Ir.func -> int * int
+(** [constant_fold] then [dce]; returns both counts. *)

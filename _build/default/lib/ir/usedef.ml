@@ -1,0 +1,31 @@
+(* Def-use chains: for every instruction id, the ids of instructions (and
+   terminators, represented by their block) that read it. *)
+
+type t = {
+  uses : int list array; (* instruction ids using this def *)
+  term_uses : int list array; (* block ids whose terminator uses this def *)
+}
+
+let build (func : Ir.func) =
+  let n = Ir.n_instrs func in
+  let uses = Array.make n [] in
+  let term_uses = Array.make n [] in
+  Ir.iter_instrs func (fun i ->
+      List.iter
+        (function
+          | Ir.Var v -> uses.(v) <- i.id :: uses.(v)
+          | Ir.Imm _ | Ir.Fimm _ -> ())
+        (Ir.srcs i.kind));
+  Ir.iter_blocks func (fun b ->
+      List.iter
+        (function
+          | Ir.Var v -> term_uses.(v) <- b.bid :: term_uses.(v)
+          | Ir.Imm _ | Ir.Fimm _ -> ())
+        (Ir.term_srcs b.term));
+  Array.iteri (fun k l -> uses.(k) <- List.rev l) uses;
+  Array.iteri (fun k l -> term_uses.(k) <- List.rev l) term_uses;
+  { uses; term_uses }
+
+let uses t id = t.uses.(id)
+let term_uses t id = t.term_uses.(id)
+let n_uses t id = List.length t.uses.(id) + List.length t.term_uses.(id)

@@ -1,0 +1,13 @@
+(** Def-use chains. *)
+
+type t
+
+val build : Ir.func -> t
+
+val uses : t -> int -> int list
+(** Instruction ids that read the given definition. *)
+
+val term_uses : t -> int -> int list
+(** Block ids whose terminator reads the given definition. *)
+
+val n_uses : t -> int -> int

@@ -1,0 +1,164 @@
+(* Structural and SSA well-formedness checks.  Returns the list of
+   violations so tests can assert emptiness and the pass can be checked
+   before and after running. *)
+
+type violation = { where : string; what : string }
+
+let pp_violation fmt v = Format.fprintf fmt "%s: %s" v.where v.what
+
+let check (func : Ir.func) : violation list =
+  let errs = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errs := { where; what } :: !errs) fmt
+  in
+  let n_blocks = Ir.n_blocks func in
+  let valid_block b = b >= 0 && b < n_blocks in
+  (* Instruction table consistency: every block's instrs exist, belong to
+     that block, and each id appears exactly once across all blocks. *)
+  let placement = Array.make (Ir.n_instrs func) (-1) in
+  Ir.iter_blocks func (fun b ->
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= Ir.n_instrs func then
+            err (Printf.sprintf "bb%d" b.bid) "instr id %d out of range" id
+          else begin
+            if placement.(id) >= 0 then
+              err (Printf.sprintf "bb%d" b.bid)
+                "instr %d appears in two blocks (bb%d)" id placement.(id);
+            placement.(id) <- b.bid;
+            let i = Ir.instr func id in
+            if i.block <> b.bid then
+              err
+                (Printf.sprintf "bb%d" b.bid)
+                "instr %d records block bb%d" id i.block
+          end)
+        b.instrs);
+  (* Terminator targets and phi labels must name real blocks; the CFG-based
+     checks below would crash otherwise, so bail out early if not. *)
+  Ir.iter_blocks func (fun b ->
+      List.iter
+        (fun s ->
+          if not (valid_block s) then
+            err (Printf.sprintf "bb%d" b.bid) "branch to invalid bb%d" s)
+        (Ir.successors b.term);
+      Array.iter
+        (fun id ->
+          match (Ir.instr func id).kind with
+          | Phi incoming ->
+              List.iter
+                (fun (p, _) ->
+                  if not (valid_block p) then
+                    err (Printf.sprintf "instr %d" id)
+                      "phi labels invalid bb%d" p)
+                incoming
+          | _ -> ())
+        b.instrs);
+  if !errs <> [] then List.rev !errs
+  else begin
+  let cfg = Cfg.build func in
+  let dom = Dom.build cfg in
+  (* Phi structure: incoming labels = predecessors; phis lead their block. *)
+  Ir.iter_blocks func (fun b ->
+      if Cfg.reachable cfg b.bid then begin
+        let preds = List.sort compare (Cfg.preds cfg b.bid) in
+        let seen_nonphi = ref false in
+        Array.iter
+          (fun id ->
+            let i = Ir.instr func id in
+            match i.kind with
+            | Ir.Phi incoming ->
+                if !seen_nonphi then
+                  err
+                    (Printf.sprintf "instr %d" id)
+                    "phi appears after non-phi in bb%d" b.bid;
+                let labels = List.sort compare (List.map fst incoming) in
+                if labels <> preds then
+                  err
+                    (Printf.sprintf "instr %d" id)
+                    "phi labels do not match predecessors of bb%d" b.bid
+            | _ -> seen_nonphi := true)
+          b.instrs
+      end);
+  (* SSA dominance: every use is dominated by its definition.  Phi uses are
+     checked at the end of the corresponding predecessor. *)
+  let check_use ~user_block ~user_id (o : Ir.operand) =
+    match o with
+    | Ir.Imm _ | Ir.Fimm _ -> ()
+    | Ir.Var def ->
+        if def < 0 || def >= Ir.n_instrs func then
+          err (Printf.sprintf "instr %d" user_id) "use of invalid id %d" def
+        else begin
+          let di = Ir.instr func def in
+          if not (Ir.defines_value di.kind) then
+            err
+              (Printf.sprintf "instr %d" user_id)
+              "use of non-value instr %d" def;
+          if Cfg.reachable cfg user_block && Cfg.reachable cfg di.block then
+            if not (Dom.def_dominates_use func dom ~def ~use_at:user_id) then
+              err
+                (Printf.sprintf "instr %d" user_id)
+                "use of %d not dominated by its definition" def
+        end
+  in
+  Ir.iter_blocks func (fun b ->
+      Array.iter
+        (fun id ->
+          let i = Ir.instr func id in
+          match i.kind with
+          | Ir.Phi incoming ->
+              List.iter
+                (fun (pred, v) ->
+                  match v with
+                  | Ir.Imm _ | Ir.Fimm _ -> ()
+                  | Ir.Var def ->
+                      if def < 0 || def >= Ir.n_instrs func then
+                        err (Printf.sprintf "instr %d" id)
+                          "phi uses invalid id %d" def
+                      else begin
+                        let di = Ir.instr func def in
+                        if
+                          Cfg.reachable cfg pred
+                          && Cfg.reachable cfg di.block
+                          && not (Dom.dominates dom di.block pred)
+                        then
+                          err
+                            (Printf.sprintf "instr %d" id)
+                            "phi input %d not available on edge bb%d->bb%d" def
+                            pred b.bid
+                      end)
+                incoming
+          | _ ->
+              List.iter (check_use ~user_block:b.bid ~user_id:id) (Ir.srcs i.kind))
+        b.instrs;
+      (* Terminator uses: treat as used at end of block; dominance by block
+         suffices since the terminator follows all instructions. *)
+      List.iter
+        (function
+          | Ir.Imm _ | Ir.Fimm _ -> ()
+          | Ir.Var def ->
+              if def < 0 || def >= Ir.n_instrs func then
+                err (Printf.sprintf "bb%d term" b.bid) "use of invalid id %d" def
+              else begin
+                let di = Ir.instr func def in
+                if
+                  Cfg.reachable cfg b.bid
+                  && Cfg.reachable cfg di.block
+                  && not (Dom.dominates dom di.block b.bid)
+                then
+                  err
+                    (Printf.sprintf "bb%d term" b.bid)
+                    "use of %d not dominated by its definition" def
+              end)
+        (Ir.term_srcs b.term));
+  List.rev !errs
+  end
+
+let check_exn func =
+  match check func with
+  | [] -> ()
+  | vs ->
+      let msg =
+        String.concat "; "
+          (List.map (fun v -> Format.asprintf "%a" pp_violation v) vs)
+      in
+      invalid_arg ("Verifier: " ^ msg)

@@ -1,0 +1,13 @@
+(** Structural and SSA well-formedness checks. *)
+
+type violation = { where : string; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Ir.func -> violation list
+(** All violations found: instruction-table consistency, branch-target
+    validity, phi structure (labels match predecessors, phis lead their
+    block), and SSA dominance of uses by definitions. *)
+
+val check_exn : Ir.func -> unit
+(** @raise Invalid_argument listing the violations, if any. *)

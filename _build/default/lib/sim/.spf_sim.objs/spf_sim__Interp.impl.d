@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Dram Hashtbl Int64 List Machine Memory Memsys Option Printf Spf_ir Stats

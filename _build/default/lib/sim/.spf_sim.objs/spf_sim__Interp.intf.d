@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Dram Machine Memory Spf_ir Stats

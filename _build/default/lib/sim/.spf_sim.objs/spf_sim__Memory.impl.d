@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Array Bytes Char Int32 Int64 Machine Spf_ir

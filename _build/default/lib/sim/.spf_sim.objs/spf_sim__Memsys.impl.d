@@ -1,0 +1,1 @@
+lib/sim/memsys.ml: Array Cache Dram Hashtbl Machine Option Stats Stride_pf

@@ -1,0 +1,1 @@
+lib/sim/memsys.mli: Dram Machine Stats

@@ -1,0 +1,1 @@
+lib/sim/profile.ml: Array Cache Format Hashtbl Int64 List Machine Memory Option Printf Spf_ir

@@ -1,0 +1,1 @@
+lib/sim/stride_pf.mli: Machine

@@ -1,0 +1,85 @@
+(* Set-associative cache with true-LRU replacement.
+
+   Keyed on an abstract "unit" number (a line number for data caches, a
+   page number for the TLB).  Tags are stored per way alongside an access
+   stamp used for LRU. *)
+
+type t = {
+  sets : int;
+  assoc : int;
+  tags : int array; (* sets * assoc; -1 = invalid *)
+  stamps : int array;
+  mutable tick : int;
+}
+
+let create ~size ~assoc ~unit_shift =
+  let units = size lsr unit_shift in
+  let sets = max 1 (units / assoc) in
+  {
+    sets;
+    assoc;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    tick = 0;
+  }
+
+let create_entries ~entries ~assoc =
+  let sets = max 1 (entries / assoc) in
+  {
+    sets;
+    assoc;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    tick = 0;
+  }
+
+let set_of t key = key mod t.sets
+
+(* Probe without modifying replacement state. *)
+let mem t key =
+  let base = set_of t key * t.assoc in
+  let rec scan w = w < t.assoc && (t.tags.(base + w) = key || scan (w + 1)) in
+  scan 0
+
+(* Probe and, on a hit, refresh LRU state.  Returns whether the key hit. *)
+let access t key =
+  let base = set_of t key * t.assoc in
+  let rec scan w =
+    if w >= t.assoc then false
+    else if t.tags.(base + w) = key then begin
+      t.tick <- t.tick + 1;
+      t.stamps.(base + w) <- t.tick;
+      true
+    end
+    else scan (w + 1)
+  in
+  scan 0
+
+(* Insert a key (no-op if already present), evicting the LRU way.
+   Returns the evicted key, if a valid line was displaced. *)
+let insert t key =
+  let base = set_of t key * t.assoc in
+  let existing = ref (-1) in
+  let victim = ref 0 in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = key then existing := w;
+    if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+  done;
+  t.tick <- t.tick + 1;
+  if !existing >= 0 then begin
+    t.stamps.(base + !existing) <- t.tick;
+    None
+  end
+  else begin
+    let old = t.tags.(base + !victim) in
+    t.tags.(base + !victim) <- key;
+    t.stamps.(base + !victim) <- t.tick;
+    if old >= 0 then Some old else None
+  end
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.tick <- 0
+
+let capacity t = t.sets * t.assoc

@@ -1,0 +1,26 @@
+(** Set-associative cache with true-LRU replacement.
+
+    Keyed on an abstract unit number — a line number for data caches, a
+    page number for the TLB. *)
+
+type t
+
+val create : size:int -> assoc:int -> unit_shift:int -> t
+(** [create ~size ~assoc ~unit_shift] sizes the structure for [size] bytes
+    of [1 lsl unit_shift]-byte units. *)
+
+val create_entries : entries:int -> assoc:int -> t
+(** Size by entry count (used for TLBs). *)
+
+val mem : t -> int -> bool
+(** Probe without touching replacement state. *)
+
+val access : t -> int -> bool
+(** Probe; on a hit, refresh LRU state.  Returns whether the key hit. *)
+
+val insert : t -> int -> int option
+(** Insert a key (refreshing it if already present); returns the evicted
+    key if a valid entry was displaced. *)
+
+val clear : t -> unit
+val capacity : t -> int

@@ -1,0 +1,33 @@
+(* DRAM channel model: a line fill completes [latency] cycles after it
+   begins service, and the channel serves at most one line per [occupancy]
+   cycles.  A single instance is shared between cores in multicore
+   experiments (Fig 9), which is what produces bandwidth saturation. *)
+
+type t = {
+  latency : int;
+  occupancy : int;
+  mutable next_free : int;
+  mutable fills : int;
+}
+
+let create (cfg : Machine.dram_cfg) ~tscale =
+  {
+    latency = cfg.latency * tscale;
+    occupancy = cfg.occupancy * tscale;
+    next_free = 0;
+    fills = 0;
+  }
+
+(* Request a line fill at time [now]; returns its completion time. *)
+let request t ~now =
+  let begin_service = max now t.next_free in
+  t.next_free <- begin_service + t.occupancy;
+  t.fills <- t.fills + 1;
+  begin_service + t.latency
+
+(* Current queueing delay a new request would see. *)
+let backlog t ~now = max 0 (t.next_free - now)
+
+let fills t = t.fills
+let occupancy t = t.occupancy
+let latency t = t.latency

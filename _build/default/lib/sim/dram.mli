@@ -1,0 +1,24 @@
+(** DRAM channel model: fixed fill latency plus a per-line occupancy that
+    bounds bandwidth.  Shared between cores in multicore experiments. *)
+
+type t
+
+val create : Machine.dram_cfg -> tscale:int -> t
+(** Latencies are multiplied by [tscale], the core model's sub-cycle time
+    scale. *)
+
+val request : t -> now:int -> int
+(** Request a line fill; returns its completion time and advances the
+    channel's next-free time. *)
+
+val backlog : t -> now:int -> int
+(** Queueing delay a request issued at [now] would see before service —
+    memory systems use it to drop prefetches under contention. *)
+
+val fills : t -> int
+
+val occupancy : t -> int
+(** Scaled per-line channel occupancy. *)
+
+val latency : t -> int
+(** Scaled fill latency. *)

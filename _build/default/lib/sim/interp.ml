@@ -1,0 +1,378 @@
+module Ir = Spf_ir.Ir
+
+(* IR interpreter with a dataflow timing model.
+
+   Functional execution and timing are computed together: every SSA value
+   carries a ready-time alongside its contents, and every memory operation
+   consults the {!Memsys} model.  Two core models share the machinery:
+
+   - {e out-of-order}: instructions dispatch in order at the machine's
+     width, bounded by a reorder buffer (an instruction cannot dispatch
+     until the instruction [rob] slots earlier has retired); execution
+     starts when operands are ready; retirement is in order.  Independent
+     load misses therefore overlap up to the ROB/MSHR limits, which is why
+     software prefetching buys little on Haswell/A57 but still helps.
+
+   - {e in-order}: instructions issue strictly in order and stall until
+     their operands are ready; demand misses are additionally serialised
+     through [demand_slots] (1 on A53/Phi, per the paper's "stalls on load
+     misses").  Software prefetches never stall, which is where the large
+     in-order speedups come from.
+
+   Time is kept in scaled cycles ([tscale] sub-cycle units) so that
+   multi-issue dispatch intervals stay integral. *)
+
+let default_tscale = 12
+
+type t = {
+  machine : Machine.t;
+  func : Ir.func;
+  mem : Memory.t;
+  memsys : Memsys.t;
+  stats : Stats.t;
+  env : int array;
+  fenv : float array;
+  ready : int array;
+  blocks : Ir.instr array array; (* per block: non-phi instructions *)
+  terms : Ir.terminator array;
+  edge_copies : (int, (int * Ir.operand) array) Hashtbl.t;
+      (* (pred * nblocks + succ) -> phi parallel copies *)
+  intrinsics : (string, int array -> int) Hashtbl.t;
+  tscale : int;
+  disp_int : int;
+  in_order : bool;
+  rob_ring : int array;
+  demand_free : int array;
+  miss_restart : int;
+  mutable cur : int;
+  mutable halted : bool;
+  mutable retval : int option;
+  mutable last_dispatch : int;
+  mutable last_retire : int;
+  mutable inst_index : int;
+}
+
+let create ~machine ?(tscale = default_tscale) ?dram ?stats ~mem ~args func =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let dram =
+    match dram with Some d -> d | None -> Dram.create machine.Machine.dram ~tscale
+  in
+  let memsys = Memsys.create machine ~tscale ~dram ~stats in
+  let n = Ir.n_instrs func in
+  let nb = Ir.n_blocks func in
+  let blocks =
+    Array.init nb (fun b ->
+        let ids = (Ir.block func b).instrs in
+        let non_phi =
+          Array.to_list ids
+          |> List.filter_map (fun id ->
+                 let i = Ir.instr func id in
+                 match i.kind with Ir.Phi _ -> None | _ -> Some i)
+        in
+        Array.of_list non_phi)
+  in
+  let terms = Array.init nb (fun b -> (Ir.block func b).term) in
+  let t =
+    {
+      machine;
+      func;
+      mem;
+      memsys;
+      stats;
+      env = Array.make (max n 1) 0;
+      fenv = Array.make (max n 1) 0.0;
+      ready = Array.make (max n 1) 0;
+      blocks;
+      terms;
+      edge_copies = Hashtbl.create 16;
+      intrinsics = Hashtbl.create 8;
+      tscale;
+      disp_int = max 1 (tscale * machine.inst_cost / machine.width);
+      in_order = machine.kind = Machine.In_order;
+      rob_ring = Array.make (max machine.rob 1) 0;
+      demand_free = Array.make (max machine.demand_slots 1) 0;
+      miss_restart = machine.miss_restart * tscale;
+      cur = func.entry;
+      halted = false;
+      retval = None;
+      last_dispatch = 0;
+      last_retire = 0;
+      inst_index = 0;
+    }
+  in
+  (* Bind parameters. *)
+  Array.iteri
+    (fun k id ->
+      if k < Array.length args then t.env.(id) <- args.(k))
+    func.param_ids;
+  t
+
+let register_intrinsic t name fn = Hashtbl.replace t.intrinsics name fn
+
+let ival t = function
+  | Ir.Var id -> t.env.(id)
+  | Ir.Imm n -> n
+  | Ir.Fimm x -> Int64.to_int (Int64.bits_of_float x)
+
+let fval t = function
+  | Ir.Var id -> t.fenv.(id)
+  | Ir.Fimm x -> x
+  | Ir.Imm n -> float_of_int n
+
+let rtime t = function Ir.Var id -> t.ready.(id) | Ir.Imm _ | Ir.Fimm _ -> 0
+
+let srcs_ready t (k : Ir.kind) =
+  match k with
+  | Ir.Binop (_, a, b) | Ir.Cmp (_, a, b) | Ir.Store (_, a, b) ->
+      max (rtime t a) (rtime t b)
+  | Ir.Select (c, a, b) -> max (rtime t c) (max (rtime t a) (rtime t b))
+  | Ir.Load (_, a) | Ir.Prefetch a | Ir.Alloc a -> rtime t a
+  | Ir.Gep { base; index; _ } -> max (rtime t base) (rtime t index)
+  | Ir.Call { args; _ } -> List.fold_left (fun m a -> max m (rtime t a)) 0 args
+  | Ir.Phi _ | Ir.Param _ -> 0
+
+let exec_binop t op x y dst =
+  match op with
+  | Ir.Add -> t.env.(dst) <- ival t x + ival t y
+  | Ir.Sub -> t.env.(dst) <- ival t x - ival t y
+  | Ir.Mul -> t.env.(dst) <- ival t x * ival t y
+  | Ir.Sdiv -> t.env.(dst) <- ival t x / ival t y
+  | Ir.Srem -> t.env.(dst) <- ival t x mod ival t y
+  | Ir.And -> t.env.(dst) <- ival t x land ival t y
+  | Ir.Or -> t.env.(dst) <- ival t x lor ival t y
+  | Ir.Xor -> t.env.(dst) <- ival t x lxor ival t y
+  | Ir.Shl -> t.env.(dst) <- ival t x lsl ival t y
+  | Ir.Lshr -> t.env.(dst) <- ival t x lsr ival t y
+  | Ir.Ashr -> t.env.(dst) <- ival t x asr ival t y
+  | Ir.Smin -> t.env.(dst) <- min (ival t x) (ival t y)
+  | Ir.Smax -> t.env.(dst) <- max (ival t x) (ival t y)
+  | Ir.Fadd -> t.fenv.(dst) <- fval t x +. fval t y
+  | Ir.Fsub -> t.fenv.(dst) <- fval t x -. fval t y
+  | Ir.Fmul -> t.fenv.(dst) <- fval t x *. fval t y
+  | Ir.Fdiv -> t.fenv.(dst) <- fval t x /. fval t y
+
+let binop_latency = function
+  | Ir.Mul -> 3
+  | Ir.Sdiv | Ir.Srem -> 12
+  | Ir.Fadd | Ir.Fsub | Ir.Fmul -> 4
+  | Ir.Fdiv -> 12
+  | Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr | Ir.Ashr
+  | Ir.Smin | Ir.Smax -> 1
+
+let eval_cmp pred a b =
+  match pred with
+  | Ir.Eq -> a = b
+  | Ir.Ne -> a <> b
+  | Ir.Slt -> a < b
+  | Ir.Sle -> a <= b
+  | Ir.Sgt -> a > b
+  | Ir.Sge -> a >= b
+
+(* Dispatch the next dynamic instruction; returns its start time. *)
+let dispatch t ~operands_ready =
+  if t.in_order then begin
+    (* In-order issue: wait for operands at issue time (stall-on-use). *)
+    let issue = max (t.last_dispatch + t.disp_int) operands_ready in
+    t.last_dispatch <- issue;
+    t.inst_index <- t.inst_index + 1;
+    issue
+  end
+  else begin
+    let rob_slot = t.inst_index mod Array.length t.rob_ring in
+    let d = max (t.last_dispatch + t.disp_int) t.rob_ring.(rob_slot) in
+    t.last_dispatch <- d;
+    t.inst_index <- t.inst_index + 1;
+    max d operands_ready
+  end
+
+(* Record in-order retirement (OoO ROB bookkeeping). *)
+let retire t ~complete =
+  let r = max complete t.last_retire in
+  t.last_retire <- r;
+  if not t.in_order then begin
+    let rob_slot = (t.inst_index - 1) mod Array.length t.rob_ring in
+    t.rob_ring.(rob_slot) <- r
+  end
+
+(* Index of the earliest-free outstanding-demand-miss slot. *)
+let free_demand_slot t =
+  let slots = t.demand_free in
+  let k = ref 0 in
+  for i = 1 to Array.length slots - 1 do
+    if slots.(i) < slots.(!k) then k := i
+  done;
+  !k
+
+let exec_instr t (i : Ir.instr) =
+  t.stats.instructions <- t.stats.instructions + 1;
+  let start = dispatch t ~operands_ready:(srcs_ready t i.kind) in
+  let dst = i.id in
+  let complete =
+    match i.kind with
+    | Ir.Binop (op, x, y) ->
+        exec_binop t op x y dst;
+        start + (binop_latency op * t.tscale)
+    | Ir.Cmp (pred, x, y) ->
+        t.env.(dst) <- (if eval_cmp pred (ival t x) (ival t y) then 1 else 0);
+        start + t.tscale
+    | Ir.Select (c, x, y) ->
+        let pick = if ival t c <> 0 then x else y in
+        t.env.(dst) <- ival t pick;
+        (match pick with
+        | Ir.Var id -> t.fenv.(dst) <- t.fenv.(id)
+        | Ir.Fimm f -> t.fenv.(dst) <- f
+        | Ir.Imm _ -> ());
+        start + t.tscale
+    | Ir.Gep { base; index; scale } ->
+        t.env.(dst) <- ival t base + (ival t index * scale);
+        start + t.tscale
+    | Ir.Load (ty, a) ->
+        let addr = ival t a in
+        (match ty with
+        | Ir.F64 -> t.fenv.(dst) <- Memory.load_f64 t.mem addr
+        | Ir.I8 | Ir.I16 | Ir.I32 | Ir.I64 ->
+            t.env.(dst) <- Memory.load t.mem ty addr);
+        (* In-order cores support few outstanding demand misses: a load
+           cannot begin its lookup until a slot frees (stall-on-miss when
+           [demand_slots] = 1).  Hits release the slot immediately. *)
+        let slot = if t.in_order then free_demand_slot t else -1 in
+        let start =
+          if t.in_order then max start t.demand_free.(slot) else start
+        in
+        let completion =
+          Memsys.access t.memsys ~kind:Memsys.Demand ~pc:i.id ~addr ~now:start
+        in
+        (match Memsys.last_level t.memsys with
+        | Memsys.L1 -> completion
+        | Memsys.Inflight | Memsys.L2 | Memsys.L3 ->
+            if t.in_order then t.demand_free.(slot) <- completion;
+            completion
+        | Memsys.Dram ->
+            if t.in_order then t.demand_free.(slot) <- completion;
+            completion + t.miss_restart)
+    | Ir.Store (ty, a, v) ->
+        let addr = ival t a in
+        (match ty with
+        | Ir.F64 -> Memory.store_f64 t.mem addr (fval t v)
+        | Ir.I8 | Ir.I16 | Ir.I32 | Ir.I64 ->
+            Memory.store t.mem ty addr (ival t v));
+        ignore
+          (Memsys.access t.memsys ~kind:Memsys.Write ~pc:i.id ~addr ~now:start);
+        start + t.tscale
+    | Ir.Prefetch a ->
+        let addr = ival t a in
+        if addr >= 0 then
+          ignore
+            (Memsys.access t.memsys ~kind:Memsys.Sw_prefetch ~pc:i.id ~addr
+               ~now:start);
+        start + t.tscale
+    | Ir.Alloc sz ->
+        t.env.(dst) <- Memory.alloc t.mem (ival t sz);
+        start + t.tscale
+    | Ir.Call { callee; args; _ } ->
+        let fn =
+          match Hashtbl.find_opt t.intrinsics callee with
+          | Some fn -> fn
+          | None -> failwith ("Interp: unknown intrinsic " ^ callee)
+        in
+        t.env.(dst) <- fn (Array.of_list (List.map (ival t) args));
+        start + (10 * t.tscale)
+    | Ir.Param k ->
+        ignore k;
+        start + t.tscale
+    | Ir.Phi _ -> (* executed on edges *) start
+  in
+  if Ir.defines_value i.kind then t.ready.(dst) <- complete;
+  retire t ~complete
+
+(* Parallel phi copies for a CFG edge, cached per edge. *)
+let edge_key t ~pred ~succ = (pred * Array.length t.blocks) + succ
+
+let edge_copy_list t ~pred ~succ =
+  let key = edge_key t ~pred ~succ in
+  match Hashtbl.find_opt t.edge_copies key with
+  | Some copies -> copies
+  | None ->
+      let copies = ref [] in
+      Array.iter
+        (fun id ->
+          let i = Ir.instr t.func id in
+          match i.kind with
+          | Ir.Phi incoming -> (
+              match List.assoc_opt pred incoming with
+              | Some v -> copies := (i.id, v) :: !copies
+              | None ->
+                  failwith
+                    (Printf.sprintf "Interp: phi %d lacks edge from bb%d" i.id
+                       pred))
+          | _ -> ())
+        (Ir.block t.func succ).instrs;
+      let copies = Array.of_list (List.rev !copies) in
+      Hashtbl.replace t.edge_copies key copies;
+      copies
+
+let take_edge t ~pred ~succ =
+  let copies = edge_copy_list t ~pred ~succ in
+  let n = Array.length copies in
+  if n > 0 then begin
+    (* Read all sources before writing any destination. *)
+    let iv = Array.make n 0 and fv = Array.make n 0.0 and rd = Array.make n 0 in
+    Array.iteri
+      (fun k (_, src) ->
+        iv.(k) <- ival t src;
+        (match src with
+        | Ir.Var id -> fv.(k) <- t.fenv.(id)
+        | Ir.Fimm f -> fv.(k) <- f
+        | Ir.Imm _ -> ());
+        rd.(k) <- rtime t src)
+      copies;
+    Array.iteri
+      (fun k (dst, _) ->
+        t.env.(dst) <- iv.(k);
+        t.fenv.(dst) <- fv.(k);
+        t.ready.(dst) <- rd.(k))
+      copies
+  end;
+  t.cur <- succ
+
+(* Execute the current block (non-phi instructions plus terminator);
+   returns [false] once the function has returned. *)
+let step t =
+  if t.halted then false
+  else begin
+    let instrs = t.blocks.(t.cur) in
+    for k = 0 to Array.length instrs - 1 do
+      exec_instr t instrs.(k)
+    done;
+    (* Terminators occupy a dispatch slot; branch direction is assumed
+       predicted, so control does not wait on the condition's readiness. *)
+    t.stats.instructions <- t.stats.instructions + 1;
+    let start = dispatch t ~operands_ready:0 in
+    retire t ~complete:(start + t.tscale);
+    (match t.terms.(t.cur) with
+    | Ir.Br succ -> take_edge t ~pred:t.cur ~succ
+    | Ir.Cbr (c, bt, bf) ->
+        let succ = if ival t c <> 0 then bt else bf in
+        take_edge t ~pred:t.cur ~succ
+    | Ir.Ret v ->
+        t.retval <- Option.map (ival t) v;
+        t.halted <- true
+    | Ir.Unreachable -> failwith "Interp: reached unreachable");
+    t.stats.cycles <- (max t.last_retire t.last_dispatch) / t.tscale;
+    not t.halted
+  end
+
+let run ?(fuel = max_int) t =
+  let steps = ref 0 in
+  while (not t.halted) && !steps < fuel do
+    ignore (step t);
+    incr steps
+  done;
+  if not t.halted then failwith "Interp.run: out of fuel"
+
+let stats t = t.stats
+let cycles t = t.stats.cycles
+let retval t = t.retval
+let time t = max t.last_retire t.last_dispatch
+let halted t = t.halted
+let memory t = t.mem

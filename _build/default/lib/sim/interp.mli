@@ -1,0 +1,47 @@
+(** IR interpreter with a dataflow timing model.
+
+    Functional execution and timing are computed together: every SSA value
+    carries a ready-time, and every memory operation consults {!Memsys}.
+    Out-of-order machines overlap independent misses up to their ROB/MSHR
+    limits; in-order machines issue strictly in order, stall on unready
+    operands, and serialise demand misses through a small slot pool —
+    software prefetches never stall on either model. *)
+
+type t
+
+val default_tscale : int
+(** Sub-cycle time scale (dispatch intervals of multi-issue cores stay
+    integral). *)
+
+val create :
+  machine:Machine.t ->
+  ?tscale:int ->
+  ?dram:Dram.t ->
+  ?stats:Stats.t ->
+  mem:Memory.t ->
+  args:int array ->
+  Spf_ir.Ir.func ->
+  t
+(** Instantiate an execution of [func] with parameter values [args] over
+    the given memory.  Pass a shared [dram] to model multicore bandwidth
+    contention. *)
+
+val register_intrinsic : t -> string -> (int array -> int) -> unit
+(** Provide the implementation of a [Call] target. *)
+
+val step : t -> bool
+(** Execute the current basic block; [false] once the function returned. *)
+
+val run : ?fuel:int -> t -> unit
+(** Run to completion.  @raise Failure if [fuel] blocks are exceeded. *)
+
+val stats : t -> Stats.t
+val cycles : t -> int
+(** Elapsed cycles (valid once halted; updated each step). *)
+
+val retval : t -> int option
+val time : t -> int
+(** Current time in scaled cycles — the multicore driver's scheduling key. *)
+
+val halted : t -> bool
+val memory : t -> Memory.t

@@ -1,0 +1,204 @@
+(* Machine descriptions for the four systems of Table 1.
+
+   Cache/TLB geometry follows the paper's Table 1; latencies, queue depths
+   and penalties use published figures for these cores and are calibrated so
+   the simulator reproduces the paper's speedup *shapes* (see
+   EXPERIMENTS.md).  All latencies are in core cycles. *)
+
+type core_kind = In_order | Out_of_order
+
+type cache_geom = { size : int; assoc : int }
+
+type dram_cfg = {
+  latency : int; (* load-to-use latency of a DRAM line fill *)
+  occupancy : int; (* channel occupancy per line: the bandwidth bound *)
+}
+
+type stride_cfg = {
+  table : int; (* number of PC-indexed stream entries *)
+  threshold : int; (* confirmations before issuing *)
+  distance : int; (* lines of look-ahead once confirmed *)
+  to_l1 : bool; (* insert into L1 (otherwise L2 and below) *)
+}
+
+type t = {
+  name : string;
+  kind : core_kind;
+  width : int; (* issue width *)
+  inst_cost : int; (* cycles consumed per [width] instructions (KNC's
+                      single-thread decode restriction makes this 2) *)
+  rob : int; (* reorder-buffer entries (out-of-order only) *)
+  demand_slots : int; (* outstanding demand misses (in-order only) *)
+  mshrs : int; (* outstanding demand-side line fills (L1 fill buffers) *)
+  pf_mshrs : int; (* outstanding prefetch fills (drain via the L2 queue) *)
+  l1 : cache_geom;
+  l2 : cache_geom;
+  l3 : cache_geom option;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_l3 : int;
+  dram : dram_cfg;
+  tlb_entries : int;
+  tlb_assoc : int;
+  page_shift : int; (* 12 = 4KiB pages, 21 = 2MiB transparent huge pages *)
+  walk_latency : int; (* page-table walk cost *)
+  walkers : int; (* concurrent page-table walks supported *)
+  stride_pf : stride_cfg option;
+  miss_restart : int; (* pipeline-refill penalty per ROB-blocking miss *)
+}
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+(* Intel Core i5-4570 (Haswell): 4-wide out-of-order, 192-entry ROB,
+   32KiB L1D / 256KiB L2 / 8MiB L3, DDR3, 2 page walkers, transparent huge
+   pages available (page policy is selected per experiment). *)
+let haswell =
+  {
+    name = "Haswell";
+    kind = Out_of_order;
+    width = 4;
+    inst_cost = 1;
+    (* 192 x86 micro-ops of window; our IR instructions are finer-grained
+       than uops (explicit geps fold into x86 addressing modes), so the
+       window covers ~1.3x as many IR instructions. *)
+    rob = 256;
+    demand_slots = 16;
+    mshrs = 10; (* L1D fill buffers *)
+    pf_mshrs = 14;
+    l1 = { size = kib 32; assoc = 8 };
+    l2 = { size = kib 256; assoc = 8 };
+    l3 = Some { size = mib 8; assoc = 16 };
+    lat_l1 = 4;
+    lat_l2 = 12;
+    lat_l3 = 36;
+    dram = { latency = 200; occupancy = 8 };
+    tlb_entries = 1024; (* unified L2 STLB *)
+    tlb_assoc = 8;
+    page_shift = 12;
+    walk_latency = 30; (* walks mostly hit the paging-structure caches *)
+    walkers = 2;
+    stride_pf = Some { table = 64; threshold = 2; distance = 8; to_l1 = false };
+    miss_restart = 8;
+  }
+
+(* Intel Xeon Phi 3120P (Knights Corner): in-order 2-wide, 32KiB L1D /
+   512KiB L2, GDDR5 (high bandwidth, high latency), no L3. *)
+let xeon_phi =
+  {
+    name = "XeonPhi";
+    kind = In_order;
+    (* one instruction every other cycle from a single hardware thread *)
+    width = 1;
+    inst_cost = 2;
+    rob = 0;
+    demand_slots = 1;
+    mshrs = 8;
+    pf_mshrs = 8;
+    l1 = { size = kib 32; assoc = 8 };
+    l2 = { size = kib 512; assoc = 8 };
+    l3 = None;
+    lat_l1 = 3;
+    lat_l2 = 24;
+    lat_l3 = 0;
+    dram = { latency = 400; occupancy = 4 }; (* GDDR5: high latency, wide *)
+    tlb_entries = 64;
+    tlb_assoc = 4;
+    page_shift = 21; (* KNC's MPSS runs with transparent huge pages *)
+    walk_latency = 120;
+    walkers = 1;
+    stride_pf = Some { table = 16; threshold = 2; distance = 4; to_l1 = false };
+    miss_restart = 0;
+  }
+
+(* ARM Cortex-A57 (Nvidia TX1): 3-wide out-of-order (modelled 2-wide with a
+   128-entry window), 32KiB L1D / 2MiB L2, LPDDR4, single page walker (the
+   paper highlights this as the limiter for IS and HJ-2). *)
+let a57 =
+  {
+    name = "A57";
+    kind = Out_of_order;
+    width = 2;
+    inst_cost = 1;
+    rob = 170; (* 128 micro-ops ~ 170 finer-grained IR instructions *)
+    demand_slots = 8;
+    mshrs = 6;
+    pf_mshrs = 6;
+    l1 = { size = kib 32; assoc = 2 };
+    l2 = { size = mib 2; assoc = 16 };
+    l3 = None;
+    lat_l1 = 4;
+    lat_l2 = 21;
+    lat_l3 = 0;
+    dram = { latency = 220; occupancy = 10 };
+    tlb_entries = 1024; (* unified L2 TLB *)
+    tlb_assoc = 4;
+    page_shift = 12;
+    walk_latency = 90;
+    walkers = 1; (* one page-table walk at a time — the §6.1 limiter *)
+    stride_pf = Some { table = 32; threshold = 2; distance = 6; to_l1 = false };
+    miss_restart = 8;
+  }
+
+(* ARM Cortex-A53 (Odroid C2): 2-wide in-order, stalls on load misses,
+   32KiB L1D, DDR3, single page walker.  The Amlogic S905's L2 is 512KiB
+   (the paper's Table 1 lists 1MiB; the SoC datasheet says 512KiB, and the
+   smaller value is what exposes the visited-list misses that §6.1 says
+   dominate Graph500 on in-order cores). *)
+let a53 =
+  {
+    name = "A53";
+    kind = In_order;
+    width = 2;
+    inst_cost = 1;
+    rob = 0;
+    demand_slots = 1;
+    mshrs = 3; (* tiny linefill-buffer pool *)
+    pf_mshrs = 2;
+    l1 = { size = kib 32; assoc = 4 };
+    l2 = { size = kib 512; assoc = 16 };
+    l3 = None;
+    lat_l1 = 3;
+    lat_l2 = 15;
+    lat_l3 = 0;
+    dram = { latency = 230; occupancy = 14 };
+    tlb_entries = 512; (* unified L2 TLB *)
+    tlb_assoc = 4;
+    page_shift = 12;
+    walk_latency = 60;
+    walkers = 1;
+    stride_pf = Some { table = 32; threshold = 2; distance = 6; to_l1 = false };
+    miss_restart = 0;
+  }
+
+let all = [ haswell; a57; a53; xeon_phi ]
+
+let by_name name =
+  List.find_opt (fun m -> String.lowercase_ascii m.name = String.lowercase_ascii name) all
+
+type page_policy = Small_pages | Huge_pages
+
+let with_pages m = function
+  | Small_pages -> { m with page_shift = 12 }
+  | Huge_pages -> { m with page_shift = 21 }
+
+let line_shift = 6
+let line_size = 64
+
+let pp fmt m =
+  let geom fmt (g : cache_geom) =
+    if g.size >= mib 1 then Format.fprintf fmt "%dMiB/%d-way" (g.size / mib 1) g.assoc
+    else Format.fprintf fmt "%dKiB/%d-way" (g.size / kib 1) g.assoc
+  in
+  Format.fprintf fmt
+    "%-8s %-12s width=%d rob=%-3d mshrs=%d+%dpf L1=%a L2=%a%t DRAM=%dcy/%dcy \
+     TLB=%dx%d-way walk=%dcy walkers=%d"
+    m.name
+    (match m.kind with In_order -> "in-order" | Out_of_order -> "out-of-order")
+    m.width m.rob m.mshrs m.pf_mshrs geom m.l1 geom m.l2
+    (fun fmt ->
+      match m.l3 with
+      | None -> ()
+      | Some g -> Format.fprintf fmt " L3=%a" geom g)
+    m.dram.latency m.dram.occupancy m.tlb_entries m.tlb_assoc m.walk_latency
+    m.walkers

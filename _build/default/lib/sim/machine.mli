@@ -1,0 +1,67 @@
+(** Machine descriptions for the four evaluated systems (paper Table 1).
+
+    Cache/TLB geometry follows Table 1; latencies and queue depths use
+    published figures for these cores, calibrated so the simulator
+    reproduces the paper's speedup {e shapes} (EXPERIMENTS.md records the
+    calibration). *)
+
+type core_kind = In_order | Out_of_order
+
+type cache_geom = { size : int; assoc : int }
+
+type dram_cfg = {
+  latency : int;  (** load-to-use latency of a line fill, cycles *)
+  occupancy : int;  (** channel occupancy per line — the bandwidth bound *)
+}
+
+type stride_cfg = {
+  table : int;  (** PC-indexed stream-table entries *)
+  threshold : int;  (** stride confirmations before issuing *)
+  distance : int;  (** look-ahead in lines once confirmed *)
+  to_l1 : bool;  (** insert into L1 rather than L2-and-below *)
+}
+
+type t = {
+  name : string;
+  kind : core_kind;
+  width : int;
+  inst_cost : int;  (** cycles consumed per [width] instructions *)
+  rob : int;
+  demand_slots : int;  (** concurrent demand misses (in-order cores) *)
+  mshrs : int;  (** concurrent demand-side line fills (L1 fill buffers) *)
+  pf_mshrs : int;  (** concurrent prefetch fills (drain via the L2 queue) *)
+  l1 : cache_geom;
+  l2 : cache_geom;
+  l3 : cache_geom option;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_l3 : int;
+  dram : dram_cfg;
+  tlb_entries : int;
+  tlb_assoc : int;
+  page_shift : int;  (** 12 = 4KiB pages; 21 = 2MiB huge pages *)
+  walk_latency : int;
+  walkers : int;  (** concurrent page-table walks (1 on A57/A53/Phi) *)
+  stride_pf : stride_cfg option;
+  miss_restart : int;  (** pipeline-refill penalty per ROB-blocking miss *)
+}
+
+val haswell : t
+val xeon_phi : t
+val a57 : t
+val a53 : t
+
+val all : t list
+val by_name : string -> t option
+
+type page_policy = Small_pages | Huge_pages
+
+val with_pages : t -> page_policy -> t
+
+val line_shift : int
+val line_size : int
+
+val kib : int -> int
+val mib : int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+module Ir = Spf_ir.Ir
+
+(* Flat byte-addressable memory with a bump allocator.
+
+   Address 0 is never handed out (allocations start at one page) so that a
+   zero address can serve as a null sentinel in workloads.  The backing
+   buffer grows on demand; all accessors are little-endian. *)
+
+type t = { mutable data : Bytes.t; mutable brk : int }
+
+let create ?(initial = 1 lsl 20) () =
+  { data = Bytes.make initial '\000'; brk = 4096 }
+
+let ensure t limit =
+  let n = Bytes.length t.data in
+  if limit > n then begin
+    let n' = ref n in
+    while limit > !n' do
+      n' := !n' * 2
+    done;
+    let bigger = Bytes.make !n' '\000' in
+    Bytes.blit t.data 0 bigger 0 n;
+    t.data <- bigger
+  end
+
+(* Allocate [size] bytes aligned to a cache line; returns the base address. *)
+let alloc t size =
+  let aligned = (t.brk + Machine.line_size - 1) land lnot (Machine.line_size - 1) in
+  ensure t (aligned + size);
+  t.brk <- aligned + size;
+  aligned
+
+let size t = t.brk
+
+let load t (ty : Ir.ty) addr =
+  match ty with
+  | Ir.I8 -> Char.code (Bytes.get t.data addr)
+  | Ir.I16 -> Bytes.get_uint16_le t.data addr
+  | Ir.I32 -> Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFFFFFF
+  | Ir.I64 | Ir.F64 -> Int64.to_int (Bytes.get_int64_le t.data addr)
+
+let store t (ty : Ir.ty) addr v =
+  match ty with
+  | Ir.I8 -> Bytes.set t.data addr (Char.chr (v land 0xFF))
+  | Ir.I16 -> Bytes.set_uint16_le t.data addr (v land 0xFFFF)
+  | Ir.I32 -> Bytes.set_int32_le t.data addr (Int32.of_int v)
+  | Ir.I64 | Ir.F64 -> Bytes.set_int64_le t.data addr (Int64.of_int v)
+
+let load_f64 t addr = Int64.float_of_bits (Bytes.get_int64_le t.data addr)
+let store_f64 t addr x = Bytes.set_int64_le t.data addr (Int64.bits_of_float x)
+
+(* Convenience array views used by workload generators and checksums. *)
+
+let alloc_i32_array t values =
+  let base = alloc t (4 * Array.length values) in
+  Array.iteri (fun i v -> store t Ir.I32 (base + (4 * i)) v) values;
+  base
+
+let alloc_i64_array t values =
+  let base = alloc t (8 * Array.length values) in
+  Array.iteri (fun i v -> store t Ir.I64 (base + (8 * i)) v) values;
+  base
+
+let alloc_f64_array t values =
+  let base = alloc t (8 * Array.length values) in
+  Array.iteri (fun i v -> store_f64 t (base + (8 * i)) v) values;
+  base
+
+let read_i32_array t ~base ~len = Array.init len (fun i -> load t Ir.I32 (base + (4 * i)))
+let read_i64_array t ~base ~len = Array.init len (fun i -> load t Ir.I64 (base + (8 * i)))
+let read_f64_array t ~base ~len = Array.init len (fun i -> load_f64 t (base + (8 * i)))

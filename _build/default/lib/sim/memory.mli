@@ -1,0 +1,30 @@
+(** Flat little-endian byte memory with a bump allocator.
+
+    Address 0 is never handed out, so it can serve as a null sentinel. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+val alloc : t -> int -> int
+(** Allocate bytes aligned to a cache line; returns the base address. *)
+
+val size : t -> int
+(** Current break (total bytes in use). *)
+
+val load : t -> Spf_ir.Ir.ty -> int -> int
+(** Integer loads zero-extend ([I8]/[I16]/[I32]); [I64]/[F64] return the
+    raw low 63 bits. *)
+
+val store : t -> Spf_ir.Ir.ty -> int -> int -> unit
+
+val load_f64 : t -> int -> float
+val store_f64 : t -> int -> float -> unit
+
+(** {1 Bulk helpers for workload setup and checksums} *)
+
+val alloc_i32_array : t -> int array -> int
+val alloc_i64_array : t -> int array -> int
+val alloc_f64_array : t -> float array -> int
+val read_i32_array : t -> base:int -> len:int -> int array
+val read_i64_array : t -> base:int -> len:int -> int array
+val read_f64_array : t -> base:int -> len:int -> float array

@@ -1,0 +1,207 @@
+(* The per-core memory system: TLB (with a bounded pool of page-table
+   walkers), L1/L2/optional-L3 caches, MSHR-limited line fills from a DRAM
+   channel (shareable between cores), in-flight fill tracking, and a
+   hardware stride prefetcher trained by demand loads.
+
+   All times are in the core model's scaled cycles.  [access] returns the
+   completion time of the request; [last_level] reports where it was
+   satisfied so the core model can apply in-order / ROB-restart policies. *)
+
+type kind = Demand | Write | Sw_prefetch | Hw_prefetch
+
+type level = L1 | L2 | L3 | Dram | Inflight
+
+type t = {
+  tscale : int;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t option;
+  tlb : Cache.t;
+  walkers : int array; (* busy-until time per walker *)
+  mshrs : int array; (* busy-until time per demand fill slot *)
+  pf_mshrs : int array; (* busy-until time per prefetch fill slot *)
+  inflight : (int, int) Hashtbl.t; (* line -> fill completion *)
+  dram : Dram.t;
+  spf : Stride_pf.t option;
+  stats : Stats.t;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_l3 : int;
+  walk_latency : int;
+  mutable page_shift : int;
+  mutable last_level : level;
+}
+
+let create (m : Machine.t) ~tscale ~dram ~stats =
+  let mk (g : Machine.cache_geom) =
+    Cache.create ~size:g.size ~assoc:g.assoc ~unit_shift:Machine.line_shift
+  in
+  {
+    tscale;
+    l1 = mk m.l1;
+    l2 = mk m.l2;
+    l3 = Option.map mk m.l3;
+    tlb = Cache.create_entries ~entries:m.tlb_entries ~assoc:m.tlb_assoc;
+    walkers = Array.make (max 1 m.walkers) 0;
+    mshrs = Array.make (max 1 m.mshrs) 0;
+    pf_mshrs = Array.make (max 1 m.pf_mshrs) 0;
+    inflight = Hashtbl.create 64;
+    dram;
+    spf = Option.map Stride_pf.create m.stride_pf;
+    stats;
+    lat_l1 = m.lat_l1 * tscale;
+    lat_l2 = m.lat_l2 * tscale;
+    lat_l3 = m.lat_l3 * tscale;
+    walk_latency = m.walk_latency * tscale;
+    page_shift = m.page_shift;
+    last_level = L1;
+  }
+
+let last_level t = t.last_level
+let stats t = t.stats
+
+(* Index of the earliest-free slot in a busy-until array. *)
+let min_slot slots =
+  let best = ref 0 in
+  for k = 1 to Array.length slots - 1 do
+    if slots.(k) < slots.(!best) then best := k
+  done;
+  !best
+
+(* Translate [addr] at time [now]; returns when the translation is
+   available.  Misses consume a page-table walker and fill the TLB —
+   including for prefetches, which is the TLB-priming side effect the
+   paper's Fig 10 discusses. *)
+let translate t ~addr ~now =
+  let page = addr lsr t.page_shift in
+  if Cache.access t.tlb page then now
+  else begin
+    t.stats.tlb_misses <- t.stats.tlb_misses + 1;
+    t.stats.page_walks <- t.stats.page_walks + 1;
+    let k = min_slot t.walkers in
+    let start = max now t.walkers.(k) in
+    t.walkers.(k) <- start + t.walk_latency;
+    ignore (Cache.insert t.tlb page);
+    start + t.walk_latency
+  end
+
+(* Every L1 miss occupies a fill buffer (MSHR) until its data arrives,
+   whatever level supplies it — this is what bounds a core's memory-level
+   parallelism.  Demand misses use the L1's fill buffers; prefetches drain
+   through the (typically deeper) L2 queue, which is precisely the
+   asymmetry that lets software prefetching raise a core's sustained miss
+   throughput. *)
+let with_mshr t ~kind ~now fill =
+  let slots =
+    match kind with
+    | Demand | Write -> t.mshrs
+    | Sw_prefetch | Hw_prefetch -> t.pf_mshrs
+  in
+  let k = min_slot slots in
+  let start = max now slots.(k) in
+  let completion = fill start in
+  slots.(k) <- completion;
+  completion
+
+(* The cache/DRAM lookup path, shared by demand and prefetch requests. *)
+let lookup t ~kind ~line ~now =
+  match Hashtbl.find_opt t.inflight line with
+  | Some fill when fill > now ->
+      if kind = Demand then t.stats.inflight_hits <- t.stats.inflight_hits + 1;
+      t.last_level <- Inflight;
+      fill
+  | maybe_stale -> (
+      if maybe_stale <> None then Hashtbl.remove t.inflight line;
+      if Cache.access t.l1 line then begin
+        t.last_level <- L1;
+        t.stats.l1_hits <- t.stats.l1_hits + 1;
+        now + t.lat_l1
+      end
+      else if Cache.access t.l2 line then begin
+        t.last_level <- L2;
+        t.stats.l2_hits <- t.stats.l2_hits + 1;
+        ignore (Cache.insert t.l1 line);
+        with_mshr t ~kind ~now (fun start -> start + t.lat_l2)
+      end
+      else
+        match t.l3 with
+        | Some l3 when Cache.access l3 line ->
+            t.last_level <- L3;
+            t.stats.l3_hits <- t.stats.l3_hits + 1;
+            ignore (Cache.insert t.l2 line);
+            ignore (Cache.insert t.l1 line);
+            with_mshr t ~kind ~now (fun start -> start + t.lat_l3)
+        | _ -> (
+            t.last_level <- Dram;
+            (* Prefetches that would queue behind a saturated channel are
+               dropped rather than crowd out demand traffic, as real memory
+               controllers do — this keeps software prefetching from
+               degrading bandwidth-saturated multicore runs (Fig 9).  The
+               check runs after MSHR pacing so ordinary bursts, which the
+               fill buffers spread out, are not dropped. *)
+            let is_prefetch =
+              match kind with
+              | Sw_prefetch | Hw_prefetch -> true
+              | Demand | Write -> false
+            in
+            let slots =
+              match kind with
+              | Demand | Write -> t.mshrs
+              | Sw_prefetch | Hw_prefetch -> t.pf_mshrs
+            in
+            let k = min_slot slots in
+            let start = max now slots.(k) in
+            if
+              is_prefetch
+              && Dram.backlog t.dram ~now:start > 3 * Dram.latency t.dram
+            then now (* dropped: no fill started, no slot held *)
+            else begin
+              t.stats.dram_fills <- t.stats.dram_fills + 1;
+              let completion = Dram.request t.dram ~now:start in
+              slots.(k) <- completion;
+              let into_l1 =
+                match kind with
+                | Hw_prefetch -> (
+                    match t.spf with
+                    | Some p -> Stride_pf.insert_to_l1 p
+                    | None -> false)
+                | Demand | Write | Sw_prefetch -> true
+              in
+              (match t.l3 with
+              | Some l3 -> ignore (Cache.insert l3 line)
+              | None -> ());
+              ignore (Cache.insert t.l2 line);
+              if into_l1 then ignore (Cache.insert t.l1 line);
+              Hashtbl.replace t.inflight line completion;
+              completion
+            end))
+
+let access t ~kind ~pc ~addr ~now =
+  let ready = translate t ~addr ~now in
+  let line = addr lsr Machine.line_shift in
+  let completion = lookup t ~kind ~line ~now:ready in
+  (match kind with
+  | Demand -> (
+      t.stats.loads <- t.stats.loads + 1;
+      match t.spf with
+      | Some p -> (
+          match Stride_pf.train p ~pc ~addr with
+          | Some pf_addr when pf_addr >= 0 ->
+              t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
+              let level = t.last_level in
+              let pf_ready = translate t ~addr:pf_addr ~now:ready in
+              ignore
+                (lookup t ~kind:Hw_prefetch
+                   ~line:(pf_addr lsr Machine.line_shift)
+                   ~now:pf_ready);
+              t.last_level <- level
+          | Some _ | None -> ())
+      | None -> ())
+  | Write -> t.stats.stores <- t.stats.stores + 1
+  | Sw_prefetch -> t.stats.sw_prefetches <- t.stats.sw_prefetches + 1
+  | Hw_prefetch -> t.stats.hw_prefetches <- t.stats.hw_prefetches + 1);
+  completion
+
+let set_page_shift t shift =
+  t.page_shift <- shift;
+  Cache.clear t.tlb

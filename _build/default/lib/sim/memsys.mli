@@ -1,0 +1,32 @@
+(** Per-core memory system: TLB with a bounded walker pool, L1/L2/optional
+    L3 caches, MSHR-limited fills from a (shareable) DRAM channel, in-flight
+    fill tracking and a hardware stride prefetcher. *)
+
+type kind =
+  | Demand  (** a load on the program's critical path *)
+  | Write  (** a store (write-allocate, never stalls the core) *)
+  | Sw_prefetch  (** prefetch emitted by the pass or by hand *)
+  | Hw_prefetch  (** prefetch issued by the stride engine *)
+
+type level = L1 | L2 | L3 | Dram | Inflight
+
+type t
+
+val create : Machine.t -> tscale:int -> dram:Dram.t -> stats:Stats.t -> t
+(** [tscale] is the core model's sub-cycle time scale; all configured
+    latencies are multiplied by it.  The [dram] channel may be shared
+    between several cores' memory systems (Fig 9). *)
+
+val access : t -> kind:kind -> pc:int -> addr:int -> now:int -> int
+(** Perform an access; returns its completion time.  Demand loads train the
+    stride prefetcher under their [pc].  TLB misses are taken (and walks
+    paid) for all kinds, including prefetches, which is what primes the TLB
+    (Fig 10). *)
+
+val last_level : t -> level
+(** Where the most recent [access] was satisfied. *)
+
+val stats : t -> Stats.t
+
+val set_page_shift : t -> int -> unit
+(** Switch page policy (flushes the TLB). *)

@@ -1,0 +1,39 @@
+(* Multicore driver for the bandwidth experiment (Fig 9): N independent
+   instances (private caches and TLBs) share one DRAM channel.  Cores are
+   co-simulated by always stepping the core with the smallest local time,
+   so contention on the shared channel is interleaved realistically. *)
+
+type t = { cores : Interp.t array }
+
+let create ~machine ~n_cores ~make_instance =
+  let tscale = Interp.default_tscale in
+  let dram = Dram.create machine.Machine.dram ~tscale in
+  let cores =
+    Array.init n_cores (fun core_id -> make_instance ~core_id ~dram ~tscale)
+  in
+  { cores }
+
+let run ?(fuel = max_int) t =
+  let n = Array.length t.cores in
+  let live = ref n in
+  let steps = ref 0 in
+  while !live > 0 && !steps < fuel do
+    (* Pick the non-halted core with minimal local time. *)
+    let best = ref (-1) in
+    for k = 0 to n - 1 do
+      if not (Interp.halted t.cores.(k)) then
+        if !best < 0 || Interp.time t.cores.(k) < Interp.time t.cores.(!best)
+        then best := k
+    done;
+    if !best >= 0 then begin
+      if not (Interp.step t.cores.(!best)) then decr live
+    end;
+    incr steps
+  done;
+  if !live > 0 then failwith "Multicore.run: out of fuel"
+
+let cores t = t.cores
+
+(* Makespan: the time at which the last core finishes. *)
+let total_cycles t =
+  Array.fold_left (fun m c -> max m (Interp.cycles c)) 0 t.cores

@@ -1,0 +1,21 @@
+(** Multicore co-simulation: N instances with private caches sharing one
+    DRAM channel (the Fig 9 bandwidth experiment). *)
+
+type t
+
+val create :
+  machine:Machine.t ->
+  n_cores:int ->
+  make_instance:(core_id:int -> dram:Dram.t -> tscale:int -> Interp.t) ->
+  t
+(** The callback must build each core's interpreter over the shared [dram]
+    with the given [tscale]. *)
+
+val run : ?fuel:int -> t -> unit
+(** Co-simulate until every core's program returns, always advancing the
+    core with the smallest local time. *)
+
+val cores : t -> Interp.t array
+
+val total_cycles : t -> int
+(** Cycles at which the last core finished. *)

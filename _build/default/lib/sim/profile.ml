@@ -1,0 +1,212 @@
+module Ir = Spf_ir.Ir
+
+(* Per-instruction memory profiling: run a function functionally (no
+   timing) over a cache model and attribute hits/misses to each load,
+   store and prefetch site.  The CLI's `profile` subcommand uses this to
+   show exactly which loads miss — the loads the pass should be catching. *)
+
+type site = {
+  instr_id : int;
+  name : string;
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+  mutable misses : int;
+}
+
+type t = {
+  sites : (int, site) Hashtbl.t;
+  machine : Machine.t;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t option;
+}
+
+let create (machine : Machine.t) =
+  let mk (g : Machine.cache_geom) =
+    Cache.create ~size:g.size ~assoc:g.assoc ~unit_shift:Machine.line_shift
+  in
+  {
+    sites = Hashtbl.create 32;
+    machine;
+    l1 = mk machine.l1;
+    l2 = mk machine.l2;
+    l3 = Option.map mk machine.l3;
+  }
+
+let site t (i : Ir.instr) =
+  match Hashtbl.find_opt t.sites i.id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          instr_id = i.id;
+          name = i.name;
+          accesses = 0;
+          l1_hits = 0;
+          l2_hits = 0;
+          l3_hits = 0;
+          misses = 0;
+        }
+      in
+      Hashtbl.replace t.sites i.id s;
+      s
+
+let touch t (i : Ir.instr) ~addr =
+  let s = site t i in
+  s.accesses <- s.accesses + 1;
+  let line = addr lsr Machine.line_shift in
+  if Cache.access t.l1 line then s.l1_hits <- s.l1_hits + 1
+  else if Cache.access t.l2 line then begin
+    s.l2_hits <- s.l2_hits + 1;
+    ignore (Cache.insert t.l1 line)
+  end
+  else
+    match t.l3 with
+    | Some l3 when Cache.access l3 line ->
+        s.l3_hits <- s.l3_hits + 1;
+        ignore (Cache.insert t.l2 line);
+        ignore (Cache.insert t.l1 line)
+    | other ->
+        s.misses <- s.misses + 1;
+        (match other with
+        | Some l3 -> ignore (Cache.insert l3 line)
+        | None -> ());
+        ignore (Cache.insert t.l2 line);
+        ignore (Cache.insert t.l1 line)
+
+(* Functional execution with cache profiling: a simplified interpreter that
+   shares the Memory model but skips all timing. *)
+let run ?(fuel = 200_000_000) t (func : Ir.func) ~(mem : Memory.t)
+    ~(args : int array) =
+  let n = Ir.n_instrs func in
+  let env = Array.make (max n 1) 0 in
+  let fenv = Array.make (max n 1) 0.0 in
+  Array.iteri
+    (fun k id -> if k < Array.length args then env.(id) <- args.(k))
+    func.Ir.param_ids;
+  let ival = function
+    | Ir.Var id -> env.(id)
+    | Ir.Imm x -> x
+    | Ir.Fimm x -> Int64.to_int (Int64.bits_of_float x)
+  in
+  let fval = function
+    | Ir.Var id -> fenv.(id)
+    | Ir.Fimm x -> x
+    | Ir.Imm x -> float_of_int x
+  in
+  let cur = ref func.Ir.entry in
+  let halted = ref false in
+  let retval = ref None in
+  let steps = ref 0 in
+  while (not !halted) && !steps < fuel do
+    incr steps;
+    let block = Ir.block func !cur in
+    Array.iter
+      (fun id ->
+        let i = Ir.instr func id in
+        match i.Ir.kind with
+        | Ir.Phi _ -> () (* handled on edges *)
+        | Ir.Binop (op, x, y) -> (
+            let dst = i.Ir.id in
+            match op with
+            | Ir.Fadd -> fenv.(dst) <- fval x +. fval y
+            | Ir.Fsub -> fenv.(dst) <- fval x -. fval y
+            | Ir.Fmul -> fenv.(dst) <- fval x *. fval y
+            | Ir.Fdiv -> fenv.(dst) <- fval x /. fval y
+            | Ir.Add -> env.(dst) <- ival x + ival y
+            | Ir.Sub -> env.(dst) <- ival x - ival y
+            | Ir.Mul -> env.(dst) <- ival x * ival y
+            | Ir.Sdiv -> env.(dst) <- ival x / ival y
+            | Ir.Srem -> env.(dst) <- ival x mod ival y
+            | Ir.And -> env.(dst) <- ival x land ival y
+            | Ir.Or -> env.(dst) <- ival x lor ival y
+            | Ir.Xor -> env.(dst) <- ival x lxor ival y
+            | Ir.Shl -> env.(dst) <- ival x lsl ival y
+            | Ir.Lshr -> env.(dst) <- ival x lsr ival y
+            | Ir.Ashr -> env.(dst) <- ival x asr ival y
+            | Ir.Smin -> env.(dst) <- min (ival x) (ival y)
+            | Ir.Smax -> env.(dst) <- max (ival x) (ival y))
+        | Ir.Cmp (pred, x, y) ->
+            let a = ival x and b = ival y in
+            env.(i.Ir.id) <-
+              (match pred with
+               | Ir.Eq -> if a = b then 1 else 0
+               | Ir.Ne -> if a <> b then 1 else 0
+               | Ir.Slt -> if a < b then 1 else 0
+               | Ir.Sle -> if a <= b then 1 else 0
+               | Ir.Sgt -> if a > b then 1 else 0
+               | Ir.Sge -> if a >= b then 1 else 0)
+        | Ir.Select (c, x, y) ->
+            let pick = if ival c <> 0 then x else y in
+            env.(i.Ir.id) <- ival pick;
+            (match pick with
+            | Ir.Var v -> fenv.(i.Ir.id) <- fenv.(v)
+            | Ir.Fimm f -> fenv.(i.Ir.id) <- f
+            | Ir.Imm _ -> ())
+        | Ir.Gep { base; index; scale } ->
+            env.(i.Ir.id) <- ival base + (ival index * scale)
+        | Ir.Load (ty, a) ->
+            let addr = ival a in
+            touch t i ~addr;
+            (match ty with
+            | Ir.F64 -> fenv.(i.Ir.id) <- Memory.load_f64 mem addr
+            | _ -> env.(i.Ir.id) <- Memory.load mem ty addr)
+        | Ir.Store (ty, a, v) ->
+            let addr = ival a in
+            touch t i ~addr;
+            (match ty with
+            | Ir.F64 -> Memory.store_f64 mem addr (fval v)
+            | _ -> Memory.store mem ty addr (ival v))
+        | Ir.Prefetch a ->
+            let addr = ival a in
+            if addr >= 0 then touch t i ~addr
+        | Ir.Alloc sz -> env.(i.Ir.id) <- Memory.alloc mem (ival sz)
+        | Ir.Call _ -> failwith "Profile.run: calls unsupported"
+        | Ir.Param _ -> ())
+      block.Ir.instrs;
+    (* Edge with phi copies. *)
+    let goto succ =
+      let copies = ref [] in
+      Array.iter
+        (fun id ->
+          let i = Ir.instr func id in
+          match i.Ir.kind with
+          | Ir.Phi incoming -> (
+              match List.assoc_opt !cur incoming with
+              | Some v -> copies := (i.Ir.id, ival v,
+                    (match v with
+                     | Ir.Var vv -> fenv.(vv)
+                     | Ir.Fimm f -> f
+                     | Ir.Imm _ -> 0.0)) :: !copies
+              | None -> failwith "Profile.run: missing phi edge")
+          | _ -> ())
+        (Ir.block func succ).Ir.instrs;
+      List.iter (fun (dst, v, fv) -> env.(dst) <- v; fenv.(dst) <- fv) !copies;
+      cur := succ
+    in
+    match block.Ir.term with
+    | Ir.Br succ -> goto succ
+    | Ir.Cbr (c, bt, bf) -> goto (if ival c <> 0 then bt else bf)
+    | Ir.Ret v ->
+        retval := Option.map ival v;
+        halted := true
+    | Ir.Unreachable -> failwith "Profile.run: unreachable"
+  done;
+  if not !halted then failwith "Profile.run: out of fuel";
+  !retval
+
+let sites t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.sites []
+  |> List.sort (fun a b -> compare b.misses a.misses)
+
+let pp fmt t =
+  Format.fprintf fmt "%-18s %10s %10s %10s %10s %10s@." "site" "accesses"
+    "l1" "l2" "l3" "misses";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%%%-17s %10d %10d %10d %10d %10d@."
+        (Printf.sprintf "%s.%d" s.name s.instr_id)
+        s.accesses s.l1_hits s.l2_hits s.l3_hits s.misses)
+    (sites t)

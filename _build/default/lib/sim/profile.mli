@@ -1,0 +1,33 @@
+(** Per-instruction memory profiling: functional (untimed) execution over a
+    cache model, attributing hits and misses to each load/store/prefetch
+    site.  The CLI's [profile] subcommand uses this to show which loads
+    miss — the loads the pass should be catching. *)
+
+type site = {
+  instr_id : int;
+  name : string;
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+  mutable misses : int;
+}
+
+type t
+
+val create : Machine.t -> t
+
+val run :
+  ?fuel:int ->
+  t ->
+  Spf_ir.Ir.func ->
+  mem:Memory.t ->
+  args:int array ->
+  int option
+(** Execute the function, profiling every memory access; returns the
+    function's return value.  Calls are unsupported. *)
+
+val sites : t -> site list
+(** All touched sites, worst missers first. *)
+
+val pp : Format.formatter -> t -> unit

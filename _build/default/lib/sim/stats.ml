@@ -1,0 +1,44 @@
+(* Execution counters, shared by the memory system and the core model. *)
+
+type t = {
+  mutable instructions : int; (* dynamic non-phi instructions *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable sw_prefetches : int;
+  mutable hw_prefetches : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+  mutable dram_fills : int;
+  mutable inflight_hits : int; (* demand hits on an in-flight fill *)
+  mutable tlb_misses : int;
+  mutable page_walks : int;
+  mutable cycles : int; (* set at end of run *)
+}
+
+let create () =
+  {
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    sw_prefetches = 0;
+    hw_prefetches = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    l3_hits = 0;
+    dram_fills = 0;
+    inflight_hits = 0;
+    tlb_misses = 0;
+    page_walks = 0;
+    cycles = 0;
+  }
+
+let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instructions /. float_of_int t.cycles
+
+let pp fmt t =
+  Format.fprintf fmt
+    "cycles=%d insts=%d (ipc %.2f) loads=%d stores=%d swpf=%d hwpf=%d@ \
+     l1=%d l2=%d l3=%d dram=%d inflight=%d tlbmiss=%d walks=%d"
+    t.cycles t.instructions (ipc t) t.loads t.stores t.sw_prefetches
+    t.hw_prefetches t.l1_hits t.l2_hits t.l3_hits t.dram_fills t.inflight_hits
+    t.tlb_misses t.page_walks

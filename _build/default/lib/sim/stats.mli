@@ -1,0 +1,21 @@
+(** Execution counters shared by the memory system and core model. *)
+
+type t = {
+  mutable instructions : int;  (** dynamic non-phi instructions *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable sw_prefetches : int;
+  mutable hw_prefetches : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+  mutable dram_fills : int;
+  mutable inflight_hits : int;  (** demand hits on an in-flight fill *)
+  mutable tlb_misses : int;
+  mutable page_walks : int;
+  mutable cycles : int;
+}
+
+val create : unit -> t
+val ipc : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Hardware stride prefetcher (region-based stream table, as in these
+    cores' L2 streamers).
+
+    Data-dependent accesses never confirm a stride — the gap the pass
+    fills — and two interleaved streams over the same array (demand plus
+    the pass's look-ahead loads) alias to one region entry and destroy each
+    other's stride, which is why software stride companions (§4.3 / Fig 5)
+    still pay off on machines with hardware prefetchers. *)
+
+type t
+
+val create : Machine.stride_cfg -> t
+
+val train : t -> pc:int -> addr:int -> int option
+(** Train the entry for [pc] with a demand access to [addr]; returns an
+    address to hardware-prefetch once the stride is confirmed. *)
+
+val insert_to_l1 : t -> bool
+(** Whether this prefetcher's fills are installed in the L1 (otherwise they
+    stop at the L2 and below). *)

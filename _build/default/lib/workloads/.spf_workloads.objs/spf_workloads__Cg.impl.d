@@ -1,0 +1,1 @@
+lib/workloads/cg.ml: Array Int64 Rng Spf_ir Spf_sim Workload

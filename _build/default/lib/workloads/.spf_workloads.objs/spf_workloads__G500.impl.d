@@ -1,0 +1,1 @@
+lib/workloads/g500.ml: Array Hashtbl Option Rng Spf_ir Spf_sim Workload

@@ -1,0 +1,1 @@
+lib/workloads/g500.mli: Spf_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/hj.ml: Array Option Rng Spf_ir Spf_sim Workload

@@ -1,0 +1,1 @@
+lib/workloads/hj.mli: Spf_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/is.ml: Array Rng Spf_ir Spf_sim Workload

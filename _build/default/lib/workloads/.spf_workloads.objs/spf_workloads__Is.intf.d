@@ -1,0 +1,1 @@
+lib/workloads/is.mli: Spf_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/ra.ml: Array Spf_ir Spf_sim Workload

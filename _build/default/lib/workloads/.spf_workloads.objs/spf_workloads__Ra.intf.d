@@ -1,0 +1,1 @@
+lib/workloads/ra.mli: Spf_ir Workload

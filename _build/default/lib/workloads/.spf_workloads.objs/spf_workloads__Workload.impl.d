@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Printf Spf_ir Spf_sim

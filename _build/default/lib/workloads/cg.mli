@@ -1,0 +1,22 @@
+(** Conjugate Gradient (NAS Parallel Benchmarks) — the sparse
+    matrix-vector product's gather [x[col[j]]].
+
+    Substitutions (DESIGN.md §4): ELLPACK layout (constant non-zeros per
+    row) with the product split into a flat gather-multiply loop and a
+    per-row reduction — the gather loop carries all the memory-boundness
+    and has the compile-time trip count that lets the ICC-model baseline
+    pick CG up, as the paper reports for the real Intel compiler.  Column
+    indices follow a band-plus-scatter distribution so the dense-vector
+    gather has CG's characteristic locality. *)
+
+type params = { n_rows : int; row_nnz : int; n_cols : int; seed : int }
+
+val default : params
+val nnz : params -> int
+
+type manual = { c : int; stride : bool }
+
+val optimal : manual
+
+val build_func : ?manual:manual -> params -> Spf_ir.Ir.func
+val build : ?manual:manual -> params -> Workload.built

@@ -1,0 +1,200 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Memory = Spf_sim.Memory
+
+(* Hash Join (Teubner et al.-style microkernel, §5.1): hash each probe key,
+   index a bucket array, and scan the bucket.  Buckets hold two inline keys
+   plus a chain pointer:
+
+     bucket  = { key0 : i64; key1 : i64; next : i64; pad }   (32 bytes)
+     node    = { key0 : i64; key1 : i64; next : i64; pad }
+
+   HJ-2 fills every bucket with exactly two keys (no chain — "no linked-list
+   traversals due to the data structure used"); HJ-8 fills eight, i.e. two
+   inline plus three chain nodes, so each probe makes four dependent
+   irregular accesses.  Inputs are crafted so occupancy is exact: the key
+   for (bucket b, slot s) is [(b lxor s) lor (s lsl 33)] under the hash
+   [h(k) = (k lxor (k lsr 33)) land mask], which is also enough arithmetic
+   in the address chain to defeat the ICC-model pass, as the paper reports.
+
+   The probe accumulates [acc += (h+1)] per matching slot and returns it —
+   the checksum validated against the reference implementation. *)
+
+type params = {
+  log_buckets : int;
+  elems_per_bucket : int; (* 2 or 8 *)
+  n_probes : int;
+  seed : int;
+}
+
+let default_hj2 =
+  { log_buckets = 18; elems_per_bucket = 2; n_probes = 1 lsl 17; seed = 3 }
+
+let default_hj8 =
+  { log_buckets = 17; elems_per_bucket = 8; n_probes = 1 lsl 16; seed = 3 }
+
+let bucket_bytes = 32
+let node_bytes = 32
+let nodes_per_bucket p = max 0 ((p.elems_per_bucket - 2) / 2)
+
+let hash ~mask k = (k lxor (k lsr 33)) land mask
+let key_of ~bucket ~slot = bucket lxor slot lor (slot lsl 33)
+
+type manual = { c : int; depth : int (* irregular accesses to prefetch, 1-4 *) }
+
+let optimal_hj2 = { c = 64; depth = 1 }
+let optimal_hj8 = { c = 64; depth = 3 (* Fig 7: 3 of 4 is optimal *) }
+
+(* Hash computation in IR. *)
+let emit_hash b ~mask k =
+  let t1 = Builder.binop ~name:"h.shr" b Ir.Lshr k (Ir.Imm 33) in
+  let t2 = Builder.binop ~name:"h.xor" b Ir.Xor k t1 in
+  Builder.binop ~name:"h" b Ir.And t2 (Ir.Imm mask)
+
+(* One staggered manual-prefetch group: re-execute the probe chain [level]
+   loads deep at look-ahead [off] and prefetch the next structure.
+   level 0 prefetches the bucket; level k > 0 prefetches the k-th chain
+   node via real loads of the next pointers (§5.1's HJ-8 description). *)
+let emit_manual_group b ~probe ~buckets ~mask ~n ~off ~level i =
+  let idx =
+    Builder.binop b Ir.Smin (Builder.add b i (Ir.Imm off)) (Ir.Imm (n - 1))
+  in
+  let pk = Builder.load b Ir.I64 (Builder.gep b probe idx 8) in
+  let h = emit_hash b ~mask pk in
+  let baddr = Builder.gep b buckets h bucket_bytes in
+  if level = 0 then Builder.prefetch b baddr
+  else begin
+    let rec chase addr k =
+      let nxt = Builder.load b Ir.I64 (Builder.gep b addr (Ir.Imm 2) 8) in
+      if k = 1 then Builder.prefetch b nxt else chase nxt (k - 1)
+    in
+    chase baddr level
+  end
+
+let build_func ?manual p =
+  let mask = (1 lsl p.log_buckets) - 1 in
+  let n = p.n_probes in
+  let b = Builder.create ~name:"hj_probe" ~nparams:2 in
+  let probe = Builder.param b 0 and buckets = Builder.param b 1 in
+  let head = Builder.new_block b "probe.head" in
+  let body = Builder.new_block b "probe.body" in
+  let exit = Builder.new_block b "probe.exit" in
+  let entry = Builder.current_block b in
+  Builder.br b head;
+  Builder.set_block b head;
+  let i = Builder.phi ~name:"probe.iv" b [ (entry, Ir.Imm 0) ] in
+  let acc = Builder.phi ~name:"acc" b [ (entry, Ir.Imm 0) ] in
+  let cond = Builder.cmp b Ir.Slt i (Ir.Imm n) in
+  Builder.cbr b cond body exit;
+  Builder.set_block b body;
+  (* Manual staggered prefetches (stride + [depth] irregulars). *)
+  (match manual with
+  | Some m ->
+      let t = m.depth + 1 in
+      (* stride prefetch of the probe-key array *)
+      let idx =
+        Builder.binop b Ir.Smin (Builder.add b i (Ir.Imm m.c)) (Ir.Imm (n - 1))
+      in
+      Builder.prefetch b (Builder.gep b probe idx 8);
+      for level = 0 to m.depth - 1 do
+        let off = m.c * (t - 1 - level) / t in
+        emit_manual_group b ~probe ~buckets ~mask ~n ~off ~level i
+      done
+  | None -> ());
+  let pk = Builder.load ~name:"pkey" b Ir.I64 (Builder.gep b probe i 8) in
+  let h = emit_hash b ~mask pk in
+  let weight = Builder.add ~name:"w" b h (Ir.Imm 1) in
+  let baddr = Builder.gep ~name:"bkt" b buckets h bucket_bytes in
+  let check_slot acc addr slot =
+    let k = Builder.load ~name:"skey" b Ir.I64 (Builder.gep b addr (Ir.Imm slot) 8) in
+    let e = Builder.cmp ~name:"eq" b Ir.Eq k pk in
+    Builder.add ~name:"acc" b acc (Builder.mul b e weight)
+  in
+  let acc1 = check_slot acc baddr 0 in
+  let acc2 = check_slot acc1 baddr 1 in
+  let nxt = Builder.load ~name:"chain" b Ir.I64 (Builder.gep b baddr (Ir.Imm 2) 8) in
+  let acc_final =
+    if nodes_per_bucket p = 0 then acc2
+    else begin
+      (* Walk the chain: node = phi(nxt, node.next); scan two keys each. *)
+      let pre = Builder.current_block b in
+      let whead = Builder.new_block b "walk.head" in
+      let wbody = Builder.new_block b "walk.body" in
+      let wexit = Builder.new_block b "walk.exit" in
+      Builder.br b whead;
+      Builder.set_block b whead;
+      let node = Builder.phi ~name:"node" b [ (pre, nxt) ] in
+      let wacc = Builder.phi ~name:"wacc" b [ (pre, acc2) ] in
+      let wc = Builder.cmp b Ir.Ne node (Ir.Imm 0) in
+      Builder.cbr b wc wbody wexit;
+      Builder.set_block b wbody;
+      let a1 = check_slot wacc node 0 in
+      let a2 = check_slot a1 node 1 in
+      let nn = Builder.load ~name:"nnext" b Ir.I64 (Builder.gep b node (Ir.Imm 2) 8) in
+      let wlatch = Builder.current_block b in
+      Builder.br b whead;
+      Builder.add_incoming b node ~pred:wlatch nn;
+      Builder.add_incoming b wacc ~pred:wlatch a2;
+      Builder.set_block b wexit;
+      wacc
+    end
+  in
+  let i' = Builder.add b i (Ir.Imm 1) in
+  let latch = Builder.current_block b in
+  Builder.br b head;
+  Builder.add_incoming b i ~pred:latch i';
+  Builder.add_incoming b acc ~pred:latch acc_final;
+  Builder.set_block b exit;
+  Builder.ret b (Some acc);
+  Builder.finish b
+
+(* Host-side construction of the table and probe stream. *)
+let setup p mem =
+  let n_buckets = 1 lsl p.log_buckets in
+  let npb = nodes_per_bucket p in
+  let buckets_base = Memory.alloc mem (bucket_bytes * n_buckets) in
+  let nodes_base =
+    if npb = 0 then 0 else Memory.alloc mem (node_bytes * npb * n_buckets)
+  in
+  let keys = ref [] in
+  for bkt = 0 to n_buckets - 1 do
+    let key s = key_of ~bucket:bkt ~slot:s in
+    let baddr = buckets_base + (bucket_bytes * bkt) in
+    Memory.store mem Ir.I64 baddr (key 0);
+    Memory.store mem Ir.I64 (baddr + 8) (key 1);
+    keys := key 0 :: key 1 :: !keys;
+    let node t = nodes_base + (node_bytes * ((bkt * npb) + t)) in
+    Memory.store mem Ir.I64 (baddr + 16) (if npb > 0 then node 0 else 0);
+    for t = 0 to npb - 1 do
+      let na = node t in
+      Memory.store mem Ir.I64 na (key (2 + (2 * t)));
+      Memory.store mem Ir.I64 (na + 8) (key (3 + (2 * t)));
+      Memory.store mem Ir.I64 (na + 16) (if t < npb - 1 then node (t + 1) else 0);
+      keys := key (2 + (2 * t)) :: key (3 + (2 * t)) :: !keys
+    done
+  done;
+  let all_keys = Array.of_list !keys in
+  let rng = Rng.create ~seed:p.seed in
+  Rng.shuffle rng all_keys;
+  let probes = Array.init p.n_probes (fun k -> all_keys.(k mod Array.length all_keys)) in
+  let probe_base = Memory.alloc_i64_array mem probes in
+  (probe_base, buckets_base, probes)
+
+(* Every probe key exists exactly once, so the reference accumulator is the
+   sum of (hash+1) over the probe stream. *)
+let reference p probes =
+  let mask = (1 lsl p.log_buckets) - 1 in
+  Array.fold_left (fun acc k -> acc + hash ~mask k + 1) 0 probes
+
+let build ?manual (p : params) : Workload.built =
+  let mem = Memory.create ~initial:(1 lsl 25) () in
+  let probe_base, buckets_base, probes = setup p mem in
+  let expected = reference p probes in
+  {
+    Workload.name = (if p.elems_per_bucket <= 2 then "HJ-2" else "HJ-8");
+    func = build_func ?manual p;
+    mem;
+    args = [| probe_base; buckets_base |];
+    expected;
+    check = (fun _ ~retval -> Option.value retval ~default:min_int);
+  }

@@ -1,0 +1,39 @@
+(** Hash Join probing (§5.1): hash each probe key, index a bucket array,
+    scan two inline slots plus an optional chain of nodes.
+
+    HJ-2 fills every bucket with exactly two keys (no chain); HJ-8 fills
+    eight — two inline plus three chain nodes, i.e. four dependent
+    irregular accesses per probe.  Keys are crafted so occupancy is exact;
+    the hash ([k lxor (k lsr 33)] masked) is enough arithmetic in the
+    address chain to defeat the ICC-model pass. *)
+
+type params = {
+  log_buckets : int;
+  elems_per_bucket : int;  (** 2 or 8 *)
+  n_probes : int;
+  seed : int;
+}
+
+val default_hj2 : params
+val default_hj8 : params
+
+val bucket_bytes : int
+val node_bytes : int
+val nodes_per_bucket : params -> int
+
+val hash : mask:int -> int -> int
+val key_of : bucket:int -> slot:int -> int
+(** Crafted so [hash (key_of ~bucket ~slot) = bucket] and keys are
+    pairwise distinct. *)
+
+(** Staggered manual prefetching: the probe-array stride prefetch plus
+    [depth] dependent irregular prefetches at eq.-1 offsets (§5.1's
+    16/12/8/4 staggering; Fig 7 sweeps [depth]). *)
+type manual = { c : int; depth : int }
+
+val optimal_hj2 : manual
+val optimal_hj8 : manual
+(** depth 3 — the Fig 7 optimum. *)
+
+val build_func : ?manual:manual -> params -> Spf_ir.Ir.func
+val build : ?manual:manual -> params -> Workload.built

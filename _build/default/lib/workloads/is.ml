@@ -1,0 +1,101 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Memory = Spf_sim.Memory
+
+(* Integer Sort (NAS Parallel Benchmarks) — the bucket-counting loop, the
+   paper's running example (code listing 1 / Fig 3):
+
+     for (i = 0; i < n_keys; i++) key_buff1[key_buff2[i]]++;
+
+   key_buff2 is scanned sequentially; the increment is an indirect access
+   into a bucket array sized well past the last-level cache, so every
+   indirect access misses.  Manual variants reproduce the schemes of Fig 2:
+   the intuitive indirect-only prefetch, and the staggered stride+indirect
+   pair at a configurable look-ahead [c]. *)
+
+type params = { n_keys : int; n_buckets : int; seed : int }
+
+(* Buckets total 32 MiB — 4x Haswell's LLC, as NPB class B is relative to
+   the paper's machines. *)
+let default = { n_keys = 1 lsl 18; n_buckets = 1 lsl 23; seed = 42 }
+
+type manual = { c : int; stride : bool }
+
+let intuitive = { c = 64; stride = false } (* listing 1 line 4 only *)
+let optimal = { c = 64; stride = true } (* lines 4 and 6 *)
+let offset_too_small = { c = 8; stride = true }
+
+(* Big enough that prefetched lines fall out of the L1/L2 and the TLB
+   churns between prefetch and use. *)
+let offset_too_big = { c = 512; stride = true }
+
+(* The kernel in IR.  [manual] adds hand-written prefetches at the top of
+   the loop body. *)
+let build_func ?manual p =
+  let b = Builder.create ~name:"is_bucket_count" ~nparams:2 in
+  let kb2 = Builder.param b 0 and kb1 = Builder.param b 1 in
+  let n = Ir.Imm p.n_keys in
+  let _exit =
+    Builder.counted_loop b ~init:(Ir.Imm 0) ~bound:n ~step:(Ir.Imm 1)
+      (fun i ->
+        (match manual with
+        | Some m ->
+            if m.stride then begin
+              let idx =
+                Builder.binop b Ir.Smin
+                  (Builder.add b i (Ir.Imm m.c))
+                  (Ir.Imm (p.n_keys - 1))
+              in
+              Builder.prefetch b (Builder.gep b kb2 idx 4)
+            end;
+            let idx =
+              Builder.binop b Ir.Smin
+                (Builder.add b i (Ir.Imm (m.c / 2)))
+                (Ir.Imm (p.n_keys - 1))
+            in
+            let k = Builder.load b Ir.I32 (Builder.gep b kb2 idx 4) in
+            Builder.prefetch b (Builder.gep b kb1 k 4)
+        | None -> ());
+        let k = Builder.load ~name:"key" b Ir.I32 (Builder.gep b kb2 i 4) in
+        let slot = Builder.gep ~name:"slot" b kb1 k 4 in
+        let v = Builder.load ~name:"count" b Ir.I32 slot in
+        Builder.store b Ir.I32 slot (Builder.add b v (Ir.Imm 1)))
+  in
+  Builder.ret b None;
+  Builder.finish b
+
+let keys p =
+  let rng = Rng.create ~seed:p.seed in
+  Array.init p.n_keys (fun _ -> Rng.int rng p.n_buckets)
+
+(* Reference result: the bucket counts, computed in OCaml. *)
+let reference_counts p ks =
+  let counts = Array.make p.n_buckets 0 in
+  Array.iter (fun k -> counts.(k) <- counts.(k) + 1) ks;
+  counts
+
+let checksum_of p ~get_count ks =
+  let acc = ref 0 in
+  for i = 0 to p.n_keys - 1 do
+    acc := Workload.mix !acc (get_count ks.(i))
+  done;
+  !acc
+
+let build ?manual (p : params) : Workload.built =
+  let ks = keys p in
+  let mem = Memory.create ~initial:(1 lsl 26) () in
+  let kb2 = Memory.alloc_i32_array mem ks in
+  let kb1 = Memory.alloc mem (4 * p.n_buckets) in
+  let counts = reference_counts p ks in
+  let expected = checksum_of p ~get_count:(fun k -> counts.(k)) ks in
+  let check m ~retval:_ =
+    checksum_of p ~get_count:(fun k -> Memory.load m Ir.I32 (kb1 + (4 * k))) ks
+  in
+  {
+    Workload.name = "IS";
+    func = build_func ?manual p;
+    mem;
+    args = [| kb2; kb1 |];
+    expected;
+    check;
+  }

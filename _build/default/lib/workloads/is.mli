@@ -1,0 +1,29 @@
+(** Integer Sort (NAS Parallel Benchmarks) — the bucket-counting loop, the
+    paper's running example (code listing 1 / Fig 3):
+    [for i in 0..n: key_buff1[key_buff2[i]]++]. *)
+
+type params = { n_keys : int; n_buckets : int; seed : int }
+
+val default : params
+(** 2^18 keys into a 32 MiB bucket array (4x Haswell's LLC, mirroring how
+    NPB class B relates to the paper's machines). *)
+
+(** Hand-inserted prefetch schemes (Fig 2). *)
+type manual = { c : int; stride : bool }
+
+val intuitive : manual
+(** Only the indirect prefetch (listing 1, line 4). *)
+
+val optimal : manual
+(** Indirect + staggered stride prefetch at c = 64 (lines 4 and 6). *)
+
+val offset_too_small : manual
+val offset_too_big : manual
+
+val build_func : ?manual:manual -> params -> Spf_ir.Ir.func
+(** The kernel alone (used by tests and the pass microbenchmarks). *)
+
+val build : ?manual:manual -> params -> Workload.built
+
+val keys : params -> int array
+(** The generated key stream (deterministic in [seed]). *)

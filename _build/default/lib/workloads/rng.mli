@@ -1,0 +1,16 @@
+(** Deterministic pseudo-random numbers (splitmix64-style) for reproducible
+    experiments. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int
+(** Uniform non-negative 63-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val shuffle : t -> 'a array -> unit

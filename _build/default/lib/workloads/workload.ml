@@ -1,0 +1,29 @@
+module Ir = Spf_ir.Ir
+module Memory = Spf_sim.Memory
+
+(* Common shape of a benchmark instance: a freshly-built IR function, the
+   memory image holding its arrays, the parameter values, and a validation
+   checksum (the reference implementation's value).  Instances are built
+   fresh for every run because the pass mutates the function and the run
+   mutates the memory. *)
+
+type built = {
+  name : string;
+  func : Ir.func;
+  mem : Memory.t;
+  args : int array;
+  expected : int; (* reference implementation's checksum *)
+  check : Memory.t -> retval:int option -> int;
+      (* recompute the checksum after a run (from memory, the returned
+         value, or both) *)
+}
+
+let validate (b : built) ~retval =
+  let got = b.check b.mem ~retval in
+  if got <> b.expected then
+    failwith
+      (Printf.sprintf "%s: checksum mismatch: expected %d, got %d" b.name
+         b.expected got)
+
+(* Mix step shared by checksum helpers. *)
+let mix acc v = (acc * 1_000_003) + v land ((1 lsl 62) - 1)

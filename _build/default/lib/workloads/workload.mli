@@ -1,0 +1,22 @@
+(** Common shape of a benchmark instance.
+
+    Instances are built fresh for every run: the pass mutates the function
+    and execution mutates the memory image. *)
+
+type built = {
+  name : string;
+  func : Spf_ir.Ir.func;
+  mem : Spf_sim.Memory.t;
+  args : int array;  (** parameter values (array base addresses, sizes...) *)
+  expected : int;  (** the reference implementation's checksum *)
+  check : Spf_sim.Memory.t -> retval:int option -> int;
+      (** recompute the checksum from the post-run memory image and/or the
+          function's return value *)
+}
+
+val validate : built -> retval:int option -> unit
+(** @raise Failure when the recomputed checksum disagrees with the
+    reference — every harness run goes through this. *)
+
+val mix : int -> int -> int
+(** Order-sensitive checksum mixing step shared by the workloads. *)

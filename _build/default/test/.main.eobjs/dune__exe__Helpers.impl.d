@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format List Spf_ir Spf_sim String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Helpers List Spf_ir Spf_workloads

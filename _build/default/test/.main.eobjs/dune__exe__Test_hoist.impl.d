@@ -1,0 +1,1 @@
+test/test_hoist.ml: Alcotest Array Helpers List Spf_core Spf_ir Spf_sim Spf_workloads Test_pass

@@ -1,0 +1,1 @@
+test/test_icc.ml: Alcotest Helpers List Spf_core Spf_ir Spf_sim Spf_workloads Test_pass

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Helpers Spf_ir Spf_sim Spf_workloads

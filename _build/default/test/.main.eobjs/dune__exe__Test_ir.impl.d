@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Helpers List Option Spf_ir String

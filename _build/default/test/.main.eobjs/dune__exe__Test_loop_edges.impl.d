@@ -1,0 +1,1 @@
+test/test_loop_edges.ml: Alcotest Array Helpers List Spf_core Spf_ir Spf_sim

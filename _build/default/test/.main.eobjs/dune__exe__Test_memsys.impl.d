@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Helpers List Spf_sim Spf_workloads

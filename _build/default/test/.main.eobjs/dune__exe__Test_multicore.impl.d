@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Array Spf_sim Spf_workloads Test_pass

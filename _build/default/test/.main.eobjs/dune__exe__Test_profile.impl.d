@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest List Spf_core Spf_ir Spf_sim Spf_workloads

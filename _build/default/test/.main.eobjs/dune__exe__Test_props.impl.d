@@ -1,0 +1,1 @@
+test/test_props.ml: Array Hashtbl List QCheck QCheck_alcotest Spf_core Spf_ir Spf_sim Spf_workloads

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Helpers Spf_core Spf_ir Spf_sim Spf_workloads Test_pass

@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Array Helpers List Printf Spf_core Spf_ir Spf_sim Spf_workloads Test_pass

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Helpers List Spf_ir Spf_sim

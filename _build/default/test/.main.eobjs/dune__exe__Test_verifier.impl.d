@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Array Helpers List Spf_core Spf_ir Spf_workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl Helpers List Spf_ir Spf_sim Spf_workloads Test_pass

@@ -1,0 +1,92 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Memory = Spf_sim.Memory
+module Interp = Spf_sim.Interp
+module Machine = Spf_sim.Machine
+
+(* Shared fixtures: small hand-built IR functions and execution helpers. *)
+
+(* A tiny machine so unit tests exercise cache edges quickly. *)
+let tiny_machine =
+  {
+    Machine.haswell with
+    Machine.name = "Tiny";
+    l1 = { Machine.size = 1024; assoc = 2 };
+    l2 = { Machine.size = 4096; assoc = 4 };
+    l3 = None;
+    tlb_entries = 8;
+    tlb_assoc = 2;
+    pf_mshrs = 4;
+  }
+
+(* Run a function to completion and return (retval, stats). *)
+let run ?(machine = Machine.haswell) ?(mem = Memory.create ()) ?(args = [||])
+    func =
+  let interp = Interp.create ~machine ~mem ~args func in
+  Interp.run ~fuel:10_000_000 interp;
+  (Interp.retval interp, Interp.stats interp)
+
+let run_ret ?machine ?mem ?args func =
+  match run ?machine ?mem ?args func with
+  | Some v, _ -> v
+  | None, _ -> Alcotest.fail "function returned no value"
+
+(* The paper's running example (Fig 3a / code listing 1):
+   for (i = 0; i < n; i++) b[a[i]]++  over i32 arrays passed as params. *)
+let is_like_kernel ~n =
+  let b = Builder.create ~name:"is_like" ~nparams:2 in
+  let a = Builder.param b 0 and tgt = Builder.param b 1 in
+  let _ =
+    Builder.counted_loop b ~init:(Ir.Imm 0) ~bound:(Ir.Imm n) ~step:(Ir.Imm 1)
+      (fun i ->
+        let k = Builder.load ~name:"key" b Ir.I32 (Builder.gep b a i 4) in
+        let slot = Builder.gep ~name:"slot" b tgt k 4 in
+        let v = Builder.load ~name:"count" b Ir.I32 slot in
+        Builder.store b Ir.I32 slot (Builder.add b v (Ir.Imm 1)))
+  in
+  Builder.ret b None;
+  Builder.finish b
+
+(* sum = Σ a[i] for i < n; returns sum. *)
+let sum_kernel ~n =
+  let b = Builder.create ~name:"sum" ~nparams:1 in
+  let a = Builder.param b 0 in
+  let head = Builder.new_block b "head" in
+  let body = Builder.new_block b "body" in
+  let exit = Builder.new_block b "exit" in
+  let entry = Builder.current_block b in
+  Builder.br b head;
+  Builder.set_block b head;
+  let i = Builder.phi ~name:"i" b [ (entry, Ir.Imm 0) ] in
+  let acc = Builder.phi ~name:"acc" b [ (entry, Ir.Imm 0) ] in
+  let c = Builder.cmp b Ir.Slt i (Ir.Imm n) in
+  Builder.cbr b c body exit;
+  Builder.set_block b body;
+  let v = Builder.load b Ir.I32 (Builder.gep b a i 4) in
+  let acc' = Builder.add b acc v in
+  let i' = Builder.add b i (Ir.Imm 1) in
+  Builder.br b head;
+  Builder.add_incoming b i ~pred:body i';
+  Builder.add_incoming b acc ~pred:body acc';
+  Builder.set_block b exit;
+  Builder.ret b (Some acc);
+  Builder.finish b
+
+let count_kind func pred =
+  let n = ref 0 in
+  Ir.iter_instrs func (fun i -> if pred i.Ir.kind then incr n);
+  !n
+
+let count_prefetches func =
+  count_kind func (function Ir.Prefetch _ -> true | _ -> false)
+
+let count_loads func =
+  count_kind func (function Ir.Load _ -> true | _ -> false)
+
+let verify_ok func =
+  match Spf_ir.Verifier.check func with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "verifier: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Spf_ir.Verifier.pp_violation) vs))

@@ -1,0 +1,24 @@
+(* Aggregated test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "spf"
+    [
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("verifier", Test_verifier.suite);
+      ("parser", Test_parser.suite);
+      ("simplify", Test_simplify.suite);
+      ("split", Test_split.suite);
+      ("profile", Test_profile.suite);
+      ("timing", Test_timing.suite);
+      ("loop-edges", Test_loop_edges.suite);
+      ("interp", Test_interp.suite);
+      ("cache", Test_cache.suite);
+      ("memsys", Test_memsys.suite);
+      ("pass", Test_pass.suite);
+      ("icc", Test_icc.suite);
+      ("hoist", Test_hoist.suite);
+      ("workloads", Test_workloads.suite);
+      ("multicore", Test_multicore.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,146 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Cfg = Spf_ir.Cfg
+module Dom = Spf_ir.Dom
+module Loops = Spf_ir.Loops
+module Indvar = Spf_ir.Indvar
+
+(* CFG / dominators / loops / induction variables on hand-built shapes. *)
+
+(* Diamond: entry -> (then | else) -> join -> exit. *)
+let diamond () =
+  let b = Builder.create ~name:"diamond" ~nparams:1 in
+  let bthen = Builder.new_block b "then" in
+  let belse = Builder.new_block b "else" in
+  let join = Builder.new_block b "join" in
+  let c = Builder.cmp b Ir.Sgt (Builder.param b 0) (Ir.Imm 0) in
+  Builder.cbr b c bthen belse;
+  Builder.set_block b bthen;
+  Builder.br b join;
+  Builder.set_block b belse;
+  Builder.br b join;
+  Builder.set_block b join;
+  let v = Builder.phi b [ (bthen, Ir.Imm 1); (belse, Ir.Imm 2) ] in
+  Builder.ret b (Some v);
+  Builder.finish b
+
+let test_cfg_diamond () =
+  let f = diamond () in
+  let cfg = Cfg.build f in
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ] (List.sort compare (Cfg.succs cfg 0));
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ] (List.sort compare (Cfg.preds cfg 3));
+  Alcotest.(check int) "entry first in rpo" 0 (Cfg.rpo cfg).(0);
+  Alcotest.(check bool) "all reachable" true
+    (List.for_all (Cfg.reachable cfg) [ 0; 1; 2; 3 ])
+
+let test_dom_diamond () =
+  let f = diamond () in
+  let dom = Dom.build (Cfg.build f) in
+  Alcotest.(check bool) "entry dominates join" true (Dom.dominates dom 0 3);
+  Alcotest.(check bool) "then does not dominate join" false (Dom.dominates dom 1 3);
+  Alcotest.(check (option int)) "idom of join is entry" (Some 0) (Dom.idom dom 3);
+  Alcotest.(check (option int)) "entry has no idom" None (Dom.idom dom 0)
+
+let test_unreachable_block () =
+  let f = diamond () in
+  let dead = Ir.add_block f ~name:"dead" (Ir.Br 3) in
+  let cfg = Cfg.build f in
+  Alcotest.(check bool) "dead block unreachable" false (Cfg.reachable cfg dead.Ir.bid);
+  Alcotest.(check int) "rpo_index is -1" (-1) (Cfg.rpo_index cfg dead.Ir.bid)
+
+let analyze f =
+  let cfg = Cfg.build f in
+  let dom = Dom.build cfg in
+  let loops = Loops.analyze f cfg dom in
+  let ivs = Indvar.analyze f cfg loops in
+  (cfg, dom, loops, ivs)
+
+let test_single_loop () =
+  let f = Helpers.sum_kernel ~n:10 in
+  let _, _, loops, ivs = analyze f in
+  Alcotest.(check int) "one loop" 1 (Array.length (Loops.loops loops));
+  let l = Loops.loop loops 0 in
+  Alcotest.(check int) "header is block 1" 1 l.Loops.header;
+  Alcotest.(check (list int)) "latch is the body" [ 2 ] l.Loops.latches;
+  Alcotest.(check (option int)) "preheader is entry" (Some 0) l.Loops.preheader;
+  Alcotest.(check int) "depth 1" 1 l.Loops.depth;
+  (* Induction variables: i is canonical; acc is not (step is a load). *)
+  match Indvar.ivars ivs with
+  | [ iv ] ->
+      Alcotest.(check int) "step 1" 1 iv.Indvar.step;
+      Alcotest.(check bool) "bound recognised" true (iv.Indvar.bound <> None);
+      Alcotest.(check bool) "bound is n" true (iv.Indvar.bound = Some (Ir.Imm 10));
+      Alcotest.(check bool) "cmp is slt" true (iv.Indvar.bound_cmp = Some Ir.Slt)
+  | ivs -> Alcotest.failf "expected 1 induction variable, got %d" (List.length ivs)
+
+(* Two-level nest via CG's builder. *)
+let test_nested_loops () =
+  let f = Spf_workloads.Cg.build_func { Spf_workloads.Cg.default with n_rows = 4; row_nnz = 4; n_cols = 16 } in
+  let _, _, loops, ivs = analyze f in
+  let ls = Loops.loops loops in
+  Alcotest.(check int) "three loops (gather, rows, red)" 3 (Array.length ls);
+  let depth2 = Array.to_list ls |> List.filter (fun l -> l.Loops.depth = 2) in
+  Alcotest.(check int) "one inner loop" 1 (List.length depth2);
+  let inner = List.hd depth2 in
+  Alcotest.(check bool) "inner parent set" true (inner.Loops.parent <> None);
+  (* All three loops have canonical induction variables. *)
+  Alcotest.(check int) "three induction variables" 3 (List.length (Indvar.ivars ivs))
+
+let test_loop_invariance () =
+  let f = Helpers.sum_kernel ~n:10 in
+  let _, _, loops, _ = analyze f in
+  let l = Loops.loop loops 0 in
+  Alcotest.(check bool) "imm is invariant" true
+    (Indvar.is_loop_invariant f l (Ir.Imm 3));
+  Alcotest.(check bool) "param is invariant" true
+    (Indvar.is_loop_invariant f l (Ir.Var f.Ir.param_ids.(0)));
+  (* The phi itself is not invariant. *)
+  let header = Ir.block f l.Loops.header in
+  Alcotest.(check bool) "header phi is variant" false
+    (Indvar.is_loop_invariant f l (Ir.Var header.Ir.instrs.(0)))
+
+let test_g500_queue_bound_not_invariant () =
+  (* The BFS queue's head phi must be a recognised IV but with NO bound,
+     because tail grows inside the loop (this gates the paper's G500
+     behaviour). *)
+  let p = { Spf_workloads.G500.small with scale = 6; edge_factor = 4 } in
+  let g = Spf_workloads.G500.kronecker p in
+  let f = Spf_workloads.G500.build_func g in
+  let _, _, _, ivs = analyze f in
+  let head_iv =
+    List.find_opt
+      (fun iv -> (Ir.instr f iv.Indvar.iv_id).Ir.name = "head")
+      (Indvar.ivars ivs)
+  in
+  match head_iv with
+  | None -> Alcotest.fail "head not recognised as induction variable"
+  | Some iv ->
+      Alcotest.(check bool) "head has no loop-invariant bound" true
+        (iv.Indvar.bound = None)
+
+let test_usedef () =
+  let f = Helpers.sum_kernel ~n:10 in
+  let ud = Spf_ir.Usedef.build f in
+  (* The param (array base) is used by exactly one gep. *)
+  let uses = Spf_ir.Usedef.uses ud f.Ir.param_ids.(0) in
+  Alcotest.(check int) "param used once" 1 (List.length uses);
+  (* The loop condition value is used by the terminator only. *)
+  let header = Ir.block f 1 in
+  let cond_id = header.Ir.instrs.(Array.length header.Ir.instrs - 1) in
+  Alcotest.(check int) "cmp has no instr uses" 0
+    (List.length (Spf_ir.Usedef.uses ud cond_id));
+  Alcotest.(check (list int)) "cmp used by header terminator" [ 1 ]
+    (Spf_ir.Usedef.term_uses ud cond_id)
+
+let suite =
+  [
+    Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "dom diamond" `Quick test_dom_diamond;
+    Alcotest.test_case "unreachable block" `Quick test_unreachable_block;
+    Alcotest.test_case "single loop" `Quick test_single_loop;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "loop invariance" `Quick test_loop_invariance;
+    Alcotest.test_case "G500 queue bound not invariant" `Quick
+      test_g500_queue_bound_not_invariant;
+    Alcotest.test_case "use-def chains" `Quick test_usedef;
+  ]

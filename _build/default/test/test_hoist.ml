@@ -1,0 +1,153 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Pass = Spf_core.Pass
+module Hoist = Spf_core.Hoist
+module Analysis = Spf_core.Analysis
+module Loops = Spf_ir.Loops
+module Memory = Spf_sim.Memory
+
+(* §4.6 loop hoisting: inner-loop loads whose address is seeded by an
+   outer-loop value get a prefetch in the preheader. *)
+
+(* Outer loop walks a pointer array; inner loop chases each list:
+     for i in 0..n: p = heads[i]; while p != 0: sum += *p; p = *(p+8) *)
+let list_walk_kernel ~n =
+  let b = Builder.create ~name:"walk" ~nparams:1 in
+  let heads = Builder.param b 0 in
+  let ohead = Builder.new_block b "o.head" in
+  let obody = Builder.new_block b "o.body" in
+  let oexit = Builder.new_block b "o.exit" in
+  let entry = Builder.current_block b in
+  Builder.br b ohead;
+  Builder.set_block b ohead;
+  let i = Builder.phi ~name:"i" b [ (entry, Ir.Imm 0) ] in
+  let sum = Builder.phi ~name:"sum" b [ (entry, Ir.Imm 0) ] in
+  let c = Builder.cmp b Ir.Slt i (Ir.Imm n) in
+  Builder.cbr b c obody oexit;
+  Builder.set_block b obody;
+  let head = Builder.load ~name:"head" b Ir.I64 (Builder.gep b heads i 8) in
+  let whead = Builder.new_block b "w.head" in
+  let wbody = Builder.new_block b "w.body" in
+  let wexit = Builder.new_block b "w.exit" in
+  Builder.br b whead;
+  Builder.set_block b whead;
+  let p = Builder.phi ~name:"p" b [ (obody, head) ] in
+  let ws = Builder.phi ~name:"ws" b [ (obody, sum) ] in
+  let wc = Builder.cmp b Ir.Ne p (Ir.Imm 0) in
+  Builder.cbr b wc wbody wexit;
+  Builder.set_block b wbody;
+  let v = Builder.load ~name:"pv" b Ir.I64 p in
+  let ws' = Builder.add b ws v in
+  let nxt = Builder.load ~name:"pn" b Ir.I64 (Builder.gep b p (Ir.Imm 1) 8) in
+  Builder.br b whead;
+  Builder.add_incoming b p ~pred:wbody nxt;
+  Builder.add_incoming b ws ~pred:wbody ws';
+  Builder.set_block b wexit;
+  let i' = Builder.add b i (Ir.Imm 1) in
+  Builder.br b ohead;
+  Builder.add_incoming b i ~pred:wexit i';
+  Builder.add_incoming b sum ~pred:wexit ws;
+  Builder.set_block b oexit;
+  Builder.ret b (Some sum);
+  Builder.finish b
+
+let test_hoists_list_head () =
+  let f = list_walk_kernel ~n:16 in
+  let a = Analysis.make f in
+  let hoisted = Hoist.run a Spf_core.Config.default in
+  Helpers.verify_ok f;
+  (* Both wbody loads (value and next pointer) are phi-addressed with a
+     load-free chain from the outer value: both hoistable. *)
+  Alcotest.(check int) "two hoisted prefetches" 2 (List.length hoisted);
+  List.iter
+    (fun (h : Hoist.hoisted) ->
+      let pf = Ir.instr f h.Hoist.prefetch_id in
+      Alcotest.(check bool) "prefetch placed in the preheader" true
+        (pf.Ir.block = h.Hoist.preheader);
+      match pf.Ir.kind with
+      | Ir.Prefetch _ -> ()
+      | _ -> Alcotest.fail "hoisted instruction is not a prefetch")
+    hoisted
+
+let test_hoisted_code_has_no_loads () =
+  let f = list_walk_kernel ~n:16 in
+  let a = Analysis.make f in
+  let hoisted = Hoist.run a Spf_core.Config.default in
+  List.iter
+    (fun (h : Hoist.hoisted) ->
+      List.iter
+        (fun id ->
+          match (Ir.instr f id).Ir.kind with
+          | Ir.Load _ -> Alcotest.fail "hoisted support code contains a load"
+          | _ -> ())
+        h.Hoist.support_ids)
+    hoisted
+
+let test_iv_seeded_phis_not_hoisted () =
+  (* A plain counted inner loop (phi seeded by a constant) must NOT fire:
+     the main pass's look-ahead serves it. *)
+  let f = Helpers.sum_kernel ~n:64 in
+  let a = Analysis.make f in
+  Alcotest.(check int) "nothing to hoist" 0
+    (List.length (Hoist.run a Spf_core.Config.default))
+
+let test_hoist_preserves_semantics () =
+  (* Build lists in memory and compare the sum with hoisting on/off. *)
+  let n = 64 in
+  let mem = Memory.create () in
+  let rng = Spf_workloads.Rng.create ~seed:4 in
+  let node v nxt =
+    let a = Memory.alloc mem 16 in
+    Memory.store mem Ir.I64 a v;
+    Memory.store mem Ir.I64 (a + 8) nxt;
+    a
+  in
+  let expected = ref 0 in
+  let heads =
+    Array.init n (fun _ ->
+        let len = Spf_workloads.Rng.int rng 4 in
+        let rec chain k = if k = 0 then 0
+          else begin
+            let v = Spf_workloads.Rng.int rng 1000 in
+            expected := !expected + v;
+            node v (chain (k - 1))
+          end
+        in
+        chain len)
+  in
+  let heads_base = Memory.alloc_i64_array mem heads in
+  let f = list_walk_kernel ~n in
+  ignore (Pass.run f);
+  Helpers.verify_ok f;
+  Alcotest.(check int) "sum preserved under hoisting" !expected
+    (Helpers.run_ret ~mem ~args:[| heads_base |] f)
+
+let test_hj8_first_node_hoisted () =
+  let b = Spf_workloads.Hj.build Test_pass.small_hj8 in
+  let f = b.Spf_workloads.Workload.func in
+  let a = Analysis.make f in
+  let hoisted = Hoist.run a Spf_core.Config.default in
+  Alcotest.(check bool) "HJ-8 walk loads hoisted" true (List.length hoisted > 0);
+  Helpers.verify_ok f
+
+let test_config_disables_hoist () =
+  let f = list_walk_kernel ~n:16 in
+  let report =
+    Pass.run ~config:{ Spf_core.Config.default with Spf_core.Config.hoist = false } f
+  in
+  let any_hoisted =
+    List.exists
+      (fun (_, d) -> match d with Pass.Hoisted _ -> true | _ -> false)
+      report.Pass.decisions
+  in
+  Alcotest.(check bool) "hoist disabled by config" false any_hoisted
+
+let suite =
+  [
+    Alcotest.test_case "hoists list head" `Quick test_hoists_list_head;
+    Alcotest.test_case "hoisted code has no loads" `Quick test_hoisted_code_has_no_loads;
+    Alcotest.test_case "IV-seeded phis not hoisted" `Quick test_iv_seeded_phis_not_hoisted;
+    Alcotest.test_case "hoist preserves semantics" `Quick test_hoist_preserves_semantics;
+    Alcotest.test_case "HJ-8 first node hoisted" `Quick test_hj8_first_node_hoisted;
+    Alcotest.test_case "config disables hoist" `Quick test_config_disables_hoist;
+  ]

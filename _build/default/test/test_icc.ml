@@ -1,0 +1,76 @@
+module Ir = Spf_ir.Ir
+module Pass = Spf_core.Pass
+module Icc = Spf_core.Icc_pass
+module Workload = Spf_workloads.Workload
+
+(* The ICC-model baseline must accept exactly the simplest patterns
+   (Fig 4d): IS and CG yes; RA, HJ and G500 no. *)
+
+let prefetch_count build =
+  let b : Workload.built = build () in
+  let report = Icc.run b.Workload.func in
+  Helpers.verify_ok b.Workload.func;
+  report.Pass.n_prefetches
+
+let test_accepts_is () =
+  Alcotest.(check bool) "IS prefetched" true
+    (prefetch_count (fun () -> Spf_workloads.Is.build Test_pass.small_is) > 0)
+
+let test_accepts_cg () =
+  Alcotest.(check bool) "CG prefetched" true
+    (prefetch_count (fun () -> Spf_workloads.Cg.build Test_pass.small_cg) > 0)
+
+let test_rejects_ra () =
+  Alcotest.(check int) "RA: hash computation defeats it" 0
+    (prefetch_count (fun () -> Spf_workloads.Ra.build Test_pass.small_ra))
+
+let test_rejects_hj () =
+  Alcotest.(check int) "HJ-2: hash computation defeats it" 0
+    (prefetch_count (fun () -> Spf_workloads.Hj.build Test_pass.small_hj2));
+  Alcotest.(check int) "HJ-8 likewise" 0
+    (prefetch_count (fun () -> Spf_workloads.Hj.build Test_pass.small_hj8))
+
+let test_rejects_g500 () =
+  Alcotest.(check int) "G500: runtime bounds defeat it" 0
+    (prefetch_count (fun () -> Spf_workloads.G500.build Test_pass.small_g500))
+
+let test_icc_preserves_is_semantics () =
+  let b = Spf_workloads.Is.build Test_pass.small_is in
+  ignore (Icc.run b.Workload.func);
+  let interp =
+    Spf_sim.Interp.create ~machine:Spf_sim.Machine.xeon_phi ~mem:b.Workload.mem
+      ~args:b.Workload.args b.Workload.func
+  in
+  Spf_sim.Interp.run interp;
+  Workload.validate b ~retval:(Spf_sim.Interp.retval interp)
+
+let test_subset_of_main_pass () =
+  (* Whatever ICC emits, the main pass also emits (same chains, same
+     offsets) — ICC is a strict restriction. *)
+  let count pass build =
+    let b : Workload.built = build () in
+    let r : Pass.report = pass b.Workload.func in
+    r.Pass.n_prefetches
+  in
+  List.iter
+    (fun build ->
+      let icc = count (fun f -> Icc.run f) build in
+      let auto = count (fun f -> Pass.run f) build in
+      Alcotest.(check bool) "icc <= auto" true (icc <= auto))
+    [
+      (fun () -> Spf_workloads.Is.build Test_pass.small_is);
+      (fun () -> Spf_workloads.Cg.build Test_pass.small_cg);
+      (fun () -> Spf_workloads.Ra.build Test_pass.small_ra);
+      (fun () -> Spf_workloads.Hj.build Test_pass.small_hj8);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "accepts IS" `Quick test_accepts_is;
+    Alcotest.test_case "accepts CG" `Quick test_accepts_cg;
+    Alcotest.test_case "rejects RA" `Quick test_rejects_ra;
+    Alcotest.test_case "rejects HJ" `Quick test_rejects_hj;
+    Alcotest.test_case "rejects G500" `Quick test_rejects_g500;
+    Alcotest.test_case "preserves IS semantics" `Quick test_icc_preserves_is_semantics;
+    Alcotest.test_case "strict subset of the main pass" `Quick test_subset_of_main_pass;
+  ]

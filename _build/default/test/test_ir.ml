@@ -1,0 +1,139 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+
+(* Structural tests for the IR container and the builder. *)
+
+let test_srcs () =
+  Alcotest.(check int) "binop has two srcs" 2
+    (List.length (Ir.srcs (Ir.Binop (Ir.Add, Ir.Imm 1, Ir.Imm 2))));
+  Alcotest.(check int) "gep has two srcs" 2
+    (List.length (Ir.srcs (Ir.Gep { base = Ir.Imm 0; index = Ir.Imm 1; scale = 4 })));
+  Alcotest.(check int) "param has no srcs" 0
+    (List.length (Ir.srcs (Ir.Param 0)));
+  Alcotest.(check int) "phi srcs are its incoming values" 2
+    (List.length (Ir.srcs (Ir.Phi [ (0, Ir.Imm 1); (1, Ir.Imm 2) ])))
+
+let test_map_srcs () =
+  let double = function Ir.Imm n -> Ir.Imm (2 * n) | o -> o in
+  (match Ir.map_srcs double (Ir.Binop (Ir.Add, Ir.Imm 3, Ir.Var 1)) with
+  | Ir.Binop (Ir.Add, Ir.Imm 6, Ir.Var 1) -> ()
+  | _ -> Alcotest.fail "binop srcs not mapped");
+  (* Phi labels must be preserved. *)
+  match Ir.map_srcs double (Ir.Phi [ (7, Ir.Imm 1) ]) with
+  | Ir.Phi [ (7, Ir.Imm 2) ] -> ()
+  | _ -> Alcotest.fail "phi label lost"
+
+let test_defines_value () =
+  Alcotest.(check bool) "store defines no value" false
+    (Ir.defines_value (Ir.Store (Ir.I32, Ir.Imm 0, Ir.Imm 0)));
+  Alcotest.(check bool) "prefetch defines no value" false
+    (Ir.defines_value (Ir.Prefetch (Ir.Imm 0)));
+  Alcotest.(check bool) "load defines a value" true
+    (Ir.defines_value (Ir.Load (Ir.I32, Ir.Imm 0)))
+
+let test_side_effects () =
+  Alcotest.(check bool) "pure call has no side effect" false
+    (Ir.has_side_effect (Ir.Call { callee = "f"; args = []; pure = true }));
+  Alcotest.(check bool) "impure call has side effects" true
+    (Ir.has_side_effect (Ir.Call { callee = "f"; args = []; pure = false }));
+  Alcotest.(check bool) "store has side effects" true
+    (Ir.has_side_effect (Ir.Store (Ir.I32, Ir.Imm 0, Ir.Imm 0)))
+
+let test_ty_sizes () =
+  Alcotest.(check (list int)) "type sizes" [ 1; 2; 4; 8; 8 ]
+    (List.map Ir.size_of_ty [ Ir.I8; Ir.I16; Ir.I32; Ir.I64; Ir.F64 ])
+
+let test_builder_structure () =
+  let func = Helpers.is_like_kernel ~n:4 in
+  Alcotest.(check int) "four blocks (entry/head/body/exit)" 4 (Ir.n_blocks func);
+  Alcotest.(check int) "two loads" 2 (Helpers.count_loads func);
+  Helpers.verify_ok func
+
+let test_insert_before () =
+  let func = Helpers.is_like_kernel ~n:4 in
+  (* Find the first load and splice a fresh instruction before it. *)
+  let the_load = ref None in
+  Ir.iter_instrs func (fun i ->
+      match i.Ir.kind with
+      | Ir.Load _ when !the_load = None -> the_load := Some i
+      | _ -> ());
+  let load = Option.get !the_load in
+  let extra =
+    Ir.fresh_instr func ~name:"extra" ~block:load.Ir.block
+      (Ir.Binop (Ir.Add, Ir.Imm 1, Ir.Imm 2))
+  in
+  Ir.insert_before func ~anchor:load.Ir.id [ extra.Ir.id ];
+  let blk = Ir.block func load.Ir.block in
+  let pos x =
+    let p = ref (-1) in
+    Array.iteri (fun k id -> if id = x then p := k) blk.Ir.instrs;
+    !p
+  in
+  Alcotest.(check bool) "extra precedes load" true
+    (pos extra.Ir.id >= 0 && pos extra.Ir.id < pos load.Ir.id);
+  Helpers.verify_ok func
+
+let test_insert_at_head_after_phis () =
+  let func = Helpers.sum_kernel ~n:4 in
+  (* The loop header (block 1) starts with two phis. *)
+  let header = Ir.block func 1 in
+  let extra =
+    Ir.fresh_instr func ~name:"extra" ~block:1 (Ir.Binop (Ir.Add, Ir.Imm 1, Ir.Imm 2))
+  in
+  Ir.insert_at_head func ~bid:1 [ extra.Ir.id ];
+  let is_phi id =
+    match (Ir.instr func id).Ir.kind with Ir.Phi _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "phis still lead the block" true
+    (is_phi header.Ir.instrs.(0) && is_phi header.Ir.instrs.(1));
+  Alcotest.(check int) "inserted right after phi group" extra.Ir.id
+    header.Ir.instrs.(2);
+  Helpers.verify_ok func
+
+let test_insert_at_end () =
+  let func = Helpers.sum_kernel ~n:4 in
+  let extra =
+    Ir.fresh_instr func ~name:"extra" ~block:2 (Ir.Binop (Ir.Add, Ir.Imm 1, Ir.Imm 2))
+  in
+  Ir.insert_at_end func ~bid:2 [ extra.Ir.id ];
+  let body = Ir.block func 2 in
+  Alcotest.(check int) "appended last" extra.Ir.id
+    body.Ir.instrs.(Array.length body.Ir.instrs - 1);
+  Helpers.verify_ok func
+
+let test_successors () =
+  Alcotest.(check (list int)) "br" [ 3 ] (Ir.successors (Ir.Br 3));
+  Alcotest.(check (list int)) "cbr" [ 1; 2 ]
+    (Ir.successors (Ir.Cbr (Ir.Imm 1, 1, 2)));
+  Alcotest.(check (list int)) "cbr same target deduplicated" [ 1 ]
+    (Ir.successors (Ir.Cbr (Ir.Imm 1, 1, 1)));
+  Alcotest.(check (list int)) "ret" [] (Ir.successors (Ir.Ret None))
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_printer_smoke () =
+  let func = Helpers.is_like_kernel ~n:4 in
+  let s = Spf_ir.Printer.func_to_string func in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("printout contains " ^ needle) true
+        (contains ~needle s))
+    [ "func is_like"; "phi"; "load i32"; "gep"; "store" ]
+
+let suite =
+  [
+    Alcotest.test_case "srcs" `Quick test_srcs;
+    Alcotest.test_case "map_srcs" `Quick test_map_srcs;
+    Alcotest.test_case "defines_value" `Quick test_defines_value;
+    Alcotest.test_case "side effects" `Quick test_side_effects;
+    Alcotest.test_case "type sizes" `Quick test_ty_sizes;
+    Alcotest.test_case "builder structure" `Quick test_builder_structure;
+    Alcotest.test_case "insert_before" `Quick test_insert_before;
+    Alcotest.test_case "insert_at_head after phis" `Quick test_insert_at_head_after_phis;
+    Alcotest.test_case "insert_at_end" `Quick test_insert_at_end;
+    Alcotest.test_case "successors" `Quick test_successors;
+    Alcotest.test_case "printer smoke" `Quick test_printer_smoke;
+  ]

@@ -1,0 +1,137 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Cfg = Spf_ir.Cfg
+module Dom = Spf_ir.Dom
+module Loops = Spf_ir.Loops
+module Pass = Spf_core.Pass
+
+(* Edge cases for the CFG analyses: loops with several latches (a
+   [continue]), irreducible control flow, and self-loops must be analysed
+   without crashing and handled conservatively by the pass. *)
+
+(* Loop with two latches: body branches; both arms jump back to the
+   header. *)
+let two_latch_loop () =
+  let b = Builder.create ~name:"twolatch" ~nparams:2 in
+  let a = Builder.param b 0 and tgt = Builder.param b 1 in
+  let head = Builder.new_block b "head" in
+  let arm1 = Builder.new_block b "arm1" in
+  let arm2 = Builder.new_block b "arm2" in
+  let exit = Builder.new_block b "exit" in
+  let entry = Builder.current_block b in
+  Builder.br b head;
+  Builder.set_block b head;
+  let i = Builder.phi ~name:"i" b [ (entry, Ir.Imm 0) ] in
+  let c = Builder.cmp b Ir.Slt i (Ir.Imm 256) in
+  let body = Builder.new_block b "body" in
+  Builder.cbr b c body exit;
+  Builder.set_block b body;
+  let k = Builder.load b Ir.I32 (Builder.gep b a i 4) in
+  let v = Builder.load b Ir.I32 (Builder.gep b tgt k 4) in
+  let which = Builder.cmp b Ir.Slt v (Ir.Imm 100) in
+  Builder.cbr b which arm1 arm2;
+  Builder.set_block b arm1;
+  let i1 = Builder.add b i (Ir.Imm 1) in
+  Builder.br b head;
+  Builder.set_block b arm2;
+  let i2 = Builder.add b i (Ir.Imm 2) in
+  Builder.br b head;
+  Builder.add_incoming b i ~pred:arm1 i1;
+  Builder.add_incoming b i ~pred:arm2 i2;
+  Builder.set_block b exit;
+  Builder.ret b None;
+  Builder.finish b
+
+let test_two_latches_detected () =
+  let f = two_latch_loop () in
+  Helpers.verify_ok f;
+  let cfg = Cfg.build f in
+  let loops = Loops.analyze f cfg (Dom.build cfg) in
+  match Loops.loops loops with
+  | [| l |] -> Alcotest.(check int) "two latches" 2 (List.length l.Loops.latches)
+  | ls -> Alcotest.failf "expected one loop, got %d" (Array.length ls)
+
+let test_pass_rejects_multi_latch () =
+  (* The phi is not a canonical induction variable (two in-loop incoming
+     edges), so the pass must refuse rather than emit unsafe look-ahead. *)
+  let f = two_latch_loop () in
+  let report = Pass.run f in
+  Alcotest.(check int) "no prefetches" 0 report.Pass.n_prefetches;
+  Helpers.verify_ok f
+
+(* Irreducible CFG: two blocks jumping into each other, entered at both. *)
+let irreducible () =
+  let b = Builder.create ~name:"irr" ~nparams:1 in
+  let x = Builder.new_block b "x" in
+  let y = Builder.new_block b "y" in
+  let exit = Builder.new_block b "exit" in
+  let c = Builder.cmp b Ir.Sgt (Builder.param b 0) (Ir.Imm 0) in
+  Builder.cbr b c x y;
+  Builder.set_block b x;
+  let cx = Builder.cmp b Ir.Sgt (Builder.param b 0) (Ir.Imm 10) in
+  Builder.cbr b cx y exit;
+  Builder.set_block b y;
+  let cy = Builder.cmp b Ir.Sgt (Builder.param b 0) (Ir.Imm 20) in
+  Builder.cbr b cy x exit;
+  Builder.set_block b exit;
+  Builder.ret b None;
+  Builder.finish b
+
+let test_irreducible_analysed () =
+  let f = irreducible () in
+  Helpers.verify_ok f;
+  let cfg = Cfg.build f in
+  let dom = Dom.build cfg in
+  let loops = Loops.analyze f cfg dom in
+  (* Neither x->y nor y->x is a back edge (neither dominates the other),
+     so no natural loop is reported. *)
+  Alcotest.(check int) "no natural loops" 0 (Array.length (Loops.loops loops));
+  (* And the pass runs without crashing. *)
+  let report = Pass.run f in
+  Alcotest.(check int) "nothing prefetched" 0 report.Pass.n_prefetches
+
+(* A self-loop: the header is its own latch. *)
+let test_self_loop () =
+  let b = Builder.create ~name:"self" ~nparams:1 in
+  let a = Builder.param b 0 in
+  let head = Builder.new_block b "head" in
+  let exit = Builder.new_block b "exit" in
+  let entry = Builder.current_block b in
+  Builder.br b head;
+  Builder.set_block b head;
+  let i = Builder.phi ~name:"i" b [ (entry, Ir.Imm 0) ] in
+  let v = Builder.load b Ir.I32 (Builder.gep b a i 4) in
+  ignore v;
+  let i' = Builder.add b i (Ir.Imm 1) in
+  Builder.add_incoming b i ~pred:head i';
+  let c = Builder.cmp b Ir.Slt i' (Ir.Imm 64) in
+  Builder.cbr b c head exit;
+  Builder.set_block b exit;
+  Builder.ret b (Some i);
+  Builder.finish b
+
+let test_self_loop_analysed () =
+  let f = test_self_loop () in
+  Helpers.verify_ok f;
+  let cfg = Cfg.build f in
+  let loops = Loops.analyze f cfg (Dom.build cfg) in
+  match Loops.loops loops with
+  | [| l |] ->
+      Alcotest.(check int) "header is its own latch" l.Loops.header
+        (List.hd l.Loops.latches);
+      (* Executes correctly too. *)
+      let mem = Spf_sim.Memory.create () in
+      let base = Spf_sim.Memory.alloc_i32_array mem (Array.make 64 0) in
+      Alcotest.(check int) "runs to completion" 63
+        (Helpers.run_ret ~mem ~args:[| base |] f)
+  | ls -> Alcotest.failf "expected one loop, got %d" (Array.length ls)
+
+let suite =
+  [
+    Alcotest.test_case "two latches detected" `Quick test_two_latches_detected;
+    Alcotest.test_case "pass rejects multi-latch loop" `Quick
+      test_pass_rejects_multi_latch;
+    Alcotest.test_case "irreducible CFG analysed" `Quick test_irreducible_analysed;
+    Alcotest.test_case "self-loop analysed and executes" `Quick
+      test_self_loop_analysed;
+  ]

@@ -1,0 +1,73 @@
+module Machine = Spf_sim.Machine
+module Interp = Spf_sim.Interp
+module Multicore = Spf_sim.Multicore
+module Workload = Spf_workloads.Workload
+module Is = Spf_workloads.Is
+
+(* Multicore co-simulation (Fig 9's substrate): results stay correct under
+   interleaving, and sharing one DRAM channel produces contention. *)
+
+let params = { Test_pass.small_is with Is.n_keys = 4096 }
+
+let run_cores ~machine ~n =
+  let builts =
+    Array.init n (fun k -> Is.build { params with Is.seed = 100 + k })
+  in
+  let mc =
+    Multicore.create ~machine ~n_cores:n
+      ~make_instance:(fun ~core_id ~dram ~tscale ->
+        let b = builts.(core_id) in
+        Interp.create ~machine ~tscale ~dram ~mem:b.Workload.mem
+          ~args:b.Workload.args b.Workload.func)
+  in
+  Multicore.run mc;
+  Array.iteri
+    (fun k core -> Workload.validate builts.(k) ~retval:(Interp.retval core))
+    (Multicore.cores mc);
+  Multicore.total_cycles mc
+
+let test_single_core_matches_solo () =
+  (* A 1-core multicore run must cost the same as a plain run. *)
+  let machine = Machine.haswell in
+  let mc = run_cores ~machine ~n:1 in
+  let b = Is.build { params with Is.seed = 100 } in
+  let interp =
+    Interp.create ~machine ~mem:b.Workload.mem ~args:b.Workload.args
+      b.Workload.func
+  in
+  Interp.run interp;
+  Alcotest.(check int) "same cycles" (Interp.cycles interp) mc
+
+let test_all_cores_validate () =
+  ignore (run_cores ~machine:Machine.haswell ~n:4)
+
+let test_bandwidth_contention () =
+  let machine = Machine.haswell in
+  let one = run_cores ~machine ~n:1 in
+  let four = run_cores ~machine ~n:4 in
+  (* Four cores sharing the channel must be slower than one core, but not
+     4x slower than four independent runs would suggest if there were no
+     sharing at all. *)
+  Alcotest.(check bool) "contention slows the makespan" true (four > one);
+  Alcotest.(check bool) "but cores do run concurrently" true (four < 4 * one)
+
+let test_throughput_declines_per_core () =
+  let machine = Machine.haswell in
+  let one = run_cores ~machine ~n:1 in
+  let two = run_cores ~machine ~n:2 in
+  let four = run_cores ~machine ~n:4 in
+  let thr n makespan = float_of_int (n * one) /. float_of_int makespan in
+  (* Normalised throughput per Fig 9: more cores -> more total work done,
+     but with diminishing per-core efficiency on a memory-bound kernel. *)
+  Alcotest.(check bool) "2-core throughput above 1" true (thr 2 two > 1.0);
+  Alcotest.(check bool) "efficiency declines" true
+    (thr 4 four /. 4.0 < thr 2 two /. 2.0 +. 0.0001)
+
+let suite =
+  [
+    Alcotest.test_case "1-core matches solo run" `Quick test_single_core_matches_solo;
+    Alcotest.test_case "all cores validate" `Quick test_all_cores_validate;
+    Alcotest.test_case "bandwidth contention" `Quick test_bandwidth_contention;
+    Alcotest.test_case "throughput declines per core" `Quick
+      test_throughput_declines_per_core;
+  ]

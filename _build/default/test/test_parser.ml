@@ -1,0 +1,101 @@
+module Ir = Spf_ir.Ir
+module Parser = Spf_ir.Parser
+module Printer = Spf_ir.Printer
+
+(* Text round-trips: print -> parse -> print must be a fixed point, and the
+   parsed function must verify and execute identically. *)
+
+let roundtrip func =
+  let text = Printer.func_to_string func in
+  let parsed = Parser.parse text in
+  let text' = Printer.func_to_string parsed in
+  Alcotest.(check string) "print/parse/print fixed point" text text';
+  parsed
+
+let test_roundtrip_fixtures () =
+  List.iter
+    (fun f -> Helpers.verify_ok (roundtrip f))
+    [
+      Helpers.is_like_kernel ~n:16;
+      Helpers.sum_kernel ~n:16;
+      Spf_workloads.Is.build_func Spf_workloads.Is.default;
+      Spf_workloads.Cg.build_func Spf_workloads.Cg.default;
+      Spf_workloads.Ra.build_func Spf_workloads.Ra.default;
+      Spf_workloads.Hj.build_func Spf_workloads.Hj.default_hj8;
+    ]
+
+let test_roundtrip_after_pass () =
+  (* The pass's output (clamps, prefetches, clones) must round-trip too. *)
+  let f = Helpers.is_like_kernel ~n:256 in
+  ignore (Spf_core.Pass.run f);
+  Helpers.verify_ok (roundtrip f)
+
+let test_parsed_function_executes () =
+  let f = Helpers.sum_kernel ~n:50 in
+  let parsed = roundtrip f in
+  let mem = Spf_sim.Memory.create () in
+  let base =
+    Spf_sim.Memory.alloc_i32_array mem (Array.init 50 (fun i -> i * 3))
+  in
+  let direct = Helpers.run_ret ~mem ~args:[| base |] f in
+  let mem2 = Spf_sim.Memory.create () in
+  let base2 =
+    Spf_sim.Memory.alloc_i32_array mem2 (Array.init 50 (fun i -> i * 3))
+  in
+  let via_text = Helpers.run_ret ~mem:mem2 ~args:[| base2 |] parsed in
+  Alcotest.(check int) "parsed function computes the same value" direct via_text
+
+let test_handwritten_source () =
+  let src =
+    {|func double_sum (1 params, entry bb0) {
+bb0 (entry):
+  %a.0 = param 0
+  br bb1
+bb1 (head):
+  %i.1 = phi [bb0: #0], [bb2: %next.6]
+  %acc.2 = phi [bb0: #0], [bb2: %acc2.5]
+  %c.3 = cmp slt %i.1, #10
+  cbr %c.3, bb2, bb3
+bb2 (body):
+  %v.4 = load i32, %a.0
+  %acc2.5 = add %acc.2, %v.4
+  %next.6 = add %i.1, #1
+  br bb1
+bb3 (exit):
+  ret %acc.2
+}|}
+  in
+  let f = Parser.parse src in
+  Helpers.verify_ok f;
+  let mem = Spf_sim.Memory.create () in
+  let base = Spf_sim.Memory.alloc_i32_array mem [| 7 |] in
+  Alcotest.(check int) "hand-written kernel sums 10 x 7" 70
+    (Helpers.run_ret ~mem ~args:[| base |] f)
+
+let test_float_immediates () =
+  let b = Spf_ir.Builder.create ~name:"f" ~nparams:1 in
+  let p = Spf_ir.Builder.param b 0 in
+  let x = Spf_ir.Builder.binop b Ir.Fmul (Ir.Fimm 2.5) (Ir.Fimm 0.125) in
+  Spf_ir.Builder.store b Ir.F64 p x;
+  Spf_ir.Builder.ret b None;
+  let f = Spf_ir.Builder.finish b in
+  Helpers.verify_ok (roundtrip f)
+
+let test_parse_errors () =
+  let bad = [ "bb0 (x):\n  %v.0 = frobnicate #1\n  ret"; "  %v.0 = add #1 #2" ] in
+  List.iter
+    (fun src ->
+      match Parser.parse_result src with
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+      | Error _ -> ())
+    bad
+
+let suite =
+  [
+    Alcotest.test_case "round-trip fixtures" `Quick test_roundtrip_fixtures;
+    Alcotest.test_case "round-trip after the pass" `Quick test_roundtrip_after_pass;
+    Alcotest.test_case "parsed function executes" `Quick test_parsed_function_executes;
+    Alcotest.test_case "hand-written source" `Quick test_handwritten_source;
+    Alcotest.test_case "float immediates" `Quick test_float_immediates;
+    Alcotest.test_case "parse errors reported" `Quick test_parse_errors;
+  ]

@@ -1,0 +1,73 @@
+module Ir = Spf_ir.Ir
+module Profile = Spf_sim.Profile
+module Machine = Spf_sim.Machine
+module Workload = Spf_workloads.Workload
+
+(* The untimed profiler must execute correctly and attribute misses to the
+   right sites — before the pass, the indirect demand load is the misser;
+   after it, the prefetch absorbs the misses and the demand load hits. *)
+
+let site_by_name prof f name =
+  List.filter
+    (fun (s : Profile.site) ->
+      (Ir.instr f s.Profile.instr_id).Ir.name = name)
+    (Profile.sites prof)
+
+let run_profiled ?(transform = false) () =
+  let p = { Spf_workloads.Is.n_keys = 8192; n_buckets = 1 lsl 20; seed = 9 } in
+  let b = Spf_workloads.Is.build p in
+  if transform then ignore (Spf_core.Pass.run b.Workload.func);
+  let prof = Profile.create Machine.haswell in
+  let retval =
+    Profile.run prof b.Workload.func ~mem:b.Workload.mem ~args:b.Workload.args
+  in
+  Workload.validate b ~retval;
+  (prof, b.Workload.func)
+
+let test_baseline_attribution () =
+  let prof, f = run_profiled () in
+  (* The bucket-increment load ("count") misses nearly always; the
+     sequential key load barely misses. *)
+  match (site_by_name prof f "count", site_by_name prof f "key") with
+  | [ count ], [ key ] ->
+      Alcotest.(check bool) "indirect load dominated by misses" true
+        (count.Profile.misses * 10 > count.Profile.accesses * 8);
+      Alcotest.(check bool) "sequential load mostly hits" true
+        (key.Profile.misses * 10 < key.Profile.accesses)
+  | _ -> Alcotest.fail "expected exactly one site per load"
+
+let test_pass_shifts_misses_to_prefetch () =
+  let prof, f = run_profiled ~transform:true () in
+  match site_by_name prof f "count" with
+  | [ count ] ->
+      Alcotest.(check bool) "demand load now hits" true
+        (count.Profile.misses * 10 < count.Profile.accesses);
+      (* Some prefetch site now carries the misses. *)
+      let pf_misses =
+        List.fold_left
+          (fun acc (s : Profile.site) ->
+            match (Ir.instr f s.Profile.instr_id).Ir.kind with
+            | Ir.Prefetch _ -> acc + s.Profile.misses
+            | _ -> acc)
+          0 (Profile.sites prof)
+      in
+      Alcotest.(check bool) "prefetches absorb the misses" true
+        (pf_misses > (8192 * 6) / 10)
+  | _ -> Alcotest.fail "expected exactly one count site"
+
+let test_sites_sorted_by_misses () =
+  let prof, _ = run_profiled () in
+  let rec decreasing = function
+    | (a : Profile.site) :: (b :: _ as rest) ->
+        a.Profile.misses >= b.Profile.misses && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "worst missers first" true (decreasing (Profile.sites prof))
+
+let suite =
+  [
+    Alcotest.test_case "baseline attribution" `Quick test_baseline_attribution;
+    Alcotest.test_case "pass shifts misses to prefetch" `Quick
+      test_pass_shifts_misses_to_prefetch;
+    Alcotest.test_case "sites sorted" `Quick test_sites_sorted_by_misses;
+  ]

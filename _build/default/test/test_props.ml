@@ -1,0 +1,237 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Pass = Spf_core.Pass
+module Config = Spf_core.Config
+module Schedule = Spf_core.Schedule
+module Memory = Spf_sim.Memory
+module Rng = Spf_workloads.Rng
+
+(* Property-based tests.  The central one generates random indirect-access
+   kernels from a template space, runs the pass, and checks that (a) the
+   verifier still accepts the function and (b) execution produces exactly
+   the same result as the untransformed kernel on the same data — i.e. the
+   pass is semantics-preserving by construction, not just on the
+   hand-written benchmarks. *)
+
+(* A kernel descriptor: the generated loop is
+
+     acc = 0
+     for i in 0..n:
+       k  = A[i]
+       e  = <chain of [ops] over k (and i)> land (m-1)
+       v  = B[e]
+       (if two_level) e2 = (v + salt) land (m-1); v = C[e2]
+       acc += v
+       (if store_to_d) D[e] = acc
+       (if store_to_a) A[i] = acc          -- forces a Store_alias rejection
+     return acc *)
+type op = Oadd of int | Oxor of int | Oaddi (* + i *) | Oshr of int
+
+type descr = {
+  ops : op list;
+  two_level : bool;
+  store_to_d : bool;
+  store_to_a : bool;
+  c_const : int;
+  stagger : int;
+  companion : bool;
+}
+
+let log_m = 12
+let m = 1 lsl log_m
+let n = 512
+
+let build_kernel (d : descr) =
+  let b = Builder.create ~name:"prop" ~nparams:4 in
+  let pa = Builder.param b 0
+  and pb = Builder.param b 1
+  and pc = Builder.param b 2
+  and pd = Builder.param b 3 in
+  let head = Builder.new_block b "head" in
+  let body = Builder.new_block b "body" in
+  let exit = Builder.new_block b "exit" in
+  let entry = Builder.current_block b in
+  Builder.br b head;
+  Builder.set_block b head;
+  let i = Builder.phi ~name:"i" b [ (entry, Ir.Imm 0) ] in
+  let acc = Builder.phi ~name:"acc" b [ (entry, Ir.Imm 0) ] in
+  let c = Builder.cmp b Ir.Slt i (Ir.Imm n) in
+  Builder.cbr b c body exit;
+  Builder.set_block b body;
+  let k = Builder.load ~name:"k" b Ir.I32 (Builder.gep b pa i 4) in
+  let e =
+    List.fold_left
+      (fun e op ->
+        match op with
+        | Oadd x -> Builder.add b e (Ir.Imm x)
+        | Oxor x -> Builder.binop b Ir.Xor e (Ir.Imm x)
+        | Oaddi -> Builder.add b e i
+        | Oshr x -> Builder.binop b Ir.Lshr e (Ir.Imm (x land 3)))
+      k d.ops
+  in
+  let e = Builder.binop ~name:"e" b Ir.And e (Ir.Imm (m - 1)) in
+  let v = Builder.load ~name:"v" b Ir.I32 (Builder.gep b pb e 4) in
+  let v =
+    if d.two_level then begin
+      let e2 =
+        Builder.binop ~name:"e2" b Ir.And
+          (Builder.add b v (Ir.Imm 17))
+          (Ir.Imm (m - 1))
+      in
+      Builder.load ~name:"w" b Ir.I32 (Builder.gep b pc e2 4)
+    end
+    else v
+  in
+  let acc' = Builder.add ~name:"acc'" b acc v in
+  if d.store_to_d then Builder.store b Ir.I32 (Builder.gep b pd e 4) acc';
+  if d.store_to_a then Builder.store b Ir.I32 (Builder.gep b pa i 4) acc';
+  let i' = Builder.add b i (Ir.Imm 1) in
+  Builder.br b head;
+  Builder.add_incoming b i ~pred:body i';
+  Builder.add_incoming b acc ~pred:body acc';
+  Builder.set_block b exit;
+  Builder.ret b (Some acc);
+  Builder.finish b
+
+let setup_memory ~seed =
+  let mem = Memory.create () in
+  let rng = Rng.create ~seed in
+  let arr len bound =
+    Memory.alloc_i32_array mem (Array.init len (fun _ -> Rng.int rng bound))
+  in
+  let a = arr n m and bb = arr m m and cc = arr m 1000 in
+  let dd = Memory.alloc mem (4 * m) in
+  (mem, [| a; bb; cc; dd |])
+
+let execute func ~seed =
+  let mem, args = setup_memory ~seed in
+  let interp =
+    Spf_sim.Interp.create ~machine:Spf_sim.Machine.a53 ~mem ~args func
+  in
+  Spf_sim.Interp.run ~fuel:5_000_000 interp;
+  let d_sum = ref 0 in
+  for k = 0 to m - 1 do
+    d_sum := Spf_workloads.Workload.mix !d_sum (Memory.load mem Ir.I32 (args.(3) + (4 * k)))
+  done;
+  (Spf_sim.Interp.retval interp, !d_sum)
+
+(* QCheck generators. *)
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun x -> Oadd (x land 1023)) int;
+        map (fun x -> Oxor (x land 1023)) int;
+        return Oaddi;
+        map (fun x -> Oshr x) (int_bound 3);
+      ])
+
+let descr_gen =
+  QCheck.Gen.(
+    let* ops = list_size (int_bound 4) op_gen in
+    let* two_level = bool in
+    let* store_to_d = bool in
+    let* store_to_a = bool in
+    let* c_const = oneofl [ 4; 16; 64; 200 ] in
+    let* stagger = int_range 1 4 in
+    let* companion = bool in
+    return { ops; two_level; store_to_d; store_to_a; c_const; stagger; companion })
+
+let descr_arb = QCheck.make descr_gen
+
+let prop_pass_preserves_semantics =
+  QCheck.Test.make ~name:"pass preserves random kernels" ~count:60 descr_arb
+    (fun d ->
+      let seed = 1 + (Hashtbl.hash d land 0xFFFF) in
+      let plain = build_kernel d in
+      let expected = execute plain ~seed in
+      let transformed = build_kernel d in
+      let config =
+        {
+          Config.default with
+          Config.c = d.c_const;
+          max_stagger = d.stagger;
+          stride_companion = d.companion;
+        }
+      in
+      ignore (Pass.run ~config transformed);
+      Spf_ir.Verifier.check transformed = []
+      && execute transformed ~seed = expected)
+
+let prop_pass_never_invalidates =
+  QCheck.Test.make ~name:"pass output always verifies" ~count:60 descr_arb
+    (fun d ->
+      let f = build_kernel d in
+      ignore (Pass.run f);
+      Spf_ir.Verifier.check f = [])
+
+let prop_store_alias_always_rejected =
+  QCheck.Test.make ~name:"stores to the look-ahead array always reject"
+    ~count:40 descr_arb (fun d ->
+      let d = { d with store_to_a = true } in
+      let f = build_kernel d in
+      let report = Pass.run f in
+      (* No prefetch may target the chains through A. *)
+      List.for_all
+        (fun (_, dec) ->
+          match dec with
+          | Pass.Emitted _ -> false
+          | Pass.Hoisted _ | Pass.Rejected _ -> true)
+        report.Pass.decisions)
+
+let prop_schedule_monotone =
+  QCheck.Test.make ~name:"eq. 1 offsets decrease along the chain" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 0 512))
+    (fun (t, c) ->
+      let offs = Schedule.offsets ~c ~t in
+      let rec decreasing = function
+        | a :: (b :: _ as rest) -> a >= b && decreasing rest
+        | _ -> true
+      in
+      decreasing offs
+      && List.for_all (fun o -> o >= 0 && o <= c) offs
+      && List.length offs = t)
+
+let prop_split_preserves_semantics =
+  QCheck.Test.make ~name:"split+prefetch preserves random kernels" ~count:40
+    descr_arb (fun d ->
+      let seed = 1 + (Hashtbl.hash d land 0xFFFF) in
+      let plain = build_kernel d in
+      let expected = execute plain ~seed in
+      let transformed = build_kernel d in
+      let config = { Config.default with Config.c = d.c_const } in
+      ignore (Spf_core.Split.split_and_prefetch ~config transformed);
+      Spf_ir.Verifier.check transformed = []
+      && execute transformed ~seed = expected)
+
+let prop_simplify_preserves_semantics =
+  QCheck.Test.make ~name:"constant-fold + dce preserve random kernels"
+    ~count:40 descr_arb (fun d ->
+      let seed = 1 + (Hashtbl.hash d land 0xFFFF) in
+      let plain = build_kernel d in
+      let expected = execute plain ~seed in
+      let transformed = build_kernel d in
+      ignore (Spf_core.Pass.run transformed);
+      ignore (Spf_ir.Simplify.simplify transformed);
+      Spf_ir.Verifier.check transformed = []
+      && execute transformed ~seed = expected)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interpreter is deterministic" ~count:20 descr_arb
+    (fun d ->
+      let seed = 1 + (Hashtbl.hash d land 0xFFFF) in
+      let r1 = execute (build_kernel d) ~seed in
+      let r2 = execute (build_kernel d) ~seed in
+      r1 = r2)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pass_preserves_semantics;
+      prop_pass_never_invalidates;
+      prop_store_alias_always_rejected;
+      prop_schedule_monotone;
+      prop_split_preserves_semantics;
+      prop_simplify_preserves_semantics;
+      prop_interp_deterministic;
+    ]

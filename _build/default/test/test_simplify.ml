@@ -1,0 +1,133 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Simplify = Spf_ir.Simplify
+module Memory = Spf_sim.Memory
+
+(* Constant folding and DCE: correctness and fixed-point behaviour. *)
+
+let test_fold_arith () =
+  let b = Builder.create ~name:"t" ~nparams:0 in
+  let x = Builder.add b (Ir.Imm 20) (Ir.Imm 22) in
+  let y = Builder.mul b x (Ir.Imm 1) in
+  let z = Builder.binop b Ir.Smin y (Ir.Imm 100) in
+  Builder.ret b (Some z);
+  let f = Builder.finish b in
+  let folded = Simplify.constant_fold f in
+  Alcotest.(check bool) "folded several" true (folded >= 3);
+  Helpers.verify_ok f;
+  (match (Ir.block f 0).Ir.term with
+  | Ir.Ret (Some (Ir.Imm 42)) -> ()
+  | _ -> Alcotest.fail "return not folded to 42");
+  Alcotest.(check int) "still executes" 42 (Helpers.run_ret f)
+
+let test_fold_identities () =
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  let p = Builder.param b 0 in
+  let x = Builder.add b p (Ir.Imm 0) in
+  let y = Builder.binop b Ir.Xor x (Ir.Imm 0) in
+  let z = Builder.binop b Ir.Shl y (Ir.Imm 0) in
+  Builder.ret b (Some z);
+  let f = Builder.finish b in
+  ignore (Simplify.constant_fold f);
+  Helpers.verify_ok f;
+  (* Everything collapses to the parameter. *)
+  (match (Ir.block f 0).Ir.term with
+  | Ir.Ret (Some (Ir.Var id)) when id = f.Ir.param_ids.(0) -> ()
+  | _ -> Alcotest.fail "identities not collapsed to the parameter");
+  Alcotest.(check int) "still executes" 7 (Helpers.run_ret ~args:[| 7 |] f)
+
+let test_fold_does_not_touch_loads () =
+  let mem = Memory.create () in
+  let base = Memory.alloc_i32_array mem [| 5 |] in
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  let v = Builder.load b Ir.I32 (Builder.param b 0) in
+  Builder.ret b (Some v);
+  let f = Builder.finish b in
+  Alcotest.(check int) "nothing folded" 0 (Simplify.constant_fold f);
+  Alcotest.(check int) "load preserved" 5 (Helpers.run_ret ~mem ~args:[| base |] f)
+
+let test_div_by_zero_not_folded () =
+  let b = Builder.create ~name:"t" ~nparams:0 in
+  let x = Builder.binop b Ir.Sdiv (Ir.Imm 5) (Ir.Imm 0) in
+  Builder.store b Ir.I32 (Ir.Imm 4096) x;
+  Builder.ret b None;
+  let f = Builder.finish b in
+  Alcotest.(check int) "division by zero left alone" 0 (Simplify.constant_fold f)
+
+let test_dce_removes_unused () =
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  let p = Builder.param b 0 in
+  let _dead1 = Builder.add b p (Ir.Imm 1) in
+  let _dead2 = Builder.mul b p (Ir.Imm 3) in
+  let live = Builder.add b p (Ir.Imm 2) in
+  Builder.ret b (Some live);
+  let f = Builder.finish b in
+  let removed = Simplify.dce f in
+  Alcotest.(check int) "two dead instructions removed" 2 removed;
+  Helpers.verify_ok f;
+  Alcotest.(check int) "live path intact" 12 (Helpers.run_ret ~args:[| 10 |] f)
+
+let test_dce_transitive () =
+  (* A dead chain: b uses a, nothing uses b — both must go. *)
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  let p = Builder.param b 0 in
+  let a = Builder.add b p (Ir.Imm 1) in
+  let _bb = Builder.mul b a (Ir.Imm 2) in
+  Builder.ret b (Some p);
+  let f = Builder.finish b in
+  Alcotest.(check int) "chain removed" 2 (Simplify.dce f);
+  Helpers.verify_ok f
+
+let test_dce_keeps_side_effects () =
+  let mem = Memory.create () in
+  let base = Memory.alloc mem 64 in
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  let p = Builder.param b 0 in
+  Builder.store b Ir.I32 p (Ir.Imm 9);
+  Builder.prefetch b p;
+  Builder.ret b None;
+  let f = Builder.finish b in
+  Alcotest.(check int) "stores and prefetches kept" 0 (Simplify.dce f);
+  ignore (Helpers.run ~mem ~args:[| base |] f);
+  Alcotest.(check int) "store executed" 9 (Memory.load mem Ir.I32 base)
+
+let test_dce_keeps_loads () =
+  (* Loads are side-effect free in this IR but removing an unused load is
+     still fine semantically; the current policy removes them.  What must
+     never be removed is a load whose value is used. *)
+  let mem = Memory.create () in
+  let base = Memory.alloc_i32_array mem [| 3 |] in
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  let v = Builder.load b Ir.I32 (Builder.param b 0) in
+  Builder.ret b (Some v);
+  let f = Builder.finish b in
+  Alcotest.(check int) "used load kept" 0 (Simplify.dce f);
+  Alcotest.(check int) "value intact" 3 (Helpers.run_ret ~mem ~args:[| base |] f)
+
+let test_simplify_after_pass_preserves_semantics () =
+  let p = Test_pass.small_is in
+  let b1 = Spf_workloads.Is.build p in
+  ignore (Spf_core.Pass.run b1.Spf_workloads.Workload.func);
+  ignore (Simplify.simplify b1.Spf_workloads.Workload.func);
+  Helpers.verify_ok b1.Spf_workloads.Workload.func;
+  let interp =
+    Spf_sim.Interp.create ~machine:Spf_sim.Machine.haswell
+      ~mem:b1.Spf_workloads.Workload.mem ~args:b1.Spf_workloads.Workload.args
+      b1.Spf_workloads.Workload.func
+  in
+  Spf_sim.Interp.run interp;
+  Spf_workloads.Workload.validate b1 ~retval:(Spf_sim.Interp.retval interp)
+
+let suite =
+  [
+    Alcotest.test_case "fold arithmetic" `Quick test_fold_arith;
+    Alcotest.test_case "fold identities" `Quick test_fold_identities;
+    Alcotest.test_case "loads not folded" `Quick test_fold_does_not_touch_loads;
+    Alcotest.test_case "division by zero left alone" `Quick test_div_by_zero_not_folded;
+    Alcotest.test_case "dce removes unused" `Quick test_dce_removes_unused;
+    Alcotest.test_case "dce transitive" `Quick test_dce_transitive;
+    Alcotest.test_case "dce keeps side effects" `Quick test_dce_keeps_side_effects;
+    Alcotest.test_case "used load kept" `Quick test_dce_keeps_loads;
+    Alcotest.test_case "simplify after pass preserves semantics" `Quick
+      test_simplify_after_pass_preserves_semantics;
+  ]

@@ -1,0 +1,145 @@
+module Ir = Spf_ir.Ir
+module Split = Spf_core.Split
+module Pass = Spf_core.Pass
+module Config = Spf_core.Config
+module Memory = Spf_sim.Memory
+
+(* Loop splitting (the ICC hoisted-checks optimisation): the peel must
+   preserve semantics exactly, the main loop's prefetches must carry no
+   clamps, and ineligible loops must be left alone. *)
+
+let run_sum ~n f =
+  let mem = Memory.create () in
+  let base = Memory.alloc_i32_array mem (Array.init n (fun i -> (i * 7) land 0xFF)) in
+  Helpers.run_ret ~mem ~args:[| base |] f
+
+let expected_sum ~n =
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    s := !s + ((i * 7) land 0xFF)
+  done;
+  !s
+
+let test_split_preserves_sum () =
+  List.iter
+    (fun n ->
+      let f = Helpers.sum_kernel ~n in
+      let splits = Split.run f in
+      Alcotest.(check int) "one split" 1 (List.length splits);
+      Helpers.verify_ok f;
+      Alcotest.(check int)
+        (Printf.sprintf "sum preserved at n=%d" n)
+        (expected_sum ~n) (run_sum ~n f))
+    [ 0; 1; 63; 64; 65; 200; 1024 ]
+(* n < c exercises the empty main loop; n = c the boundary. *)
+
+let test_split_and_prefetch_is_like () =
+  let n = 4096 in
+  let mem = Memory.create () in
+  let rng = Spf_workloads.Rng.create ~seed:2 in
+  let setup () =
+    let mem = Memory.create () in
+    let rng = Spf_workloads.Rng.create ~seed:2 in
+    let a =
+      Memory.alloc_i32_array mem
+        (Array.init n (fun _ -> Spf_workloads.Rng.int rng (1 lsl 16)))
+    in
+    let tgt = Memory.alloc mem (4 * (1 lsl 16)) in
+    (mem, [| a; tgt |])
+  in
+  ignore (mem, rng);
+  (* Reference: plain run. *)
+  let checksum args mem =
+    let acc = ref 0 in
+    for k = 0 to (1 lsl 16) - 1 do
+      acc := Spf_workloads.Workload.mix !acc (Memory.load mem Ir.I32 (args.(1) + (4 * k)))
+    done;
+    !acc
+  in
+  let plain = Helpers.is_like_kernel ~n in
+  let mem0, args0 = setup () in
+  ignore (Helpers.run ~mem:mem0 ~args:args0 plain);
+  let expected = checksum args0 mem0 in
+  (* Split + clamp-free prefetch. *)
+  let f = Helpers.is_like_kernel ~n in
+  let splits, report = Split.split_and_prefetch f in
+  Helpers.verify_ok f;
+  Alcotest.(check int) "loop split" 1 (List.length splits);
+  Alcotest.(check bool) "prefetches emitted" true (report.Pass.n_prefetches > 0);
+  (* No Smin clamp in the cloned main loop. *)
+  let s = List.hd splits in
+  List.iter
+    (fun bid ->
+      Array.iter
+        (fun id ->
+          match (Ir.instr f id).Ir.kind with
+          | Ir.Binop (Ir.Smin, _, _) ->
+              Alcotest.fail "clamp found in the peeled main loop"
+          | _ -> ())
+        (Ir.block f bid).Ir.instrs)
+    s.Split.main_blocks;
+  let mem1, args1 = setup () in
+  ignore (Helpers.run ~mem:mem1 ~args:args1 f);
+  Alcotest.(check int) "results identical" expected (checksum args1 mem1)
+
+let test_split_reduces_instructions () =
+  let n = 65536 in
+  let count_dynamic f =
+    let mem = Memory.create () in
+    let rng = Spf_workloads.Rng.create ~seed:3 in
+    let a =
+      Memory.alloc_i32_array mem
+        (Array.init n (fun _ -> Spf_workloads.Rng.int rng (1 lsl 20)))
+    in
+    let tgt = Memory.alloc mem (4 * (1 lsl 20)) in
+    let _, st = Helpers.run ~mem ~args:[| a; tgt |] f in
+    st.Spf_sim.Stats.instructions
+  in
+  let clamped = Helpers.is_like_kernel ~n in
+  ignore (Pass.run clamped);
+  let split = Helpers.is_like_kernel ~n in
+  ignore (Split.split_and_prefetch split);
+  Alcotest.(check bool) "clamp-free main loop executes fewer instructions"
+    true
+    (count_dynamic split < count_dynamic clamped)
+
+let test_ineligible_loops_untouched () =
+  (* The BFS work loop (growing bound) must not be split. *)
+  let p = Test_pass.small_g500 in
+  let g = Spf_workloads.G500.kronecker p in
+  let f = Spf_workloads.G500.build_func g in
+  let n_blocks_before = Ir.n_blocks f in
+  let splits = Split.run f in
+  Alcotest.(check int) "no split of the work loop" 0
+    (List.length
+       (List.filter (fun (s : Split.split) -> s.Split.loop_header = 1) splits));
+  ignore n_blocks_before;
+  Helpers.verify_ok f
+
+let test_epilogue_has_no_prefetches () =
+  let f = Helpers.is_like_kernel ~n:4096 in
+  let splits, _ = Split.split_and_prefetch f in
+  let s = List.hd splits in
+  List.iter
+    (fun bid ->
+      Array.iter
+        (fun id ->
+          match (Ir.instr f id).Ir.kind with
+          | Ir.Prefetch _ -> Alcotest.fail "prefetch leaked into the epilogue"
+          | _ -> ())
+        (Ir.block f bid).Ir.instrs)
+    s.Split.epilogue_blocks
+
+let suite =
+  [
+    Alcotest.test_case "split preserves sums (incl. boundaries)" `Quick
+      test_split_preserves_sum;
+    Alcotest.test_case "split+prefetch preserves IS-like kernel" `Quick
+      test_split_and_prefetch_is_like;
+    Alcotest.test_case "split reduces dynamic instructions" `Quick
+      test_split_reduces_instructions;
+    Alcotest.test_case "ineligible loops untouched" `Quick
+      test_ineligible_loops_untouched;
+    Alcotest.test_case "epilogue prefetch-free" `Quick
+      test_epilogue_has_no_prefetches;
+  ]

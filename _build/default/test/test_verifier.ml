@@ -1,0 +1,116 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Verifier = Spf_ir.Verifier
+
+(* The verifier must accept all well-formed fixtures and flag each class of
+   breakage. *)
+
+let test_accepts_fixtures () =
+  Helpers.verify_ok (Helpers.is_like_kernel ~n:8);
+  Helpers.verify_ok (Helpers.sum_kernel ~n:8);
+  Helpers.verify_ok (Spf_workloads.Is.build_func Spf_workloads.Is.default);
+  Helpers.verify_ok (Spf_workloads.Cg.build_func Spf_workloads.Cg.default);
+  Helpers.verify_ok (Spf_workloads.Ra.build_func Spf_workloads.Ra.default);
+  Helpers.verify_ok (Spf_workloads.Hj.build_func Spf_workloads.Hj.default_hj8)
+
+let violations f = List.length (Verifier.check f)
+
+let test_bad_branch_target () =
+  let f = Helpers.sum_kernel ~n:4 in
+  (Ir.block f 2).Ir.term <- Ir.Br 99;
+  Alcotest.(check bool) "invalid target flagged" true (violations f > 0)
+
+let test_phi_label_mismatch () =
+  let f = Helpers.sum_kernel ~n:4 in
+  let header = Ir.block f 1 in
+  let phi = Ir.instr f header.Ir.instrs.(0) in
+  (match phi.Ir.kind with
+  | Ir.Phi incoming ->
+      phi.Ir.kind <- Ir.Phi (List.map (fun (_, v) -> (97, v)) incoming)
+  | _ -> Alcotest.fail "expected phi");
+  Alcotest.(check bool) "phi label mismatch flagged" true (violations f > 0)
+
+let test_phi_after_nonphi () =
+  let f = Helpers.sum_kernel ~n:4 in
+  let header = Ir.block f 1 in
+  (* Move the leading phi to the end of the block. *)
+  let n = Array.length header.Ir.instrs in
+  let phi_id = header.Ir.instrs.(0) in
+  let rest = Array.sub header.Ir.instrs 1 (n - 1) in
+  header.Ir.instrs <- Array.append rest [| phi_id |];
+  Alcotest.(check bool) "phi after non-phi flagged" true (violations f > 0)
+
+let test_use_before_def () =
+  let b = Builder.create ~name:"bad" ~nparams:0 in
+  (* Build a block that reads an id defined only later in the block. *)
+  let f = Builder.finish b in
+  let late = Ir.fresh_instr f ~name:"late" ~block:0 (Ir.Binop (Ir.Add, Ir.Imm 1, Ir.Imm 1)) in
+  let early =
+    Ir.fresh_instr f ~name:"early" ~block:0
+      (Ir.Binop (Ir.Add, Ir.Var late.Ir.id, Ir.Imm 1))
+  in
+  Ir.insert_at_end f ~bid:0 [ early.Ir.id; late.Ir.id ];
+  (Ir.block f 0).Ir.term <- Ir.Ret None;
+  Alcotest.(check bool) "use before def flagged" true (violations f > 0)
+
+let test_use_of_nonvalue () =
+  let b = Builder.create ~name:"bad" ~nparams:1 in
+  let p = Builder.param b 0 in
+  Builder.store b Ir.I32 p (Ir.Imm 1);
+  let f = Builder.finish b in
+  (* Find the store's id and reference it as an operand. *)
+  let store_id = ref (-1) in
+  Ir.iter_instrs f (fun i ->
+      match i.Ir.kind with Ir.Store _ -> store_id := i.Ir.id | _ -> ());
+  let bad =
+    Ir.fresh_instr f ~name:"bad" ~block:0
+      (Ir.Binop (Ir.Add, Ir.Var !store_id, Ir.Imm 1))
+  in
+  Ir.insert_at_end f ~bid:0 [ bad.Ir.id ];
+  (Ir.block f 0).Ir.term <- Ir.Ret None;
+  Alcotest.(check bool) "use of non-value flagged" true (violations f > 0)
+
+let test_cross_block_dominance () =
+  (* A value defined in the 'then' arm used in the join point without a
+     phi must be flagged. *)
+  let b = Builder.create ~name:"bad" ~nparams:1 in
+  let bthen = Builder.new_block b "then" in
+  let belse = Builder.new_block b "else" in
+  let join = Builder.new_block b "join" in
+  let c = Builder.cmp b Ir.Sgt (Builder.param b 0) (Ir.Imm 0) in
+  Builder.cbr b c bthen belse;
+  Builder.set_block b bthen;
+  let v = Builder.add b (Ir.Imm 1) (Ir.Imm 2) in
+  Builder.br b join;
+  Builder.set_block b belse;
+  Builder.br b join;
+  Builder.set_block b join;
+  Builder.ret b (Some v);
+  let f = Builder.finish b in
+  Alcotest.(check bool) "non-dominating use flagged" true (violations f > 0)
+
+let test_pass_output_verifies () =
+  (* After the pass mutates a function, the verifier must still accept. *)
+  List.iter
+    (fun f ->
+      ignore (Spf_core.Pass.run f);
+      Helpers.verify_ok f)
+    [
+      Spf_workloads.Is.build_func Spf_workloads.Is.default;
+      Spf_workloads.Cg.build_func Spf_workloads.Cg.default;
+      Spf_workloads.Ra.build_func Spf_workloads.Ra.default;
+      Spf_workloads.Hj.build_func Spf_workloads.Hj.default_hj2;
+      Spf_workloads.Hj.build_func Spf_workloads.Hj.default_hj8;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "accepts fixtures" `Quick test_accepts_fixtures;
+    Alcotest.test_case "bad branch target" `Quick test_bad_branch_target;
+    Alcotest.test_case "phi label mismatch" `Quick test_phi_label_mismatch;
+    Alcotest.test_case "phi after non-phi" `Quick test_phi_after_nonphi;
+    Alcotest.test_case "use before def" `Quick test_use_before_def;
+    Alcotest.test_case "use of non-value" `Quick test_use_of_nonvalue;
+    Alcotest.test_case "cross-block dominance" `Quick test_cross_block_dominance;
+    Alcotest.test_case "pass output verifies" `Quick test_pass_output_verifies;
+  ]
