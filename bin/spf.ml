@@ -7,7 +7,8 @@
      fig <id>|all              regenerate a paper figure/table
      sweep <bench>             look-ahead sweep for one benchmark
      profile <bench>           per-load hit/miss attribution (untimed)
-     split <bench>             loop splitting + clamp-free prefetching *)
+     split <bench>             loop splitting + clamp-free prefetching
+     fuzz                      differential fuzzing of the pass *)
 
 module Machine = Spf_sim.Machine
 module Workload = Spf_workloads.Workload
@@ -254,6 +255,42 @@ let sweep_cmd =
       $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
       $ machine_arg)
 
+(* --- fuzz ------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let doc =
+    "Differentially fuzz the prefetching pass: random indirect-access \
+     programs run original vs. transformed under fault-injection \
+     semantics; outcomes must agree, no exception may escape the pass, \
+     and wild prefetches must be dropped non-faulting (§4.2/§4.4)."
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Campaign RNG seed.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of generated programs.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily shrink failing cases to minimal reproducers.")
+  in
+  let run seed count shrink c =
+    let config = Spf_core.Config.with_c c Spf_core.Config.default in
+    let progress n = Format.printf "  ... %d/%d@." n count; Format.print_flush () in
+    let s = Spf_fuzz.Driver.run ~config ~shrink ~progress ~seed ~count () in
+    Format.printf "%a" Spf_fuzz.Driver.pp_summary s;
+    if not (Spf_fuzz.Driver.ok s) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed_arg $ count_arg $ shrink_arg $ c_arg)
+
 let () =
   let doc = "Software prefetching for indirect memory accesses (CGO'17) — reproduction" in
   let info = Cmd.info "spf" ~version:"1.0" ~doc in
@@ -268,4 +305,5 @@ let () =
             sweep_cmd;
             profile_cmd;
             split_cmd;
+            fuzz_cmd;
           ]))

@@ -1,0 +1,88 @@
+(* Structured diagnostics for the prefetch pass.
+
+   The pass must never crash the host compiler: an un-transformable loop is
+   an everyday outcome, not an error.  Every reason the pass declines or
+   aborts work is reified here so that [Pass.run] can return it in the
+   report instead of raising, and so a fuzzing driver can assert that no
+   exception ever escapes.  [?strict] callers can still turn error-severity
+   diagnostics back into exceptions via {!Escalated}. *)
+
+type severity = Note | Error
+
+type phase = Analysis | Hoist | Vet | Emit | Cleanup
+
+(* Why §4.6 hoisting declined a load.  These mirror the structural
+   requirements of the restricted (load-free chain) form we implement. *)
+type hoist_skip =
+  | No_preheader  (* loop has no unique preheader to hoist into *)
+  | No_outer_phi  (* chain never crosses a header phi: plain induction *)
+  | Phi_init_not_value  (* header phi not seeded by a single outer value *)
+  | Chain_load  (* address chain reloads memory inside the loop *)
+  | Chain_call  (* address chain calls a function *)
+  | Chain_inner_phi  (* address chain crosses a non-header phi *)
+  | Chain_effect  (* address chain contains a store or prefetch *)
+
+type kind =
+  | Hoist_skip of hoist_skip
+  | Internal of { exn : string; backtrace : string }
+      (* an exception the pass caught instead of propagating *)
+
+type t = {
+  phase : phase;
+  severity : severity;
+  load_id : int option;  (* the load being considered, when known *)
+  kind : kind;
+}
+
+exception Escalated of t
+(** Raised by [Pass.run ~strict:true] in place of recording an
+    error-severity diagnostic. *)
+
+let note ?load_id phase kind = { phase; severity = Note; load_id; kind }
+
+(* Capture a caught exception as an error-severity diagnostic.  Call this
+   inside the [with] handler so the backtrace is still the raising one. *)
+let of_exn ?load_id phase exn =
+  {
+    phase;
+    severity = Error;
+    load_id;
+    kind =
+      Internal
+        {
+          exn = Printexc.to_string exn;
+          backtrace = Printexc.get_backtrace ();
+        };
+  }
+
+let phase_to_string = function
+  | Analysis -> "analysis"
+  | Hoist -> "hoist"
+  | Vet -> "vet"
+  | Emit -> "emit"
+  | Cleanup -> "cleanup"
+
+let hoist_skip_to_string = function
+  | No_preheader -> "loop has no preheader"
+  | No_outer_phi -> "address chain crosses no header phi (plain induction)"
+  | Phi_init_not_value -> "header phi is not seeded by a single outer value"
+  | Chain_load -> "address chain contains another load"
+  | Chain_call -> "address chain contains a call"
+  | Chain_inner_phi -> "address chain crosses a non-header phi"
+  | Chain_effect -> "address chain contains a store or prefetch"
+
+let to_string d =
+  let what =
+    match d.kind with
+    | Hoist_skip r -> hoist_skip_to_string r
+    | Internal { exn; _ } -> "internal: " ^ exn
+  in
+  Printf.sprintf "[%s] %s%s%s"
+    (phase_to_string d.phase)
+    (match d.severity with Note -> "" | Error -> "error: ")
+    (match d.load_id with
+    | Some id -> Printf.sprintf "load %d: " id
+    | None -> "")
+    what
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

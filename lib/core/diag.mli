@@ -1,0 +1,47 @@
+(** Structured diagnostics for the prefetch pass.
+
+    Declining to transform a loop is an everyday outcome for a prefetching
+    pass, never a reason to crash the host compiler.  Every such outcome is
+    reified as a value here so {!Pass.run} can return diagnostics in its
+    report instead of raising.  See docs/ROBUSTNESS.md. *)
+
+type severity =
+  | Note  (** the pass skipped something, by design *)
+  | Error  (** the pass caught an exception it did not expect *)
+
+type phase = Analysis | Hoist | Vet | Emit | Cleanup
+
+(** Why §4.6 hoisting declined a load (restricted load-free-chain form). *)
+type hoist_skip =
+  | No_preheader
+  | No_outer_phi
+  | Phi_init_not_value
+  | Chain_load
+  | Chain_call
+  | Chain_inner_phi
+  | Chain_effect
+
+type kind =
+  | Hoist_skip of hoist_skip
+  | Internal of { exn : string; backtrace : string }
+
+type t = {
+  phase : phase;
+  severity : severity;
+  load_id : int option;
+  kind : kind;
+}
+
+exception Escalated of t
+(** Raised by [Pass.run ~strict:true] in place of recording an
+    error-severity diagnostic. *)
+
+val note : ?load_id:int -> phase -> kind -> t
+val of_exn : ?load_id:int -> phase -> exn -> t
+(** Call inside the [with] handler so the recorded backtrace is the raising
+    one. *)
+
+val phase_to_string : phase -> string
+val hoist_skip_to_string : hoist_skip -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -22,7 +22,9 @@ type hoisted = {
   support_ids : int list;
 }
 
-exception Not_hoistable
+(* Internal control flow only; [try_hoist] converts it to a [result] so no
+   exception crosses the module boundary. *)
+exception Skip of Diag.hoist_skip
 
 (* Gather the address-computation chain of [load] within [l], substituting
    header phis by their initial values.  Returns the chain (ids inside the
@@ -51,10 +53,13 @@ let chain_of (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) =
                    variables, served by the main pass's look-ahead. *)
                 has_phi := true;
                 Hashtbl.replace subst id init
-            | _ -> raise Not_hoistable)
-        | Ir.Load _ when id <> load.id -> raise Not_hoistable
-        | Ir.Call _ | Ir.Phi _ -> raise Not_hoistable
-        | Ir.Store _ | Ir.Prefetch _ -> raise Not_hoistable
+            | [ (_, (Ir.Imm _ | Ir.Fimm _)) ] ->
+                raise (Skip Diag.No_outer_phi)
+            | _ -> raise (Skip Diag.Phi_init_not_value))
+        | Ir.Load _ when id <> load.id -> raise (Skip Diag.Chain_load)
+        | Ir.Call _ -> raise (Skip Diag.Chain_call)
+        | Ir.Phi _ -> raise (Skip Diag.Chain_inner_phi)
+        | Ir.Store _ | Ir.Prefetch _ -> raise (Skip Diag.Chain_effect)
         | Ir.Binop _ | Ir.Cmp _ | Ir.Select _ | Ir.Gep _ | Ir.Alloc _
         | Ir.Param _ | Ir.Load _ ->
             List.iter
@@ -66,15 +71,16 @@ let chain_of (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) =
     end
   in
   visit load.id;
-  if not !has_phi then raise Not_hoistable;
+  if not !has_phi then raise (Skip Diag.No_outer_phi);
   (List.rev !chain, subst)
 
-let try_hoist (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) =
+let try_hoist (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) :
+    (hoisted, Diag.hoist_skip) result =
   match l.preheader with
-  | None -> None
+  | None -> Error Diag.No_preheader
   | Some preheader -> (
       match chain_of a l load with
-      | exception Not_hoistable -> None
+      | exception Skip reason -> Error reason
       | chain, subst ->
           let func = a.Analysis.func in
           let clones = Hashtbl.create 8 in
@@ -112,7 +118,7 @@ let try_hoist (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) =
             chain;
           let support = List.rev !new_ids in
           Ir.insert_at_end func ~bid:preheader (support @ [ !prefetch_id ]);
-          Some
+          Ok
             {
               load_id = load.id;
               prefetch_id = !prefetch_id;
@@ -122,8 +128,12 @@ let try_hoist (a : Analysis.t) (l : Loops.loop) (load : Ir.instr) =
 
 (* Hoist every eligible load (outside [exclude_blocks]).  Runs before the
    main pass on the pristine function; the code it inserts contains no
-   loads, so it cannot create new candidates for the main pass. *)
-let run ?(exclude_blocks = []) (a : Analysis.t) (_config : Config.t) =
+   loads, so it cannot create new candidates for the main pass.  Skipped
+   loads are recorded as diagnostics, never raised: a load the restricted
+   §4.6 form cannot handle is ordinary input, and even an internal failure
+   on one load must not take down the others (or the host compiler). *)
+let run ?(exclude_blocks = []) (a : Analysis.t) (_config : Config.t) :
+    hoisted list * Diag.t list =
   let func = a.Analysis.func in
   let loads = ref [] in
   Ir.iter_instrs func (fun i ->
@@ -133,6 +143,16 @@ let run ?(exclude_blocks = []) (a : Analysis.t) (_config : Config.t) =
           | Some li -> loads := (i, li) :: !loads
           | None -> ())
       | _ -> ());
-  List.filter_map
-    (fun (load, li) -> try_hoist a (Loops.loop a.Analysis.loops li) load)
-    (List.rev !loads)
+  let hoisted = ref [] and diags = ref [] in
+  List.iter
+    (fun ((load : Ir.instr), li) ->
+      match try_hoist a (Loops.loop a.Analysis.loops li) load with
+      | Ok h -> hoisted := h :: !hoisted
+      | Error reason ->
+          diags :=
+            Diag.note ~load_id:load.id Diag.Hoist (Diag.Hoist_skip reason)
+            :: !diags
+      | exception exn ->
+          diags := Diag.of_exn ~load_id:load.id Diag.Hoist exn :: !diags)
+    (List.rev !loads);
+  (List.rev !hoisted, List.rev !diags)

@@ -10,9 +10,20 @@ type hoisted = {
 }
 
 val try_hoist :
-  Analysis.t -> Spf_ir.Loops.loop -> Spf_ir.Ir.instr -> hoisted option
+  Analysis.t ->
+  Spf_ir.Loops.loop ->
+  Spf_ir.Ir.instr ->
+  (hoisted, Diag.hoist_skip) result
+(** [Error] carries why the restricted §4.6 form declined; no exception
+    escapes. *)
 
-val run : ?exclude_blocks:int list -> Analysis.t -> Config.t -> hoisted list
-(** Hoist every eligible load whose block is not excluded.  Mutates the
-    function; the inserted code contains no loads, so it cannot feed the
-    main pass new candidates. *)
+val run :
+  ?exclude_blocks:int list ->
+  Analysis.t ->
+  Config.t ->
+  hoisted list * Diag.t list
+(** Hoist every eligible load whose block is not excluded; skipped loads
+    come back as note-severity diagnostics and internal failures as
+    error-severity ones — [run] itself never raises.  Mutates the function;
+    the inserted code contains no loads, so it cannot feed the main pass
+    new candidates. *)

@@ -58,4 +58,4 @@ let run ?(config = Config.default) (func : Ir.func) : Pass.report =
       loads
   in
   let n_prefetches, n_support = Pass.count_prefetches decisions in
-  { Pass.decisions; n_prefetches; n_support }
+  { Pass.decisions; n_prefetches; n_support; diags = [] }

@@ -11,17 +11,27 @@ module Loops = Spf_ir.Loops
 
    The returned report records, for every load inspected, either what was
    emitted or precisely why the load was rejected — tests and the CLI lean
-   on this heavily. *)
+   on this heavily.
+
+   Robustness contract: [run] never raises (unless [~strict:true] asks it
+   to).  A prefetch pass is an optimisation — the worst acceptable outcome
+   on any input is "no prefetches emitted", never an exception that takes
+   down the host compiler.  Exceptions from any phase are caught at the
+   finest containing granularity (per load where possible), converted to
+   {!Diag.t} values in [report.diags], and the rest of the work continues. *)
 
 type decision =
   | Emitted of Codegen.emitted list
   | Hoisted of Hoist.hoisted
   | Rejected of Safety.reject
+  | Skipped of Diag.t
+      (* a phase failed internally on this load; contained, not raised *)
 
 type report = {
   decisions : (int * decision) list; (* load id -> decision, program order *)
   n_prefetches : int;
   n_support : int; (* address-generation instructions added *)
+  diags : Diag.t list; (* skips and contained failures, in discovery order *)
 }
 
 let count_prefetches decisions =
@@ -37,67 +47,103 @@ let count_prefetches decisions =
                   acc + List.length g.support_ids + 2)
                 0 groups )
       | Hoisted h -> (npf + 1, nsup + List.length h.support_ids)
-      | Rejected _ -> (npf, nsup))
+      | Rejected _ | Skipped _ -> (npf, nsup))
     (0, 0) decisions
 
-let run ?(config = Config.default) ?(exclude_blocks = []) (func : Ir.func) :
-    report =
+let run ?(config = Config.default) ?(exclude_blocks = []) ?(strict = false)
+    (func : Ir.func) : report =
+  let diags = ref [] in
+  let record (d : Diag.t) =
+    if strict && d.Diag.severity = Diag.Error then raise (Diag.Escalated d);
+    diags := d :: !diags
+  in
+  let finish decisions =
+    let n_prefetches, n_support = count_prefetches decisions in
+    { decisions; n_prefetches; n_support; diags = List.rev !diags }
+  in
   let excluded b = List.mem b exclude_blocks in
   (* Phase 1: hoisting. *)
   let hoisted =
-    if config.Config.hoist then
-      Hoist.run ~exclude_blocks (Analysis.make func) config
+    if config.Config.hoist then (
+      match Hoist.run ~exclude_blocks (Analysis.make func) config with
+      | hs, ds ->
+          List.iter record ds;
+          hs
+      | exception exn ->
+          record (Diag.of_exn Diag.Hoist exn);
+          [])
     else []
   in
   let hoist_decisions =
     List.map (fun (h : Hoist.hoisted) -> (h.load_id, Hoisted h)) hoisted
   in
   (* Phase 2: analyse and vet (read-only). *)
-  let a = Analysis.make func in
-  let loads = ref [] in
-  Ir.iter_instrs func (fun i ->
-      match i.kind with
-      | Ir.Load _
-        when Loops.in_any_loop a.Analysis.loops i.block
-             && not (excluded i.block) ->
-          loads := i :: !loads
-      | _ -> ());
-  let loads = Analysis.sort_program_order a (List.rev_map (fun i -> i.Ir.id) !loads) in
-  let vetted =
-    List.map
-      (fun load_id ->
-        let load = Ir.instr func load_id in
-        match Dfs.find_candidate a load with
-        | None -> (load_id, Error Safety.No_candidate)
-        | Some cand -> (
-            if List.length (Dfs.chain_loads a cand) <= 1 then
-              (load_id, Error Safety.Pure_stride)
-            else
-              match Safety.vet a config cand with
-              | Error r -> (load_id, Error r)
-              | Ok clamp -> (load_id, Ok (cand, clamp))))
-      loads
-  in
-  (* Phase 3: emit. *)
-  let state = Codegen.create_state () in
-  let decisions =
-    List.map
-      (fun (load_id, v) ->
-        match v with
-        | Error r -> (load_id, Rejected r)
-        | Ok (cand, clamp) -> (
-            match Codegen.emit a config cand clamp ~state with
-            | [] -> (load_id, Rejected Safety.Duplicate)
-            | groups -> (load_id, Emitted groups)))
-      vetted
-  in
-  let decisions = hoist_decisions @ decisions in
-  (* Duplicate-line elision can leave address-generation clones with no
-     remaining users; sweep them so instruction-count reports (Fig 8)
-     reflect the code a real backend would run. *)
-  if config.Config.cleanup then ignore (Spf_ir.Simplify.dce func);
-  let n_prefetches, n_support = count_prefetches decisions in
-  { decisions; n_prefetches; n_support }
+  match Analysis.make func with
+  | exception exn ->
+      (* Without analysis there are no candidates; report what phase 1 did. *)
+      record (Diag.of_exn Diag.Analysis exn);
+      finish hoist_decisions
+  | a ->
+      let loads = ref [] in
+      Ir.iter_instrs func (fun i ->
+          match i.kind with
+          | Ir.Load _
+            when Loops.in_any_loop a.Analysis.loops i.block
+                 && not (excluded i.block) ->
+              loads := i :: !loads
+          | _ -> ());
+      let loads =
+        Analysis.sort_program_order a
+          (List.rev_map (fun i -> i.Ir.id) !loads)
+      in
+      let vetted =
+        List.map
+          (fun load_id ->
+            match
+              let load = Ir.instr func load_id in
+              match Dfs.find_candidate a load with
+              | None -> Error Safety.No_candidate
+              | Some cand -> (
+                  if List.length (Dfs.chain_loads a cand) <= 1 then
+                    Error Safety.Pure_stride
+                  else
+                    match Safety.vet a config cand with
+                    | Error r -> Error r
+                    | Ok clamp -> Ok (cand, clamp))
+            with
+            | verdict -> (load_id, `Vet verdict)
+            | exception exn ->
+                let d = Diag.of_exn ~load_id Diag.Vet exn in
+                record d;
+                (load_id, `Skip d))
+          loads
+      in
+      (* Phase 3: emit. *)
+      let state = Codegen.create_state () in
+      let decisions =
+        List.map
+          (fun (load_id, v) ->
+            match v with
+            | `Skip d -> (load_id, Skipped d)
+            | `Vet (Error r) -> (load_id, Rejected r)
+            | `Vet (Ok (cand, clamp)) -> (
+                match Codegen.emit a config cand clamp ~state with
+                | [] -> (load_id, Rejected Safety.Duplicate)
+                | groups -> (load_id, Emitted groups)
+                | exception exn ->
+                    let d = Diag.of_exn ~load_id Diag.Emit exn in
+                    record d;
+                    (load_id, Skipped d)))
+          vetted
+      in
+      let decisions = hoist_decisions @ decisions in
+      (* Duplicate-line elision can leave address-generation clones with no
+         remaining users; sweep them so instruction-count reports (Fig 8)
+         reflect the code a real backend would run. *)
+      (if config.Config.cleanup then
+         try ignore (Spf_ir.Simplify.dce func)
+         with exn -> record (Diag.of_exn Diag.Cleanup exn));
+      finish decisions
 
 let pp_report (func : Ir.func) fmt (r : report) =
   let pp_decision fmt = function
@@ -114,6 +160,7 @@ let pp_report (func : Ir.func) fmt (r : report) =
           h.preheader
           (List.length h.support_ids)
     | Rejected r -> Format.fprintf fmt "rejected: %s" (Safety.string_of_reject r)
+    | Skipped d -> Format.fprintf fmt "skipped: %s" (Diag.to_string d)
   in
   Format.fprintf fmt "prefetch pass: %d prefetches, %d support instructions@."
     r.n_prefetches r.n_support;
@@ -121,4 +168,10 @@ let pp_report (func : Ir.func) fmt (r : report) =
     (fun (load_id, d) ->
       Format.fprintf fmt "  load %%%s.%d: %a@."
         (Ir.instr func load_id).name load_id pp_decision d)
-    r.decisions
+    r.decisions;
+  List.iter
+    (fun d ->
+      match d.Diag.severity with
+      | Diag.Error -> Format.fprintf fmt "  diag: %a@." Diag.pp d
+      | Diag.Note -> ())
+    r.diags

@@ -5,22 +5,41 @@ type decision =
   | Emitted of Codegen.emitted list
   | Hoisted of Hoist.hoisted
   | Rejected of Safety.reject
+  | Skipped of Diag.t
+      (** a phase failed internally on this load; the failure was contained
+          and recorded rather than raised *)
 
 type report = {
   decisions : (int * decision) list;
       (** per inspected load (id), in program order *)
   n_prefetches : int;
   n_support : int;  (** address-generation instructions added *)
+  diags : Diag.t list;
+      (** hoist skips and contained internal failures, in discovery order *)
 }
 
 val count_prefetches : (int * decision) list -> int * int
 (** (prefetches, support instructions) summed over a decision list. *)
 
 val run :
-  ?config:Config.t -> ?exclude_blocks:int list -> Spf_ir.Ir.func -> report
+  ?config:Config.t ->
+  ?exclude_blocks:int list ->
+  ?strict:bool ->
+  Spf_ir.Ir.func ->
+  report
 (** Mutate [func] in place, inserting prefetches and their address
     generation; returns what was done and why.  Loads in [exclude_blocks]
     are not considered (used by {!Split} to leave peeled epilogues
-    prefetch-free). *)
+    prefetch-free).
+
+    Never raises by default: exceptions from any phase are caught at the
+    finest containing granularity, recorded in [report.diags] (and as
+    {!Skipped} decisions where a specific load is implicated), and the
+    remaining loads are still processed — a prefetch pass that cannot
+    transform an input must degrade to emitting nothing, not crash the
+    host compiler.  With [~strict:true], error-severity diagnostics are
+    escalated: {!Diag.Escalated} is raised at the point of containment
+    instead (note-severity hoist skips never escalate — declining a loop is
+    normal operation). *)
 
 val pp_report : Spf_ir.Ir.func -> Format.formatter -> report -> unit

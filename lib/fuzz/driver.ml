@@ -1,0 +1,108 @@
+module Pass = Spf_core.Pass
+module Rng = Spf_workloads.Rng
+
+(* Campaign driver: generate [count] specs from [seed], run each through
+   the differential oracle, shrink any failure, and summarise.
+
+   The headline robustness claims this enforces (ISSUE acceptance):
+   - zero semantic divergences between original and transformed runs;
+   - zero exceptions escaping [Pass.run] (the oracle wraps it; any escape
+     is a [Pass_raised] divergence);
+   - zero demand-side faults introduced by the transform under tight
+     bounds ([introduced_fault] divergences);
+   - §4.4 drops actually observed: wild prefetches land in the
+     [dropped_prefetches] stat instead of trapping. *)
+
+type failure = {
+  case : int;  (* 0-based index into the campaign *)
+  spec : Gen.spec;
+  shrunk : Gen.spec option;  (* smaller reproducer, when shrinking is on *)
+  divergence : Oracle.divergence_kind;
+}
+
+type summary = {
+  seed : int;
+  count : int;
+  runs : int;
+  transformed : int;  (* programs where the pass emitted >= 1 prefetch *)
+  rejected_only : int;  (* pass inspected loads but declined them all *)
+  discarded : int;  (* original itself trapped or spun: comparison skipped *)
+  dropped_prefetches : int;  (* §4.4 non-faulting drops, summed *)
+  sw_prefetches : int;
+  introduced_faults : int;  (* clamp failures (subset of failures) *)
+  failures : failure list;
+}
+
+let pp_summary fmt (s : summary) =
+  Format.fprintf fmt
+    "fuzz: %d/%d cases (seed %d): %d transformed, %d rejected-only, %d \
+     discarded; %d prefetches issued, %d dropped non-faulting; %d \
+     divergences, %d introduced faults@."
+    s.runs s.count s.seed s.transformed s.rejected_only s.discarded
+    s.sw_prefetches s.dropped_prefetches
+    (List.length s.failures)
+    s.introduced_faults;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  case %d: %s@.    spec %s@." f.case
+        (Oracle.divergence_to_string f.divergence)
+        (Gen.to_string f.spec);
+      match f.shrunk with
+      | Some sh -> Format.fprintf fmt "    shrunk to %s@." (Gen.to_string sh)
+      | None -> ())
+    s.failures
+
+let ok (s : summary) = s.failures = []
+
+(* Re-check a spec and report whether it still fails the same way (used as
+   the shrinking predicate — any divergence counts, not just an identical
+   one, which keeps shrinking aggressive). *)
+let fails ?config spec =
+  match Oracle.check ?config spec with
+  | Oracle.Diverged _ -> true
+  | Oracle.Agree _ -> false
+
+let run ?config ?(shrink = false) ?progress ?(seed = 0) ~count () : summary =
+  let rng = Rng.create ~seed in
+  let transformed = ref 0
+  and rejected_only = ref 0
+  and discarded = ref 0
+  and dropped = ref 0
+  and issued = ref 0
+  and introduced = ref 0
+  and failures = ref [] in
+  for case = 0 to count - 1 do
+    (match progress with
+    | Some f when case mod 500 = 0 && case > 0 -> f case
+    | _ -> ());
+    let spec = Gen.random rng in
+    match Oracle.check ?config spec with
+    | Oracle.Agree a ->
+        if a.Oracle.report.Pass.n_prefetches > 0 then incr transformed
+        else incr rejected_only;
+        if a.Oracle.discarded then incr discarded;
+        dropped := !dropped + a.Oracle.dropped_prefetches;
+        issued := !issued + a.Oracle.sw_prefetches
+    | Oracle.Diverged d ->
+        (match d with
+        | Oracle.Outcome_mismatch { introduced_fault = true; _ } ->
+            incr introduced
+        | _ -> ());
+        let shrunk =
+          if shrink then Some (Shrink.shrink spec ~still_fails:(fails ?config))
+          else None
+        in
+        failures := { case; spec; shrunk; divergence = d } :: !failures
+  done;
+  {
+    seed;
+    count;
+    runs = count;
+    transformed = !transformed;
+    rejected_only = !rejected_only;
+    discarded = !discarded;
+    dropped_prefetches = !dropped;
+    sw_prefetches = !issued;
+    introduced_faults = !introduced;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,35 @@
+(** Differential-fuzzing campaign driver.  See docs/ROBUSTNESS.md. *)
+
+type failure = {
+  case : int;
+  spec : Gen.spec;
+  shrunk : Gen.spec option;
+  divergence : Oracle.divergence_kind;
+}
+
+type summary = {
+  seed : int;
+  count : int;
+  runs : int;
+  transformed : int;
+  rejected_only : int;
+  discarded : int;
+  dropped_prefetches : int;
+  sw_prefetches : int;
+  introduced_faults : int;
+  failures : failure list;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+val ok : summary -> bool
+
+val run :
+  ?config:Spf_core.Config.t ->
+  ?shrink:bool ->
+  ?progress:(int -> unit) ->
+  ?seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Run [count] generated cases from [seed] (default 0) through the
+    oracle; failures are shrunk to minimal reproducers when [shrink]. *)

@@ -1,0 +1,228 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Memory = Spf_sim.Memory
+module Rng = Spf_workloads.Rng
+
+(* Random indirect-access programs for differential fuzzing.
+
+   A program is described by a small [spec] record, and [build] is a pure
+   function of the spec: building the same spec twice yields two
+   structurally identical functions over identically initialised memories.
+   The differential oracle leans on this — [Pass.run] mutates its input, so
+   instead of cloning IR we just rebuild from the spec.
+
+   Every shape is a loop nest around the paper's core pattern
+   [A[f(B[i])]]: plain indirection, histogram stores, hash-computed
+   indices, two-level indirection, a nested per-row variant, and a shape
+   that issues deliberately wild hand-written prefetches to exercise the
+   non-faulting drop semantics (§4.4). *)
+
+type shape =
+  | Indirect  (* acc += A[B[i]] *)
+  | Indirect_store  (* A[B[i]] += 1, acc += B[i] *)
+  | Hash_indirect  (* acc += A[hash(B[i]) & (len_a - 1)] *)
+  | Double_indirect  (* acc += A[C[B[i]]] *)
+  | Nested  (* for i: for j < inner: acc += A[Brow_i[j]] *)
+  | Wild_prefetch  (* Indirect + hand-written prefetches to wild addresses *)
+
+type bound_kind =
+  | Bound_imm  (* trip count baked into the IR as a literal *)
+  | Bound_param  (* trip count passed as a parameter (Clamp_expr path) *)
+  | Bound_loaded  (* trip count loaded from memory in the entry block *)
+
+type spec = {
+  shape : shape;
+  n : int;  (* outer trip count *)
+  inner : int;  (* inner trip count (Nested only) *)
+  len_a : int;  (* target-array length; power of two for Hash_indirect *)
+  bound : bound_kind;
+  tight : bool;
+      (* allocate the index array last and exactly trip-count-sized, so any
+         unclamped look-ahead load crosses the break and traps *)
+  alias_store : bool;
+      (* store through the index array inside the loop: §4.2 requires the
+         pass to reject the chain (Store_alias) *)
+  hash_depth : int;  (* 1..3 mix rounds for Hash_indirect *)
+  data_seed : int;  (* seeds the array contents *)
+}
+
+let shape_to_string = function
+  | Indirect -> "indirect"
+  | Indirect_store -> "indirect-store"
+  | Hash_indirect -> "hash-indirect"
+  | Double_indirect -> "double-indirect"
+  | Nested -> "nested"
+  | Wild_prefetch -> "wild-prefetch"
+
+let bound_to_string = function
+  | Bound_imm -> "imm"
+  | Bound_param -> "param"
+  | Bound_loaded -> "loaded"
+
+let to_string s =
+  Printf.sprintf
+    "{shape=%s n=%d inner=%d len_a=%d bound=%s tight=%b alias_store=%b \
+     hash_depth=%d data_seed=%d}"
+    (shape_to_string s.shape) s.n s.inner s.len_a (bound_to_string s.bound)
+    s.tight s.alias_store s.hash_depth s.data_seed
+
+(* Enough fuel for the loop nest plus generous slack; fuel is counted in
+   basic blocks executed. *)
+let fuel s = 4096 + (16 * s.n * max 1 s.inner)
+
+let all_shapes =
+  [|
+    Indirect; Indirect_store; Hash_indirect; Double_indirect; Nested;
+    Wild_prefetch;
+  |]
+
+let random rng =
+  let shape = all_shapes.(Rng.int rng (Array.length all_shapes)) in
+  {
+    shape;
+    n = Rng.int rng 257;  (* 0 included: empty loops must also be safe *)
+    inner = 1 + Rng.int rng 12;
+    len_a = 1 lsl (2 + Rng.int rng 7);  (* 4 .. 512 *)
+    bound = [| Bound_imm; Bound_param; Bound_loaded |].(Rng.int rng 3);
+    tight = Rng.int rng 2 = 0;
+    alias_store = Rng.int rng 4 = 0;
+    hash_depth = 1 + Rng.int rng 3;
+    data_seed = Rng.int rng 1_000_000;
+  }
+
+type built = {
+  func : Ir.func;
+  mem : Memory.t;
+  args : int array;  (* a_base, b_base, bound-or-cell, c_base *)
+}
+
+(* A counted accumulator loop: for (i = 0; i < bound; i++) acc = body i acc.
+   [body] may itself open nested blocks; the latch is whatever block is
+   current when it returns (mirrors Builder.counted_loop).  Leaves the
+   builder in the exit block and returns the accumulated value. *)
+let acc_loop ?(tag = "l") b ~bound body =
+  let head = Builder.new_block b (tag ^ ".head") in
+  let bodyb = Builder.new_block b (tag ^ ".body") in
+  let exit = Builder.new_block b (tag ^ ".exit") in
+  let entry = Builder.current_block b in
+  Builder.br b head;
+  Builder.set_block b head;
+  let i = Builder.phi ~name:(tag ^ ".i") b [ (entry, Ir.Imm 0) ] in
+  let acc = Builder.phi ~name:(tag ^ ".acc") b [ (entry, Ir.Imm 0) ] in
+  let c = Builder.cmp b Ir.Slt i bound in
+  Builder.cbr b c bodyb exit;
+  Builder.set_block b bodyb;
+  let acc' = body i acc in
+  let i' = Builder.add b i (Ir.Imm 1) in
+  let latch = Builder.current_block b in
+  Builder.br b head;
+  Builder.add_incoming b i ~pred:latch i';
+  Builder.add_incoming b acc ~pred:latch acc';
+  Builder.set_block b exit;
+  acc
+
+let build (s : spec) : built =
+  let mem = Memory.create () in
+  let rng = Rng.create ~seed:s.data_seed in
+  let n_idx = match s.shape with Nested -> s.n * s.inner | _ -> s.n in
+  let idx_range =
+    (* What B's entries index into. *)
+    match s.shape with Double_indirect -> max 1 (s.len_a / 2) | _ -> s.len_a
+  in
+  let b_data = Array.init n_idx (fun _ -> Rng.int rng (max 1 idx_range)) in
+  let a_data = Array.init s.len_a (fun _ -> Rng.int rng 1024) in
+  let c_len = max 1 (s.len_a / 2) in
+  let c_data = Array.init c_len (fun _ -> Rng.int rng s.len_a) in
+  (* Allocation order: when [tight], B goes last so its end coincides with
+     the break and unclamped look-ahead loads trap. *)
+  let a_base = Memory.alloc_i32_array mem a_data in
+  let c_base = Memory.alloc_i32_array mem c_data in
+  let bound_cell =
+    match s.bound with
+    | Bound_loaded -> Memory.alloc_i32_array mem [| s.n |]
+    | Bound_imm | Bound_param -> 0
+  in
+  let b_base = Memory.alloc_i32_array mem b_data in
+  (if not s.tight then
+     (* Slack page after B so only clamp *logic* is under test, not layout. *)
+     ignore (Memory.alloc mem 4096));
+
+  let bld = Builder.create ~name:("fuzz_" ^ shape_to_string s.shape) ~nparams:4 in
+  let a = Builder.param bld 0 in
+  let bp = Builder.param bld 1 in
+  let third = Builder.param bld 2 in
+  let cp = Builder.param bld 3 in
+  let bound_op =
+    match s.bound with
+    | Bound_imm -> Ir.Imm s.n
+    | Bound_param -> third
+    | Bound_loaded -> Builder.load ~name:"n" bld Ir.I32 third
+  in
+  let load_b i = Builder.load ~name:"key" bld Ir.I32 (Builder.gep bld bp i 4) in
+  let alias_store i k =
+    if s.alias_store then
+      (* Rewrite B[i] in flight; value stays a valid index so the program
+         is well-defined either way, but §4.2 must reject the chain. *)
+      Builder.store bld Ir.I32 (Builder.gep bld bp i 4)
+        (Builder.binop bld Ir.And (Builder.add bld k (Ir.Imm 1))
+           (Ir.Imm (max 1 idx_range - 1)))
+  in
+  let body i acc =
+    match s.shape with
+    | Indirect ->
+        let k = load_b i in
+        alias_store i k;
+        Builder.add bld acc (Builder.load ~name:"v" bld Ir.I32 (Builder.gep bld a k 4))
+    | Indirect_store ->
+        let k = load_b i in
+        alias_store i k;
+        let slot = Builder.gep ~name:"slot" bld a k 4 in
+        let v = Builder.load ~name:"count" bld Ir.I32 slot in
+        Builder.store bld Ir.I32 slot (Builder.add bld v (Ir.Imm 1));
+        Builder.add bld acc k
+    | Hash_indirect ->
+        let k = load_b i in
+        alias_store i k;
+        let h = ref k in
+        for r = 0 to s.hash_depth - 1 do
+          let shifted = Builder.binop bld Ir.Lshr !h (Ir.Imm (3 + r)) in
+          let mixed = Builder.binop bld Ir.Xor !h shifted in
+          h := Builder.mul bld mixed (Ir.Imm 0x9E3779B1)
+        done;
+        let idx = Builder.binop ~name:"hidx" bld Ir.And !h (Ir.Imm (s.len_a - 1)) in
+        Builder.add bld acc
+          (Builder.load ~name:"v" bld Ir.I32 (Builder.gep bld a idx 4))
+    | Double_indirect ->
+        let k = load_b i in
+        alias_store i k;
+        let m = Builder.load ~name:"mid" bld Ir.I32 (Builder.gep bld cp k 4) in
+        Builder.add bld acc (Builder.load ~name:"v" bld Ir.I32 (Builder.gep bld a m 4))
+    | Nested ->
+        (* Row base B + i*inner*4 is inner-loop-invariant; the inner index
+           j is a direct induction use, so the inner chain transforms. *)
+        let row = Builder.gep ~name:"row" bld bp (Builder.mul bld i (Ir.Imm s.inner)) 4 in
+        let inner_acc =
+          acc_loop ~tag:"j" bld ~bound:(Ir.Imm s.inner) (fun j jacc ->
+              let k = Builder.load ~name:"key" bld Ir.I32 (Builder.gep bld row j 4) in
+              Builder.add bld jacc
+                (Builder.load ~name:"v" bld Ir.I32 (Builder.gep bld a k 4)))
+        in
+        Builder.add bld acc inner_acc
+    | Wild_prefetch ->
+        let k = load_b i in
+        (* Hand-written prefetches the §4.4 semantics must swallow: far
+           past the break, and at a negative address. *)
+        Builder.prefetch bld (Builder.gep ~name:"wild" bld a k 65536);
+        Builder.prefetch bld (Ir.Imm (-64));
+        Builder.add bld acc (Builder.load ~name:"v" bld Ir.I32 (Builder.gep bld a k 4))
+  in
+  let acc = acc_loop ~tag:"i" bld ~bound:bound_op body in
+  Builder.ret bld (Some acc);
+  let func = Builder.finish bld in
+  let third_arg =
+    match s.bound with
+    | Bound_imm -> 0
+    | Bound_param -> s.n
+    | Bound_loaded -> bound_cell
+  in
+  { func; mem; args = [| a_base; b_base; third_arg; c_base |] }

@@ -1,0 +1,42 @@
+(** Random indirect-access programs for differential fuzzing.
+
+    [build] is a pure function of the spec: building the same spec twice
+    yields two structurally identical functions over identically
+    initialised memories, which is how the oracle obtains an untransformed
+    twin of a program the (mutating) pass has rewritten. *)
+
+type shape =
+  | Indirect
+  | Indirect_store
+  | Hash_indirect
+  | Double_indirect
+  | Nested
+  | Wild_prefetch
+
+type bound_kind = Bound_imm | Bound_param | Bound_loaded
+
+type spec = {
+  shape : shape;
+  n : int;
+  inner : int;
+  len_a : int;
+  bound : bound_kind;
+  tight : bool;
+  alias_store : bool;
+  hash_depth : int;
+  data_seed : int;
+}
+
+val to_string : spec -> string
+val fuel : spec -> int
+(** Interpreter fuel (in blocks) generous for this spec's loop nest. *)
+
+val random : Spf_workloads.Rng.t -> spec
+
+type built = {
+  func : Spf_ir.Ir.func;
+  mem : Spf_sim.Memory.t;
+  args : int array;
+}
+
+val build : spec -> built

@@ -1,0 +1,130 @@
+module Ir = Spf_ir.Ir
+module Interp = Spf_sim.Interp
+module Memory = Spf_sim.Memory
+module Pass = Spf_core.Pass
+
+(* The differential oracle.
+
+   A prefetch pass must be semantically invisible: for any program, the
+   transformed version must return the same value, leave memory in the same
+   state, and trap exactly when the original would (§4.2, §4.4).  We check
+   this by rebuilding the program from its spec (the pass mutates IR in
+   place), running both versions under the interpreter with fault-injection
+   semantics, and comparing outcomes.
+
+   Programs whose *original* runs trap or exhaust fuel are discarded as
+   invalid inputs — their behaviour is undefined, so nothing is owed — but
+   the pass and verifier must still succeed on them: a never-crash pass
+   does not get to assume well-formed input data. *)
+
+type outcome =
+  | Returned of { retval : int option; digest : string }
+  | Trapped of { pc : int; addr : int; is_store : bool }
+  | Out_of_fuel
+
+let outcome_to_string = function
+  | Returned { retval; digest } ->
+      Printf.sprintf "returned %s, mem %s"
+        (match retval with Some v -> string_of_int v | None -> "-")
+        (String.sub digest 0 8)
+  | Trapped { pc; addr; is_store } ->
+      Printf.sprintf "trapped (%s at addr %d, instr %d)"
+        (if is_store then "store" else "load")
+        addr pc
+  | Out_of_fuel -> "ran out of fuel"
+
+type divergence_kind =
+  | Pass_raised of string  (* exception escaped Pass.run: never allowed *)
+  | Verifier_broken of string  (* transformed IR fails Verifier.check *)
+  | Outcome_mismatch of {
+      original : outcome;
+      transformed : outcome;
+      introduced_fault : bool;
+          (* the transformed run trapped at an instruction the pass
+             inserted: the §4.2 fault-avoidance clamp itself failed *)
+    }
+
+let divergence_to_string = function
+  | Pass_raised e -> "pass raised: " ^ e
+  | Verifier_broken v -> "transformed function fails the verifier: " ^ v
+  | Outcome_mismatch { original; transformed; introduced_fault } ->
+      Printf.sprintf "outcome mismatch: original %s, transformed %s%s"
+        (outcome_to_string original)
+        (outcome_to_string transformed)
+        (if introduced_fault then
+           " (demand fault at a pass-inserted instruction: clamp failure)"
+         else "")
+
+(* What a single differential run yields when the pass behaved. *)
+type agreement = {
+  report : Pass.report;
+  original : outcome;
+  discarded : bool;  (* original trapped/spun: outcome comparison skipped *)
+  dropped_prefetches : int;  (* §4.4 drops observed in the transformed run *)
+  sw_prefetches : int;  (* prefetches actually issued *)
+}
+
+type verdict = Agree of agreement | Diverged of divergence_kind
+
+let execute ~fuel (b : Gen.built) =
+  let interp =
+    Interp.create ~machine:Spf_sim.Machine.haswell ~mem:b.Gen.mem
+      ~args:b.Gen.args b.Gen.func
+  in
+  match Interp.run ~fuel interp with
+  | () ->
+      ( Returned
+          {
+            retval = Interp.retval interp;
+            digest = Memory.digest b.Gen.mem;
+          },
+        Interp.stats interp )
+  | exception Interp.Trap { pc; addr; is_store; _ } ->
+      (Trapped { pc; addr; is_store }, Interp.stats interp)
+  | exception Interp.Fuel_exhausted -> (Out_of_fuel, Interp.stats interp)
+
+let check ?config ?(strict = false) (spec : Gen.spec) : verdict =
+  let fuel = Gen.fuel spec in
+  let original = Gen.build spec in
+  let o1, _ = execute ~fuel original in
+  let transformed = Gen.build spec in
+  let n_orig_instrs = Ir.n_instrs transformed.Gen.func in
+  match Pass.run ?config ~strict transformed.Gen.func with
+  | exception exn -> Diverged (Pass_raised (Printexc.to_string exn))
+  | report -> (
+      match Spf_ir.Verifier.check transformed.Gen.func with
+      | v :: _ ->
+          Diverged
+            (Verifier_broken (Format.asprintf "%a" Spf_ir.Verifier.pp_violation v))
+      | [] -> (
+          let o2, stats2 = execute ~fuel transformed in
+          let agreement discarded =
+            Agree
+              {
+                report;
+                original = o1;
+                discarded;
+                dropped_prefetches = stats2.Spf_sim.Stats.dropped_prefetches;
+                sw_prefetches = stats2.Spf_sim.Stats.sw_prefetches;
+              }
+          in
+          let mismatch ~introduced_fault =
+            Diverged
+              (Outcome_mismatch
+                 { original = o1; transformed = o2; introduced_fault })
+          in
+          match (o1, o2) with
+          | (Trapped _ | Out_of_fuel), _ ->
+              (* Undefined original behaviour: transformed outcome owes
+                 nothing, but pass + verifier above still had to hold. *)
+              agreement true
+          | Returned r1, Returned r2 ->
+              if r1.retval = r2.retval && r1.digest = r2.digest then
+                agreement false
+              else mismatch ~introduced_fault:false
+          | Returned _, Trapped { pc; _ } ->
+              (* A clean program now faults.  When the faulting instruction
+                 is one the pass inserted (ids beyond the original count),
+                 the §4.2 fault-avoidance clamp itself is broken. *)
+              mismatch ~introduced_fault:(pc >= n_orig_instrs)
+          | Returned _, Out_of_fuel -> mismatch ~introduced_fault:false))

@@ -1,0 +1,44 @@
+(** The differential oracle: the prefetch pass must be semantically
+    invisible.  Each spec is built twice (the pass mutates IR in place);
+    the original and transformed twins run under the fault-injecting
+    interpreter and their outcomes — return value, memory digest, trap
+    behaviour — must agree.  See docs/ROBUSTNESS.md. *)
+
+type outcome =
+  | Returned of { retval : int option; digest : string }
+  | Trapped of { pc : int; addr : int; is_store : bool }
+  | Out_of_fuel
+
+val outcome_to_string : outcome -> string
+
+type divergence_kind =
+  | Pass_raised of string
+      (** an exception escaped [Pass.run]: never allowed *)
+  | Verifier_broken of string  (** transformed IR fails [Verifier.check] *)
+  | Outcome_mismatch of {
+      original : outcome;
+      transformed : outcome;
+      introduced_fault : bool;
+          (** the transformed run trapped at a pass-inserted instruction —
+              the §4.2 fault-avoidance clamp failed *)
+    }
+
+val divergence_to_string : divergence_kind -> string
+
+type agreement = {
+  report : Spf_core.Pass.report;
+  original : outcome;
+  discarded : bool;
+      (** the original itself trapped or spun: outcome comparison skipped
+          (undefined input), though pass and verifier still had to hold *)
+  dropped_prefetches : int;
+  sw_prefetches : int;
+}
+
+type verdict = Agree of agreement | Diverged of divergence_kind
+
+val execute : fuel:int -> Gen.built -> outcome * Spf_sim.Stats.t
+
+val check : ?config:Spf_core.Config.t -> ?strict:bool -> Gen.spec -> verdict
+(** One differential run.  Never raises with [strict] false (the
+    default): pass exceptions become {!Pass_raised} divergences. *)

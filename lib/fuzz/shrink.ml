@@ -1,0 +1,47 @@
+(* Greedy spec-level shrinking.
+
+   IR-level delta debugging would have to keep programs well-formed and
+   memories consistent; shrinking the *spec* sidesteps both problems — every
+   candidate is a valid program by construction.  We repeatedly try the
+   first simplification that still reproduces the failure, restarting from
+   the head of the list after each success, until a fixpoint. *)
+
+let half x = x / 2
+
+(* Candidate simplifications, most aggressive first.  Each returns a
+   strictly "smaller" spec or [None] when it no longer applies. *)
+let steps : (Gen.spec -> Gen.spec option) list =
+  [
+    (* Simplify the shape to the core pattern. *)
+    (fun s ->
+      if s.Gen.shape <> Gen.Indirect then Some { s with Gen.shape = Gen.Indirect }
+      else None);
+    (* Drop orthogonal stressors. *)
+    (fun s -> if s.Gen.alias_store then Some { s with Gen.alias_store = false } else None);
+    (fun s -> if s.Gen.tight then Some { s with Gen.tight = false } else None);
+    (fun s ->
+      if s.Gen.bound <> Gen.Bound_imm then Some { s with Gen.bound = Gen.Bound_imm }
+      else None);
+    (* Shrink sizes. *)
+    (fun s -> if s.Gen.n > 0 then Some { s with Gen.n = half s.Gen.n } else None);
+    (fun s -> if s.Gen.n > 0 then Some { s with Gen.n = s.Gen.n - 1 } else None);
+    (fun s -> if s.Gen.inner > 1 then Some { s with Gen.inner = half s.Gen.inner } else None);
+    (fun s -> if s.Gen.len_a > 4 then Some { s with Gen.len_a = s.Gen.len_a / 2 } else None);
+    (fun s -> if s.Gen.hash_depth > 1 then Some { s with Gen.hash_depth = 1 } else None);
+    (fun s -> if s.Gen.data_seed <> 0 then Some { s with Gen.data_seed = 0 } else None);
+  ]
+
+(* [shrink spec ~still_fails] returns the smallest spec (under the greedy
+   order above) for which [still_fails] holds; [spec] itself must fail. *)
+let shrink (spec : Gen.spec) ~(still_fails : Gen.spec -> bool) : Gen.spec =
+  let rec fixpoint s =
+    let rec try_steps = function
+      | [] -> s
+      | step :: rest -> (
+          match step s with
+          | Some s' when still_fails s' -> fixpoint s'
+          | _ -> try_steps rest)
+    in
+    try_steps steps
+  in
+  fixpoint spec

@@ -1,0 +1,6 @@
+(** Greedy spec-level test-case shrinking: every candidate is a valid
+    program by construction, so no IR-level repair is needed. *)
+
+val shrink : Gen.spec -> still_fails:(Gen.spec -> bool) -> Gen.spec
+(** Smallest spec (under the greedy simplification order) still satisfying
+    [still_fails]; the input spec itself is assumed to fail. *)

@@ -24,6 +24,20 @@ module Ir = Spf_ir.Ir
 
 let default_tscale = 12
 
+(* Demand accesses to unmapped addresses fault, carrying enough context to
+   compare trap sites across differential runs; software prefetches to the
+   same addresses are dropped non-faulting instead (§4.4). *)
+type fault = { pc : int; addr : int; width : int; is_store : bool }
+
+exception Trap of fault
+
+exception Fuel_exhausted
+
+let fault_to_string { pc; addr; width; is_store } =
+  Printf.sprintf "%s of %d byte(s) at address %d faulted (instr %d)"
+    (if is_store then "store" else "load")
+    width addr pc
+
 type t = {
   machine : Machine.t;
   func : Ir.func;
@@ -228,6 +242,9 @@ let exec_instr t (i : Ir.instr) =
         start + t.tscale
     | Ir.Load (ty, a) ->
         let addr = ival t a in
+        let width = Ir.size_of_ty ty in
+        if not (Memory.in_bounds t.mem ~addr ~width) then
+          raise (Trap { pc = i.id; addr; width; is_store = false });
         (match ty with
         | Ir.F64 -> t.fenv.(dst) <- Memory.load_f64 t.mem addr
         | Ir.I8 | Ir.I16 | Ir.I32 | Ir.I64 ->
@@ -252,6 +269,9 @@ let exec_instr t (i : Ir.instr) =
             completion + t.miss_restart)
     | Ir.Store (ty, a, v) ->
         let addr = ival t a in
+        let width = Ir.size_of_ty ty in
+        if not (Memory.in_bounds t.mem ~addr ~width) then
+          raise (Trap { pc = i.id; addr; width; is_store = true });
         (match ty with
         | Ir.F64 -> Memory.store_f64 t.mem addr (fval t v)
         | Ir.I8 | Ir.I16 | Ir.I32 | Ir.I64 ->
@@ -260,11 +280,16 @@ let exec_instr t (i : Ir.instr) =
           (Memsys.access t.memsys ~kind:Memsys.Write ~pc:i.id ~addr ~now:start);
         start + t.tscale
     | Ir.Prefetch a ->
+        (* Prefetches are hints: out-of-bounds or unmapped addresses are
+           dropped without faulting (and without touching the cache/TLB
+           model) but counted, so fuzzing can observe how often the pass
+           leans on this escape hatch. *)
         let addr = ival t a in
-        if addr >= 0 then
+        if Memory.in_bounds t.mem ~addr ~width:1 then
           ignore
             (Memsys.access t.memsys ~kind:Memsys.Sw_prefetch ~pc:i.id ~addr
-               ~now:start);
+               ~now:start)
+        else t.stats.dropped_prefetches <- t.stats.dropped_prefetches + 1;
         start + t.tscale
     | Ir.Alloc sz ->
         t.env.(dst) <- Memory.alloc t.mem (ival t sz);
@@ -368,7 +393,7 @@ let run ?(fuel = max_int) t =
     ignore (step t);
     incr steps
   done;
-  if not t.halted then failwith "Interp.run: out of fuel"
+  if not t.halted then raise Fuel_exhausted
 
 let stats t = t.stats
 let cycles t = t.stats.cycles

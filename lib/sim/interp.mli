@@ -9,6 +9,21 @@
 
 type t
 
+(** A demand access to an unmapped address (see {!Memory.in_bounds}). *)
+type fault = { pc : int; addr : int; width : int; is_store : bool }
+
+exception Trap of fault
+(** Raised by {!step}/{!run} when a demand load or store falls outside the
+    mapped region.  Software prefetches never trap: out-of-range prefetch
+    addresses are dropped and counted in
+    {!Stats.t.dropped_prefetches}. *)
+
+exception Fuel_exhausted
+(** Raised by {!run} when the fuel budget is exceeded — distinct from
+    [Failure] so fuzzing can tell non-termination from other errors. *)
+
+val fault_to_string : fault -> string
+
 val default_tscale : int
 (** Sub-cycle time scale (dispatch intervals of multi-issue cores stay
     integral). *)
@@ -33,7 +48,9 @@ val step : t -> bool
 (** Execute the current basic block; [false] once the function returned. *)
 
 val run : ?fuel:int -> t -> unit
-(** Run to completion.  @raise Failure if [fuel] blocks are exceeded. *)
+(** Run to completion.
+    @raise Fuel_exhausted if [fuel] blocks are exceeded.
+    @raise Trap on a demand access to an unmapped address. *)
 
 val stats : t -> Stats.t
 val cycles : t -> int

@@ -32,6 +32,19 @@ let alloc t size =
 
 let size t = t.brk
 
+(* An access is in bounds when it lies entirely below the break.  The
+   interpreter traps demand accesses outside this range and drops software
+   prefetches to it non-faulting; the first page (never handed out by
+   [alloc]) stays readable so workloads can use small integers as null-ish
+   sentinels without faulting on stray dereferences of page zero. *)
+let in_bounds t ~addr ~width =
+  (* [t.brk - width] rather than [addr + width] so huge addresses cannot
+     wrap around max_int and masquerade as mapped. *)
+  addr >= 0 && width >= 0 && addr <= t.brk - width
+
+(* Content digest of the allocated region, for differential testing. *)
+let digest t = Digest.to_hex (Digest.subbytes t.data 0 t.brk)
+
 let load t (ty : Ir.ty) addr =
   match ty with
   | Ir.I8 -> Char.code (Bytes.get t.data addr)

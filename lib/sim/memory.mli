@@ -11,6 +11,15 @@ val alloc : t -> int -> int
 val size : t -> int
 (** Current break (total bytes in use). *)
 
+val in_bounds : t -> addr:int -> width:int -> bool
+(** Whether a [width]-byte access at [addr] lies entirely inside the
+    allocated (mapped) region [0, break).  The interpreter traps demand
+    accesses outside it and drops prefetches to it non-faulting. *)
+
+val digest : t -> string
+(** Hex digest of the allocated region's contents — the differential
+    fuzzing oracle's memory-equality check. *)
+
 val load : t -> Spf_ir.Ir.ty -> int -> int
 (** Integer loads zero-extend ([I8]/[I16]/[I32]); [I64]/[F64] return the
     raw low 63 bits. *)

@@ -6,6 +6,9 @@ type t = {
   mutable stores : int;
   mutable sw_prefetches : int;
   mutable hw_prefetches : int;
+  mutable dropped_prefetches : int;
+      (* software prefetches to unmapped/out-of-bounds addresses, dropped
+         non-faulting (§4.4's semantic-invisibility obligation) *)
   mutable l1_hits : int;
   mutable l2_hits : int;
   mutable l3_hits : int;
@@ -23,6 +26,7 @@ let create () =
     stores = 0;
     sw_prefetches = 0;
     hw_prefetches = 0;
+    dropped_prefetches = 0;
     l1_hits = 0;
     l2_hits = 0;
     l3_hits = 0;
@@ -37,8 +41,9 @@ let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instructions /. float_o
 
 let pp fmt t =
   Format.fprintf fmt
-    "cycles=%d insts=%d (ipc %.2f) loads=%d stores=%d swpf=%d hwpf=%d@ \
-     l1=%d l2=%d l3=%d dram=%d inflight=%d tlbmiss=%d walks=%d"
+    "cycles=%d insts=%d (ipc %.2f) loads=%d stores=%d swpf=%d hwpf=%d \
+     swpf-dropped=%d@ l1=%d l2=%d l3=%d dram=%d inflight=%d tlbmiss=%d \
+     walks=%d"
     t.cycles t.instructions (ipc t) t.loads t.stores t.sw_prefetches
-    t.hw_prefetches t.l1_hits t.l2_hits t.l3_hits t.dram_fills t.inflight_hits
-    t.tlb_misses t.page_walks
+    t.hw_prefetches t.dropped_prefetches t.l1_hits t.l2_hits t.l3_hits
+    t.dram_fills t.inflight_hits t.tlb_misses t.page_walks

@@ -6,6 +6,8 @@ type t = {
   mutable stores : int;
   mutable sw_prefetches : int;
   mutable hw_prefetches : int;
+  mutable dropped_prefetches : int;
+      (** software prefetches to unmapped addresses, dropped non-faulting *)
   mutable l1_hits : int;
   mutable l2_hits : int;
   mutable l3_hits : int;

@@ -21,4 +21,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("multicore", Test_multicore.suite);
       ("properties", Test_props.suite);
+      ("safety-edges", Test_safety_edges.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

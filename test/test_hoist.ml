@@ -54,7 +54,7 @@ let list_walk_kernel ~n =
 let test_hoists_list_head () =
   let f = list_walk_kernel ~n:16 in
   let a = Analysis.make f in
-  let hoisted = Hoist.run a Spf_core.Config.default in
+  let hoisted, _ = Hoist.run a Spf_core.Config.default in
   Helpers.verify_ok f;
   (* Both wbody loads (value and next pointer) are phi-addressed with a
      load-free chain from the outer value: both hoistable. *)
@@ -72,7 +72,7 @@ let test_hoists_list_head () =
 let test_hoisted_code_has_no_loads () =
   let f = list_walk_kernel ~n:16 in
   let a = Analysis.make f in
-  let hoisted = Hoist.run a Spf_core.Config.default in
+  let hoisted, _ = Hoist.run a Spf_core.Config.default in
   List.iter
     (fun (h : Hoist.hoisted) ->
       List.iter
@@ -88,8 +88,15 @@ let test_iv_seeded_phis_not_hoisted () =
      the main pass's look-ahead serves it. *)
   let f = Helpers.sum_kernel ~n:64 in
   let a = Analysis.make f in
-  Alcotest.(check int) "nothing to hoist" 0
-    (List.length (Hoist.run a Spf_core.Config.default))
+  let hoisted, diags = Hoist.run a Spf_core.Config.default in
+  Alcotest.(check int) "nothing to hoist" 0 (List.length hoisted);
+  (* And the skip is explained, not silent: the chain crossed no header
+     phi, i.e. a plain induction variable the main pass already serves. *)
+  Alcotest.(check bool) "skip reason recorded" true
+    (List.exists
+       (fun (d : Spf_core.Diag.t) ->
+         d.Spf_core.Diag.kind = Spf_core.Diag.Hoist_skip Spf_core.Diag.No_outer_phi)
+       diags)
 
 let test_hoist_preserves_semantics () =
   (* Build lists in memory and compare the sum with hoisting on/off. *)
@@ -126,7 +133,7 @@ let test_hj8_first_node_hoisted () =
   let b = Spf_workloads.Hj.build Test_pass.small_hj8 in
   let f = b.Spf_workloads.Workload.func in
   let a = Analysis.make f in
-  let hoisted = Hoist.run a Spf_core.Config.default in
+  let hoisted, _ = Hoist.run a Spf_core.Config.default in
   Alcotest.(check bool) "HJ-8 walk loads hoisted" true (List.length hoisted > 0);
   Helpers.verify_ok f
 

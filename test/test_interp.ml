@@ -168,11 +168,63 @@ let test_oob_load_faults () =
   let v = Builder.load b Ir.I64 (Ir.Imm max_int) in
   Builder.ret b (Some v);
   let f = Builder.finish b in
-  Alcotest.check_raises "out-of-range load raises"
-    (Invalid_argument "index out of bounds")
-    (fun () ->
-      try ignore (Helpers.run ~mem f)
-      with Invalid_argument _ -> raise (Invalid_argument "index out of bounds"))
+  match Helpers.run ~mem f with
+  | _ -> Alcotest.fail "out-of-range load did not trap"
+  | exception Interp.Trap { addr; is_store; _ } ->
+      Alcotest.(check int) "trap records the faulting address" max_int addr;
+      Alcotest.(check bool) "trap is a load" false is_store
+
+let test_oob_store_faults () =
+  let mem = Memory.create () in
+  let base = Memory.alloc mem 16 in
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  (* One byte past the break: partially-mapped accesses must fault too. *)
+  let addr = Builder.gep b (Builder.param b 0) (Ir.Imm 9) 1 in
+  Builder.store b Ir.I64 addr (Ir.Imm 1);
+  Builder.ret b None;
+  let f = Builder.finish b in
+  match Helpers.run ~mem ~args:[| base |] f with
+  | _ -> Alcotest.fail "straddling store did not trap"
+  | exception Interp.Trap { is_store; width; _ } ->
+      Alcotest.(check bool) "trap is a store" true is_store;
+      Alcotest.(check int) "trap records width" 8 width
+
+let test_oob_prefetch_dropped_not_faulting () =
+  (* Prefetches to wild addresses — negative, huge, just past the break —
+     are dropped, counted, and leave execution unperturbed. *)
+  let mem = Memory.create () in
+  let base = Memory.alloc_i32_array mem [| 5; 6; 7 |] in
+  let b = Builder.create ~name:"t" ~nparams:1 in
+  let p = Builder.param b 0 in
+  Builder.prefetch b (Ir.Imm (-64));
+  Builder.prefetch b (Ir.Imm max_int);
+  Builder.prefetch b (Builder.gep b p (Ir.Imm (1 lsl 30)) 4);
+  Builder.prefetch b (Builder.gep b p (Ir.Imm 1) 4);
+  let v = Builder.load b Ir.I32 (Builder.gep b p (Ir.Imm 2) 4) in
+  Builder.ret b (Some v);
+  let f = Builder.finish b in
+  let retval, stats = Helpers.run ~mem ~args:[| base |] f in
+  Alcotest.(check (option int)) "execution unperturbed" (Some 7) retval;
+  Alcotest.(check int) "three wild prefetches dropped" 3
+    stats.Spf_sim.Stats.dropped_prefetches;
+  (* Only the mapped prefetch reaches the memory system. *)
+  Alcotest.(check int) "the mapped prefetch still issued" 1
+    stats.Spf_sim.Stats.sw_prefetches
+
+let test_fuel_exhausted_is_distinct () =
+  (* An infinite loop must raise Fuel_exhausted, not a bare Failure. *)
+  let b = Builder.create ~name:"spin" ~nparams:0 in
+  let head = Builder.new_block b "head" in
+  Builder.br b head;
+  Builder.set_block b head;
+  Builder.br b head;
+  let f = Builder.finish b in
+  let interp =
+    Interp.create ~machine:Machine.haswell ~mem:(Memory.create ()) ~args:[||] f
+  in
+  match Interp.run ~fuel:100 interp with
+  | () -> Alcotest.fail "infinite loop terminated"
+  | exception Interp.Fuel_exhausted -> ()
 
 let test_cycles_monotone_with_work () =
   let mem1 = Memory.create () in
@@ -223,6 +275,11 @@ let suite =
     Alcotest.test_case "alloc instruction" `Quick test_alloc_instr;
     Alcotest.test_case "prefetch is inert" `Quick test_prefetch_is_semantically_inert;
     Alcotest.test_case "out-of-bounds load faults" `Quick test_oob_load_faults;
+    Alcotest.test_case "out-of-bounds store faults" `Quick test_oob_store_faults;
+    Alcotest.test_case "out-of-bounds prefetch dropped" `Quick
+      test_oob_prefetch_dropped_not_faulting;
+    Alcotest.test_case "fuel exhaustion is distinct" `Quick
+      test_fuel_exhausted_is_distinct;
     Alcotest.test_case "cycles monotone" `Quick test_cycles_monotone_with_work;
     Alcotest.test_case "in-order slower on misses" `Quick
       test_inorder_slower_than_ooo_on_misses;

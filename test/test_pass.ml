@@ -18,7 +18,8 @@ let decisions_of report =
       match d with
       | Pass.Emitted gs -> `Emitted (List.length gs)
       | Pass.Hoisted _ -> `Hoisted
-      | Pass.Rejected r -> `Rejected r)
+      | Pass.Rejected r -> `Rejected r
+      | Pass.Skipped d -> `Skipped (Spf_core.Diag.to_string d))
     report.Pass.decisions
 
 (* --- The paper's running example (Fig 3) ----------------------------- *)

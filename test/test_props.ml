@@ -176,7 +176,7 @@ let prop_store_alias_always_rejected =
         (fun (_, dec) ->
           match dec with
           | Pass.Emitted _ -> false
-          | Pass.Hoisted _ | Pass.Rejected _ -> true)
+          | Pass.Hoisted _ | Pass.Rejected _ | Pass.Skipped _ -> true)
         report.Pass.decisions)
 
 let prop_schedule_monotone =

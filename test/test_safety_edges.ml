@@ -1,0 +1,162 @@
+module Ir = Spf_ir.Ir
+module Builder = Spf_ir.Builder
+module Pass = Spf_core.Pass
+module Memory = Spf_sim.Memory
+module Interp = Spf_sim.Interp
+module Machine = Spf_sim.Machine
+module Gen = Spf_fuzz.Gen
+module Oracle = Spf_fuzz.Oracle
+
+(* §4.2 clamp edge cases, all under tight allocation (the index array ends
+   exactly at the memory break, so ANY unclamped look-ahead load traps):
+   zero-length arrays, a look-ahead offset that overruns the bound by
+   exactly one element, and loop-variant trip counts. *)
+
+let check_agrees name spec =
+  match Oracle.check spec with
+  | Oracle.Agree a ->
+      Alcotest.(check bool) (name ^ ": compared, not discarded") false
+        a.Oracle.discarded
+  | Oracle.Diverged d ->
+      Alcotest.failf "%s: %s" name (Oracle.divergence_to_string d)
+
+let tight_spec ~n =
+  {
+    Gen.shape = Gen.Indirect;
+    n;
+    inner = 1;
+    len_a = 16;
+    bound = Gen.Bound_imm;
+    tight = true;
+    alias_store = false;
+    hash_depth = 1;
+    data_seed = 1;
+  }
+
+let test_zero_length_array () =
+  (* Empty loop over a zero-byte index array: the pass still transforms
+     the body it never runs; nothing may fault. *)
+  check_agrees "n=0 tight" (tight_spec ~n:0);
+  check_agrees "n=0 param bound"
+    { (tight_spec ~n:0) with Gen.bound = Gen.Bound_param }
+
+let test_single_iteration () =
+  (* One iteration: clamp must be 0 = the only valid index. *)
+  check_agrees "n=1 tight" (tight_spec ~n:1)
+
+let test_offset_overruns_bound_by_one () =
+  (* Trip counts from 1 to 80 straddle the look-ahead constant c = 64 and
+     its staggered fractions; each n makes some emitted offset min(i+off,
+     n-1) sit exactly on the last element, where a one-element clamp error
+     (min(i+off, n)) would cross the break and trap. *)
+  for n = 1 to 80 do
+    check_agrees (Printf.sprintf "n=%d tight off-by-one" n) (tight_spec ~n)
+  done;
+  (* And for the Clamp_expr path (runtime bound). *)
+  List.iter
+    (fun n ->
+      check_agrees
+        (Printf.sprintf "n=%d tight, param bound" n)
+        { (tight_spec ~n) with Gen.bound = Gen.Bound_param })
+    [ 1; 2; 63; 64; 65 ]
+
+(* Loop-variant trip count: the inner loop's bound is loaded per outer
+   iteration (len = L[i]; for j < len: acc += A[B[i*max+j]]).  The inner
+   bound is a Var that is invariant w.r.t. the inner loop, so the pass
+   clamps with Clamp_expr(len, -1); rows are packed back-to-back with the
+   index array allocated last, so an unclamped or off-by-one look-ahead
+   on the final row traps. *)
+let variable_trip_kernel ~rows ~max_inner =
+  let b = Builder.create ~name:"var_trip" ~nparams:4 in
+  let a = Builder.param b 0 in
+  let bp = Builder.param b 1 in
+  let lens = Builder.param b 2 in
+  let acc_loop tag bound body =
+    let head = Builder.new_block b (tag ^ ".head") in
+    let bodyb = Builder.new_block b (tag ^ ".body") in
+    let exit = Builder.new_block b (tag ^ ".exit") in
+    let entry = Builder.current_block b in
+    Builder.br b head;
+    Builder.set_block b head;
+    let i = Builder.phi ~name:(tag ^ ".i") b [ (entry, Ir.Imm 0) ] in
+    let acc = Builder.phi ~name:(tag ^ ".acc") b [ (entry, Ir.Imm 0) ] in
+    let c = Builder.cmp b Ir.Slt i bound in
+    Builder.cbr b c bodyb exit;
+    Builder.set_block b bodyb;
+    let acc' = body i acc in
+    let i' = Builder.add b i (Ir.Imm 1) in
+    let latch = Builder.current_block b in
+    Builder.br b head;
+    Builder.add_incoming b i ~pred:latch i';
+    Builder.add_incoming b acc ~pred:latch acc';
+    Builder.set_block b exit;
+    acc
+  in
+  let total =
+    acc_loop "i" (Ir.Imm rows) (fun i acc ->
+        let len =
+          Builder.load ~name:"len" b Ir.I32 (Builder.gep b lens i 4)
+        in
+        let row = Builder.gep ~name:"row" b bp (Builder.mul b i (Ir.Imm max_inner)) 4 in
+        let inner =
+          acc_loop "j" len (fun j jacc ->
+              let k = Builder.load ~name:"key" b Ir.I32 (Builder.gep b row j 4) in
+              Builder.add b jacc
+                (Builder.load ~name:"v" b Ir.I32 (Builder.gep b a k 4)))
+        in
+        Builder.add b acc inner)
+  in
+  Builder.ret b (Some total);
+  Builder.finish b
+
+let build_variable_trip ~rows ~max_inner ~seed =
+  let mem = Memory.create () in
+  let rng = Spf_workloads.Rng.create ~seed in
+  let len_a = 32 in
+  let a_base =
+    Memory.alloc_i32_array mem
+      (Array.init len_a (fun _ -> Spf_workloads.Rng.int rng 100))
+  in
+  let lens = Array.init rows (fun _ -> Spf_workloads.Rng.int rng (max_inner + 1)) in
+  let lens_base = Memory.alloc_i32_array mem lens in
+  (* Index array LAST and exactly rows*max_inner entries: tight. *)
+  let b_base =
+    Memory.alloc_i32_array mem
+      (Array.init (rows * max_inner) (fun _ -> Spf_workloads.Rng.int rng len_a))
+  in
+  (variable_trip_kernel ~rows ~max_inner, mem, [| a_base; b_base; lens_base; 0 |])
+
+let run_once (func, mem, args) =
+  let interp = Interp.create ~machine:Machine.haswell ~mem ~args func in
+  Interp.run ~fuel:1_000_000 interp;
+  (Interp.retval interp, Memory.digest mem)
+
+let test_loop_variant_trip_counts () =
+  List.iter
+    (fun seed ->
+      let original = run_once (build_variable_trip ~rows:24 ~max_inner:8 ~seed) in
+      let func, mem, args = build_variable_trip ~rows:24 ~max_inner:8 ~seed in
+      let report = Pass.run func in
+      Helpers.verify_ok func;
+      Alcotest.(check bool) "inner chain transformed" true
+        (report.Pass.n_prefetches > 0);
+      let transformed =
+        match run_once (func, mem, args) with
+        | r -> r
+        | exception Interp.Trap f ->
+            Alcotest.failf "transformed run trapped: %s (seed %d)"
+              (Interp.fault_to_string f) seed
+      in
+      Alcotest.(check bool) "retval and memory preserved" true
+        (original = transformed))
+    [ 1; 2; 3; 4; 5 ]
+
+let suite =
+  [
+    Alcotest.test_case "zero-length arrays" `Quick test_zero_length_array;
+    Alcotest.test_case "single iteration" `Quick test_single_iteration;
+    Alcotest.test_case "offset overruns bound by one" `Quick
+      test_offset_overruns_bound_by_one;
+    Alcotest.test_case "loop-variant trip counts" `Quick
+      test_loop_variant_trip_counts;
+  ]
