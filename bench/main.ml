@@ -2,12 +2,18 @@
    evaluation (§5–§6) through the simulator, then microbenchmarks the
    compiler pass itself with Bechamel.
 
+   Figure pieces run their independent simulations concurrently on a
+   domain pool (output stays byte-identical to a serial run — see
+   docs/PERFORMANCE.md), and every invocation writes BENCH.json next to
+   the human-readable output so the performance trajectory is tracked.
+
    Usage:
-     main.exe                 run everything
-     main.exe quick           skip the slowest figures (fig6 sweep, fig9)
-     main.exe fig4 fig7 ...   run selected pieces only                     *)
+     main.exe [-j N]                 run everything
+     main.exe [-j N] quick           skip the slowest figures (fig6, fig9)
+     main.exe [-j N] fig4 fig7 ...   run selected pieces only              *)
 
 module Figures = Spf_harness.Figures
+module Pool = Spf_harness.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: compile-time cost of the pass (analysis +
@@ -62,31 +68,91 @@ let run_bechamel () =
             | Some r -> Printf.sprintf "%.3f" r
             | None -> "n/a")
       | Some [] | None -> Format.printf "  %-12s (no estimate)@." name)
-    results
+    results;
+  0
 
 (* ------------------------------------------------------------------ *)
 
-let pieces : (string * (unit -> unit)) list =
+(* Each piece returns the simulated cycles it executed (0 for the pieces
+   that run no timing simulation). *)
+let pieces : (string * (jobs:int -> int)) list =
   [
-    ("table1", Figures.table1);
-    ("fig2", Figures.fig2);
-    ("fig4", fun () -> Figures.fig4 ());
-    ("fig5", Figures.fig5);
-    ("fig6", fun () -> Figures.fig6 ());
-    ("fig7", Figures.fig7);
-    ("fig8", Figures.fig8);
-    ("fig9", fun () -> Figures.fig9 ());
-    ("fig10", Figures.fig10);
-    ("ablation", Figures.ablation_flat_offsets);
-    ("ablation-split", Figures.ablation_split);
-    ("bechamel", run_bechamel);
+    ("table1", fun ~jobs:_ -> Figures.table1 (); 0);
+    ("fig2", fun ~jobs -> Figures.fig2 ~jobs ());
+    ("fig4", fun ~jobs -> Figures.fig4 ~jobs ());
+    ("fig5", fun ~jobs -> Figures.fig5 ~jobs ());
+    ("fig6", fun ~jobs -> Figures.fig6 ~jobs ());
+    ("fig7", fun ~jobs -> Figures.fig7 ~jobs ());
+    ("fig8", fun ~jobs -> Figures.fig8 ~jobs ());
+    ("fig9", fun ~jobs -> Figures.fig9 ~jobs ());
+    ("fig10", fun ~jobs -> Figures.fig10 ~jobs ());
+    ("ablation", fun ~jobs -> Figures.ablation_flat_offsets ~jobs ());
+    ("ablation-split", fun ~jobs -> Figures.ablation_split ~jobs ());
+    ("bechamel", fun ~jobs:_ -> run_bechamel ());
   ]
 
 let quick_set =
   [ "table1"; "fig2"; "fig4"; "fig5"; "fig7"; "fig8"; "fig10"; "bechamel" ]
 
+(* Recorded serial (-j 1) baseline wall-clock per piece, in seconds, from
+   the first run of this harness (EXPERIMENTS.md "Harness performance
+   baseline").  BENCH.json reports speedup vs these numbers; pieces
+   without a recorded baseline get null. *)
+let baseline_wall_s : (string * float) list =
+  [
+    ("fig2", 4.8);
+    ("fig4", 265.7);
+    ("fig5", 70.9);
+    ("fig7", 15.9);
+    ("fig8", 45.0);
+    ("fig10", 9.3);
+    ("bechamel", 2.5);
+  ]
+
+type measurement = { name : string; wall_s : float; cycles : int }
+
+let write_bench_json ~jobs ~total_s (ms : measurement list) =
+  let oc = open_out "BENCH.json" in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": 1,\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_s);
+  Buffer.add_string b "  \"pieces\": [\n";
+  List.iteri
+    (fun i m ->
+      let speedup =
+        match List.assoc_opt m.name baseline_wall_s with
+        | Some base when m.wall_s > 0.0 ->
+            Printf.sprintf "%.2f" (base /. m.wall_s)
+        | _ -> "null"
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"wall_s\": %.3f, \"cycles\": %d, \
+            \"speedup_vs_baseline\": %s}%s\n"
+           m.name m.wall_s m.cycles speedup
+           (if i = List.length ms - 1 then "" else ",")))
+    ms;
+  Buffer.add_string b "  ]\n}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Parse -j/--jobs N anywhere on the command line. *)
+  let rec split_jobs acc = function
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | _ ->
+            Format.eprintf "invalid jobs count %S@." n;
+            exit 2)
+    | x :: rest -> split_jobs (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let jobs_opt, args = split_jobs [] args in
+  let jobs = match jobs_opt with Some j -> j | None -> Pool.default_jobs () in
   let selected =
     match args with
     | [] -> List.map fst pieces
@@ -94,15 +160,21 @@ let () =
     | names -> names
   in
   let t0 = Unix.gettimeofday () in
+  let measurements = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name pieces with
       | Some f ->
           let t = Unix.gettimeofday () in
-          f ();
-          Format.printf "  [%s: %.1fs]@." name (Unix.gettimeofday () -. t)
+          let cycles = f ~jobs in
+          let wall_s = Unix.gettimeofday () -. t in
+          measurements := { name; wall_s; cycles } :: !measurements;
+          Format.printf "  [%s: %.1fs]@." name wall_s
       | None ->
           Format.eprintf "unknown piece %S; known: quick %s@." name
             (String.concat " " (List.map fst pieces)))
     selected;
-  Format.printf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let total_s = Unix.gettimeofday () -. t0 in
+  Format.printf "@.total wall time: %.1fs (jobs=%d)@." total_s jobs;
+  write_bench_json ~jobs ~total_s (List.rev !measurements);
+  Format.printf "wrote BENCH.json@."

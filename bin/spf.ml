@@ -150,24 +150,35 @@ let run_cmd =
 
 (* --- fig -------------------------------------------------------------- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of domains for the simulation pool (default: the \
+           machine's recommended domain count).  Output is byte-identical \
+           for every value.")
+
 let fig_cmd =
   let doc = "Regenerate a figure/table from the paper's evaluation." in
-  let figs =
+  let figs jobs : (string * (unit -> unit)) list =
     [
       ("table1", Figures.table1);
-      ("fig2", Figures.fig2);
-      ("fig4", fun () -> Figures.fig4 ());
-      ("fig5", Figures.fig5);
-      ("fig6", fun () -> Figures.fig6 ());
-      ("fig7", Figures.fig7);
-      ("fig8", Figures.fig8);
-      ("fig9", fun () -> Figures.fig9 ());
-      ("fig10", Figures.fig10);
-      ("ablation", Figures.ablation_flat_offsets);
-      ("ablation-split", Figures.ablation_split);
+      ("fig2", fun () -> ignore (Figures.fig2 ?jobs ()));
+      ("fig4", fun () -> ignore (Figures.fig4 ?jobs ()));
+      ("fig5", fun () -> ignore (Figures.fig5 ?jobs ()));
+      ("fig6", fun () -> ignore (Figures.fig6 ?jobs ()));
+      ("fig7", fun () -> ignore (Figures.fig7 ?jobs ()));
+      ("fig8", fun () -> ignore (Figures.fig8 ?jobs ()));
+      ("fig9", fun () -> ignore (Figures.fig9 ?jobs ()));
+      ("fig10", fun () -> ignore (Figures.fig10 ?jobs ()));
+      ("ablation", fun () -> ignore (Figures.ablation_flat_offsets ?jobs ()));
+      ("ablation-split", fun () -> ignore (Figures.ablation_split ?jobs ()));
     ]
   in
-  let run which =
+  let run which jobs =
+    let figs = figs jobs in
     if which = "all" then List.iter (fun (_, f) -> f ()) figs
     else
       match List.assoc_opt which figs with
@@ -178,7 +189,10 @@ let fig_cmd =
   in
   Cmd.v
     (Cmd.info "fig" ~doc)
-    Term.(const run $ Arg.(value & pos 0 string "all" & info [] ~docv:"FIG"))
+    Term.(
+      const run
+      $ Arg.(value & pos 0 string "all" & info [] ~docv:"FIG")
+      $ jobs_arg)
 
 (* --- split ------------------------------------------------------------ *)
 
@@ -280,16 +294,19 @@ let fuzz_cmd =
       & info [ "shrink" ]
           ~doc:"Greedily shrink failing cases to minimal reproducers.")
   in
-  let run seed count shrink c =
+  let run seed count shrink c jobs =
     let config = Spf_core.Config.with_c c Spf_core.Config.default in
     let progress n = Format.printf "  ... %d/%d@." n count; Format.print_flush () in
-    let s = Spf_fuzz.Driver.run ~config ~shrink ~progress ~seed ~count () in
+    let jobs =
+      match jobs with Some j -> j | None -> Spf_harness.Pool.default_jobs ()
+    in
+    let s = Spf_fuzz.Driver.run ~config ~shrink ~progress ~seed ~jobs ~count () in
     Format.printf "%a" Spf_fuzz.Driver.pp_summary s;
     if not (Spf_fuzz.Driver.ok s) then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed_arg $ count_arg $ shrink_arg $ c_arg)
+    Term.(const run $ seed_arg $ count_arg $ shrink_arg $ c_arg $ jobs_arg)
 
 let () =
   let doc = "Software prefetching for indirect memory accesses (CGO'17) — reproduction" in

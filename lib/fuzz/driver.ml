@@ -1,5 +1,6 @@
 module Pass = Spf_core.Pass
 module Rng = Spf_workloads.Rng
+module Pool = Spf_harness.Pool
 
 (* Campaign driver: generate [count] specs from [seed], run each through
    the differential oracle, shrink any failure, and summarise.
@@ -11,7 +12,11 @@ module Rng = Spf_workloads.Rng
    - zero demand-side faults introduced by the transform under tight
      bounds ([introduced_fault] divergences);
    - §4.4 drops actually observed: wild prefetches land in the
-     [dropped_prefetches] stat instead of trapping. *)
+     [dropped_prefetches] stat instead of trapping.
+
+   Every case draws from its own [Rng.split]-derived stream, so cases are
+   independent of each other and of the execution order: a campaign fanned
+   out over N domains produces the same summary as a serial one. *)
 
 type failure = {
   case : int;  (* 0-based index into the campaign *)
@@ -62,8 +67,59 @@ let fails ?config spec =
   | Oracle.Diverged _ -> true
   | Oracle.Agree _ -> false
 
-let run ?config ?(shrink = false) ?progress ?(seed = 0) ~count () : summary =
-  let rng = Rng.create ~seed in
+(* Compact per-case result.  An [Oracle.Agree] verdict retains the whole
+   pass report and the outcome's memory digest; holding [count] of those
+   until the final fold keeps the entire campaign's heap live and major
+   GC time swamps the run (measured ~1.7x wall on a 10k campaign).  Each
+   job therefore boils its verdict down to these few words before
+   returning — only the (rare) failures keep their spec alive. *)
+type case_result = {
+  c_transformed : bool;
+  c_discarded : bool;
+  c_dropped : int;
+  c_issued : int;
+  c_failure : (Gen.spec * Oracle.divergence_kind * Gen.spec option) option;
+}
+
+(* One whole case — generation, oracle, shrinking — as a self-contained
+   job: everything that depends on the per-case RNG stream happens here,
+   so the result is a pure function of (seed, case). *)
+let run_case ?config ~shrink ~seed case =
+  let rng = Rng.split ~seed case in
+  let spec = Gen.random rng in
+  match Oracle.check ?config spec with
+  | Oracle.Agree a ->
+      {
+        c_transformed = a.Oracle.report.Pass.n_prefetches > 0;
+        c_discarded = a.Oracle.discarded;
+        c_dropped = a.Oracle.dropped_prefetches;
+        c_issued = a.Oracle.sw_prefetches;
+        c_failure = None;
+      }
+  | Oracle.Diverged d ->
+      let shrunk =
+        if shrink then Some (Shrink.shrink spec ~still_fails:(fails ?config))
+        else None
+      in
+      {
+        c_transformed = false;
+        c_discarded = false;
+        c_dropped = 0;
+        c_issued = 0;
+        c_failure = Some (spec, d, shrunk);
+      }
+
+let run ?config ?(shrink = false) ?progress ?(seed = 0) ?(jobs = 1) ~count ()
+    : summary =
+  let results =
+    Pool.map ~jobs
+      (fun case ->
+        (match progress with
+        | Some f when jobs <= 1 && case mod 500 = 0 && case > 0 -> f case
+        | _ -> ());
+        run_case ?config ~shrink ~seed case)
+      (List.init count Fun.id)
+  in
   let transformed = ref 0
   and rejected_only = ref 0
   and discarded = ref 0
@@ -71,29 +127,21 @@ let run ?config ?(shrink = false) ?progress ?(seed = 0) ~count () : summary =
   and issued = ref 0
   and introduced = ref 0
   and failures = ref [] in
-  for case = 0 to count - 1 do
-    (match progress with
-    | Some f when case mod 500 = 0 && case > 0 -> f case
-    | _ -> ());
-    let spec = Gen.random rng in
-    match Oracle.check ?config spec with
-    | Oracle.Agree a ->
-        if a.Oracle.report.Pass.n_prefetches > 0 then incr transformed
-        else incr rejected_only;
-        if a.Oracle.discarded then incr discarded;
-        dropped := !dropped + a.Oracle.dropped_prefetches;
-        issued := !issued + a.Oracle.sw_prefetches
-    | Oracle.Diverged d ->
-        (match d with
-        | Oracle.Outcome_mismatch { introduced_fault = true; _ } ->
-            incr introduced
-        | _ -> ());
-        let shrunk =
-          if shrink then Some (Shrink.shrink spec ~still_fails:(fails ?config))
-          else None
-        in
-        failures := { case; spec; shrunk; divergence = d } :: !failures
-  done;
+  List.iteri
+    (fun case r ->
+      match r.c_failure with
+      | None ->
+          if r.c_transformed then incr transformed else incr rejected_only;
+          if r.c_discarded then incr discarded;
+          dropped := !dropped + r.c_dropped;
+          issued := !issued + r.c_issued
+      | Some (spec, d, shrunk) ->
+          (match d with
+          | Oracle.Outcome_mismatch { introduced_fault = true; _ } ->
+              incr introduced
+          | _ -> ());
+          failures := { case; spec; shrunk; divergence = d } :: !failures)
+    results;
   {
     seed;
     count;

@@ -28,8 +28,14 @@ val run :
   ?shrink:bool ->
   ?progress:(int -> unit) ->
   ?seed:int ->
+  ?jobs:int ->
   count:int ->
   unit ->
   summary
 (** Run [count] generated cases from [seed] (default 0) through the
-    oracle; failures are shrunk to minimal reproducers when [shrink]. *)
+    oracle; failures are shrunk to minimal reproducers when [shrink].
+
+    Cases are distributed over [jobs] domains (default 1 = serial).  Each
+    case draws from its own {!Spf_workloads.Rng.split} stream, so the
+    summary — counters and the ordered failure list alike — is identical
+    for every [jobs] value.  [progress] only fires on serial runs. *)

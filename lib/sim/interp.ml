@@ -38,6 +38,23 @@ let fault_to_string { pc; addr; width; is_store } =
     (if is_store then "store" else "load")
     width addr pc
 
+(* Parallel phi copies for one CFG edge, precomputed at {!create} so the
+   hot loop never consults a hash table or assoc list.  The scratch
+   buffers ([iv]/[fv]/[rd]) implement read-all-before-write-any without
+   allocating on every edge traversal. *)
+type edge =
+  | No_copies
+  | Copies of {
+      dsts : int array;
+      srcs : Ir.operand array;
+      iv : int array;
+      fv : float array;
+      rd : int array;
+    }
+  | Bad_phi of string
+      (* a phi in the successor lacks this edge; the error is raised only
+         if the edge is actually taken, matching the old lazy behaviour *)
+
 type t = {
   machine : Machine.t;
   func : Ir.func;
@@ -49,9 +66,11 @@ type t = {
   ready : int array;
   blocks : Ir.instr array array; (* per block: non-phi instructions *)
   terms : Ir.terminator array;
-  edge_copies : (int, (int * Ir.operand) array) Hashtbl.t;
-      (* (pred * nblocks + succ) -> phi parallel copies *)
-  intrinsics : (string, int array -> int) Hashtbl.t;
+  edges : edge array; (* (pred * nblocks + succ) -> phi parallel copies *)
+  call_fns : (int array -> int) option array;
+      (* per instruction id: resolved intrinsic, filled by
+         [register_intrinsic] (no hash lookup on the call path) *)
+  call_sites : (int * string) list; (* (call instr id, callee name) *)
   tscale : int;
   disp_int : int;
   in_order : bool;
@@ -86,6 +105,69 @@ let create ~machine ?(tscale = default_tscale) ?dram ?stats ~mem ~args func =
         Array.of_list non_phi)
   in
   let terms = Array.init nb (fun b -> (Ir.block func b).term) in
+  (* Precompute the phi parallel copies of every CFG edge (pred, succ).
+     The old implementation built these lazily into a Hashtbl with an
+     [List.assoc_opt] per phi; doing it once here keeps [take_edge]
+     allocation- and lookup-free. *)
+  let edge_of ~pred ~succ =
+    let copies = ref [] and missing = ref None in
+    Array.iter
+      (fun id ->
+        let i = Ir.instr func id in
+        match i.kind with
+        | Ir.Phi incoming -> (
+            match List.assoc_opt pred incoming with
+            | Some v -> copies := (i.id, v) :: !copies
+            | None ->
+                if !missing = None then
+                  missing :=
+                    Some
+                      (Printf.sprintf "Interp: phi %d lacks edge from bb%d"
+                         i.id pred))
+        | _ -> ())
+      (Ir.block func succ).instrs;
+    match !missing with
+    | Some msg -> Bad_phi msg
+    | None -> (
+        match List.rev !copies with
+        | [] -> No_copies
+        | copies ->
+            let m = List.length copies in
+            Copies
+              {
+                dsts = Array.of_list (List.map fst copies);
+                srcs = Array.of_list (List.map snd copies);
+                iv = Array.make m 0;
+                fv = Array.make m 0.0;
+                rd = Array.make m 0;
+              })
+  in
+  let edges = Array.make (nb * nb) No_copies in
+  Array.iteri
+    (fun pred term ->
+      let succs =
+        match term with
+        | Ir.Br s -> [ s ]
+        | Ir.Cbr (_, bt, bf) -> if bt = bf then [ bt ] else [ bt; bf ]
+        | Ir.Ret _ | Ir.Unreachable -> []
+      in
+      List.iter
+        (fun succ -> edges.((pred * nb) + succ) <- edge_of ~pred ~succ)
+        succs)
+    terms;
+  (* Call sites, so intrinsics resolve into a per-instruction array at
+     registration time instead of a Hashtbl probe per dynamic call. *)
+  let call_sites =
+    Array.fold_left
+      (fun acc block ->
+        Array.fold_left
+          (fun acc (i : Ir.instr) ->
+            match i.kind with
+            | Ir.Call { callee; _ } -> (i.id, callee) :: acc
+            | _ -> acc)
+          acc block)
+      [] blocks
+  in
   let t =
     {
       machine;
@@ -98,8 +180,9 @@ let create ~machine ?(tscale = default_tscale) ?dram ?stats ~mem ~args func =
       ready = Array.make (max n 1) 0;
       blocks;
       terms;
-      edge_copies = Hashtbl.create 16;
-      intrinsics = Hashtbl.create 8;
+      edges;
+      call_fns = Array.make (max n 1) None;
+      call_sites;
       tscale;
       disp_int = max 1 (tscale * machine.inst_cost / machine.width);
       in_order = machine.kind = Machine.In_order;
@@ -121,7 +204,10 @@ let create ~machine ?(tscale = default_tscale) ?dram ?stats ~mem ~args func =
     func.param_ids;
   t
 
-let register_intrinsic t name fn = Hashtbl.replace t.intrinsics name fn
+let register_intrinsic t name fn =
+  List.iter
+    (fun (id, callee) -> if String.equal callee name then t.call_fns.(id) <- Some fn)
+    t.call_sites
 
 let ival t = function
   | Ir.Var id -> t.env.(id)
@@ -296,7 +382,7 @@ let exec_instr t (i : Ir.instr) =
         start + t.tscale
     | Ir.Call { callee; args; _ } ->
         let fn =
-          match Hashtbl.find_opt t.intrinsics callee with
+          match t.call_fns.(i.id) with
           | Some fn -> fn
           | None -> failwith ("Interp: unknown intrinsic " ^ callee)
         in
@@ -310,54 +396,30 @@ let exec_instr t (i : Ir.instr) =
   if Ir.defines_value i.kind then t.ready.(dst) <- complete;
   retire t ~complete
 
-(* Parallel phi copies for a CFG edge, cached per edge. *)
-let edge_key t ~pred ~succ = (pred * Array.length t.blocks) + succ
-
-let edge_copy_list t ~pred ~succ =
-  let key = edge_key t ~pred ~succ in
-  match Hashtbl.find_opt t.edge_copies key with
-  | Some copies -> copies
-  | None ->
-      let copies = ref [] in
-      Array.iter
-        (fun id ->
-          let i = Ir.instr t.func id in
-          match i.kind with
-          | Ir.Phi incoming -> (
-              match List.assoc_opt pred incoming with
-              | Some v -> copies := (i.id, v) :: !copies
-              | None ->
-                  failwith
-                    (Printf.sprintf "Interp: phi %d lacks edge from bb%d" i.id
-                       pred))
-          | _ -> ())
-        (Ir.block t.func succ).instrs;
-      let copies = Array.of_list (List.rev !copies) in
-      Hashtbl.replace t.edge_copies key copies;
-      copies
-
+(* Execute the precomputed phi parallel copies of edge (pred, succ):
+   read every source into the edge's scratch buffers, then write every
+   destination (read-all-before-write-any). *)
 let take_edge t ~pred ~succ =
-  let copies = edge_copy_list t ~pred ~succ in
-  let n = Array.length copies in
-  if n > 0 then begin
-    (* Read all sources before writing any destination. *)
-    let iv = Array.make n 0 and fv = Array.make n 0.0 and rd = Array.make n 0 in
-    Array.iteri
-      (fun k (_, src) ->
+  (match t.edges.((pred * Array.length t.blocks) + succ) with
+  | No_copies -> ()
+  | Bad_phi msg -> failwith msg
+  | Copies { dsts; srcs; iv; fv; rd } ->
+      let n = Array.length dsts in
+      for k = 0 to n - 1 do
+        let src = srcs.(k) in
         iv.(k) <- ival t src;
         (match src with
         | Ir.Var id -> fv.(k) <- t.fenv.(id)
         | Ir.Fimm f -> fv.(k) <- f
-        | Ir.Imm _ -> ());
-        rd.(k) <- rtime t src)
-      copies;
-    Array.iteri
-      (fun k (dst, _) ->
+        | Ir.Imm _ -> fv.(k) <- 0.0);
+        rd.(k) <- rtime t src
+      done;
+      for k = 0 to n - 1 do
+        let dst = dsts.(k) in
         t.env.(dst) <- iv.(k);
         t.fenv.(dst) <- fv.(k);
-        t.ready.(dst) <- rd.(k))
-      copies
-  end;
+        t.ready.(dst) <- rd.(k)
+      done);
   t.cur <- succ
 
 (* Execute the current block (non-phi instructions plus terminator);

@@ -21,6 +21,15 @@ let int t bound =
 
 let float t = float_of_int (next t land 0xFFFFFFFFFFFF) /. float_of_int 0x1000000000000
 
+(* Independent stream [index] of [seed]: the starting state is a full
+   avalanche mix of (seed, index), so consecutive indices land in
+   unrelated regions of the state space — stream i and stream i+1 do NOT
+   overlap shifted by one draw, which matters when each fuzz case owns a
+   stream and cases must be mutually independent. *)
+let split ~seed index =
+  let mixer = create ~seed:((seed * 0x3C79AC49) lxor index) in
+  create ~seed:(next mixer)
+
 (* In-place Fisher-Yates shuffle. *)
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -13,4 +13,10 @@ val int : t -> int -> int
 val float : t -> float
 (** Uniform in [0, 1). *)
 
+val split : seed:int -> int -> t
+(** [split ~seed index] derives the [index]-th independent stream of
+    [seed] (avalanche-mixed, so nearby indices give unrelated streams).
+    The per-case seeding discipline of parallel fuzz campaigns: case [i]
+    always sees the same stream no matter which domain runs it. *)
+
 val shuffle : t -> 'a array -> unit

@@ -23,4 +23,6 @@ let () =
       ("properties", Test_props.suite);
       ("safety-edges", Test_safety_edges.suite);
       ("fuzz", Test_fuzz.suite);
+      ("pool", Test_pool.suite);
+      ("golden", Test_golden.suite);
     ]

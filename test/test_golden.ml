@@ -1,0 +1,75 @@
+module Machine = Spf_sim.Machine
+module Stats = Spf_sim.Stats
+module Benches = Spf_harness.Benches
+module Runner = Spf_harness.Runner
+
+(* Golden timing numbers for the interpreter hot path.
+
+   These (cycles, instructions, loads, sw_prefetches) tuples were captured
+   from the simulator BEFORE the PR-2 hot-path refactor (precomputed phi
+   edge copies, resolved-at-create intrinsic table, min-heap multicore
+   scheduling) and must stay bit-identical forever after: the refactors
+   are pure strength reductions with no licence to move a single cycle.
+   One out-of-order machine (Haswell) and one in-order machine (A53) cover
+   both timing models. *)
+
+let golden =
+  [
+    ("Haswell", "IS", "plain", (4692828, 2621446, 524288, 0));
+    ("Haswell", "IS", "auto", (3550570, 5242886, 786432, 524288));
+    ("Haswell", "CG", "plain", (5897373, 11894796, 2621440, 0));
+    ("Haswell", "CG", "auto", (4622823, 17203212, 3145728, 1081344));
+    ("Haswell", "RA", "plain", (5721725, 5263367, 524288, 0));
+    ("Haswell", "RA", "auto", (4874463, 8146951, 786432, 524288));
+    ("Haswell", "HJ-2", "plain", (2682473, 3014662, 524288, 0));
+    ("Haswell", "HJ-2", "auto", (1629188, 4587526, 524288, 262144));
+    ("Haswell", "HJ-8", "plain", (19812120, 4653062, 851968, 0));
+    ("Haswell", "HJ-8", "auto", (11968630, 5963782, 917504, 327680));
+    ("Haswell", "HJ-8", "manual", (4112932, 7077894, 1245184, 262144));
+    ("A53", "IS", "plain", (76473346, 2621446, 524288, 0));
+    ("A53", "IS", "auto", (31633087, 5242886, 786432, 524288));
+    ("A53", "CG", "plain", (55043678, 11894796, 2621440, 0));
+    ("A53", "CG", "auto", (38719988, 17203212, 3145728, 1081344));
+    ("A53", "RA", "plain", (78883742, 5263367, 524288, 0));
+    ("A53", "RA", "auto", (40970064, 8146951, 786432, 524288));
+    ("A53", "HJ-2", "plain", (38360852, 3014662, 524288, 0));
+    ("A53", "HJ-2", "auto", (16397810, 4587526, 524288, 262144));
+    ("A53", "HJ-8", "plain", (56465625, 4653062, 851968, 0));
+    ("A53", "HJ-8", "auto", (42724759, 5963782, 917504, 327680));
+    ("A53", "HJ-8", "manual", (24926651, 7077894, 1245184, 262144));
+  ]
+
+let machine_of = function
+  | "Haswell" -> Machine.haswell
+  | "A53" -> Machine.a53
+  | m -> Alcotest.failf "unknown golden machine %s" m
+
+let bench_of id =
+  match
+    List.find_opt (fun (b : Benches.bench) -> b.id = id) (Benches.all ())
+  with
+  | Some b -> b
+  | None -> Alcotest.failf "unknown golden bench %s" id
+
+let build ~machine (b : Benches.bench) = function
+  | "plain" -> b.plain ()
+  | "auto" -> Benches.auto (b.plain ())
+  | "manual" -> b.manual ~machine ~c:None
+  | v -> Alcotest.failf "unknown golden variant %s" v
+
+let check_one (mname, bid, variant, (cycles, insts, loads, swpf)) () =
+  let machine = machine_of mname in
+  let r = Runner.run ~machine (build ~machine (bench_of bid) variant) in
+  let s = r.Runner.stats in
+  Alcotest.(check int) "cycles" cycles s.Stats.cycles;
+  Alcotest.(check int) "instructions" insts s.Stats.instructions;
+  Alcotest.(check int) "loads" loads s.Stats.loads;
+  Alcotest.(check int) "sw_prefetches" swpf s.Stats.sw_prefetches
+
+let suite =
+  List.map
+    (fun ((mname, bid, variant, _) as row) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s/%s/%s" mname bid variant)
+        `Slow (check_one row))
+    golden

@@ -63,9 +63,30 @@ let test_throughput_declines_per_core () =
   Alcotest.(check bool) "efficiency declines" true
     (thr 4 four /. 4.0 < thr 2 two /. 2.0 +. 0.0001)
 
+let test_rerun_finished_is_noop () =
+  (* Regression: the old driver counted fuel even when no core was
+     runnable, so re-running a finished set of cores with finite fuel
+     spun to the limit and raised "out of fuel".  The loop must exit the
+     moment nothing is runnable. *)
+  let machine = Machine.haswell in
+  let b = Is.build { params with Is.seed = 100 } in
+  let mc =
+    Multicore.create ~machine ~n_cores:1
+      ~make_instance:(fun ~core_id:_ ~dram ~tscale ->
+        Interp.create ~machine ~tscale ~dram ~mem:b.Workload.mem
+          ~args:b.Workload.args b.Workload.func)
+  in
+  Multicore.run mc;
+  (* All cores halted: this must return immediately, not burn fuel. *)
+  Multicore.run ~fuel:10 mc;
+  Alcotest.(check bool) "still halted" true
+    (Array.for_all Interp.halted (Multicore.cores mc))
+
 let suite =
   [
     Alcotest.test_case "1-core matches solo run" `Quick test_single_core_matches_solo;
+    Alcotest.test_case "finished re-run is a no-op" `Quick
+      test_rerun_finished_is_noop;
     Alcotest.test_case "all cores validate" `Quick test_all_cores_validate;
     Alcotest.test_case "bandwidth contention" `Quick test_bandwidth_contention;
     Alcotest.test_case "throughput declines per core" `Quick
