@@ -1,28 +1,32 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§5–§6) through the simulator, then microbenchmarks the
-   compiler pass itself with Bechamel.
+   compiler pass and the simulator's memory system with Bechamel.
 
    Figure pieces run their independent simulations concurrently on a
    domain pool (output stays byte-identical to a serial run — see
    docs/PERFORMANCE.md), and every invocation writes BENCH.json next to
    the human-readable output so the performance trajectory is tracked.
+   Each piece is timed over several trials (min and median recorded) so a
+   one-off scheduling hiccup cannot masquerade as a regression.
 
    Usage:
-     main.exe [-j N]                 run everything
-     main.exe [-j N] quick           skip the slowest figures (fig6, fig9)
-     main.exe [-j N] fig4 fig7 ...   run selected pieces only              *)
+     main.exe [-j N] [--trials T] [--engine E]         run everything
+     main.exe [...] quick           skip the slowest figures (fig6, fig9)
+     main.exe [...] fig4 fig7 ...   run selected pieces only              *)
 
 module Figures = Spf_harness.Figures
 module Pool = Spf_harness.Pool
+module Engine = Spf_sim.Engine
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks: compile-time cost of the pass (analysis +
-   code generation) on each kernel's IR.  One Test.make per kernel; the
-   IR is rebuilt inside the staged closure because the pass mutates it. *)
+(* Bechamel microbenchmarks. *)
 
 open Bechamel
 open Toolkit
 
+(* Compile-time cost of the pass (analysis + code generation) on each
+   kernel's IR.  One Test.make per kernel; the IR is rebuilt inside the
+   staged closure because the pass mutates it. *)
 let pass_test ~name build_func =
   Test.make ~name
     (Staged.stage (fun () ->
@@ -48,8 +52,48 @@ let pass_tests () =
       pass_test ~name:"G500" (fun () -> G500.build_func g);
     ]
 
+(* Memory-system fast paths: one [Memsys.access] per run.  "l1-hit"
+   exercises the dominant path of every cache-friendly phase (TLB hit +
+   L1 hit, no in-flight probe); "l1-miss-dram" pays the whole walk —
+   in-flight table, L2/L3 scans, MSHR pacing and the DRAM channel.  The
+   miss case strides through lines so each access misses a cold set. *)
+let memsys_tests () =
+  let module Machine = Spf_sim.Machine in
+  let module Memsys = Spf_sim.Memsys in
+  let module Dram = Spf_sim.Dram in
+  let module Stats = Spf_sim.Stats in
+  let module Interp = Spf_sim.Interp in
+  let machine = Machine.haswell in
+  let tscale = Interp.default_tscale in
+  let mk () =
+    let dram = Dram.create machine.Machine.dram ~tscale in
+    Memsys.create machine ~tscale ~dram ~stats:(Stats.create ())
+  in
+  let hit =
+    let ms = mk () in
+    ignore (Memsys.access ms ~kind:Memsys.Demand ~pc:0 ~addr:4096 ~now:0);
+    Test.make ~name:"l1-hit"
+      (Staged.stage (fun () ->
+           ignore (Memsys.access ms ~kind:Memsys.Demand ~pc:0 ~addr:4096 ~now:0)))
+  in
+  let miss =
+    let ms = mk () in
+    let line = ref 0 in
+    Test.make ~name:"l1-miss-dram"
+      (Staged.stage (fun () ->
+           (* A large prime stride in lines defeats every cache level
+              without staying in one page: each access is a fresh DRAM
+              fill, like the random phases of RA / HJ. *)
+           line := !line + 8191;
+           ignore
+             (Memsys.access ms ~kind:Memsys.Demand ~pc:0
+                ~addr:(!line * Machine.line_size)
+                ~now:0)))
+  in
+  Test.make_grouped ~name:"memsys" [ hit; miss ]
+
 let run_bechamel () =
-  Format.printf "@.=== Pass compile-time microbenchmarks (Bechamel) ===@.";
+  Format.printf "@.=== Microbenchmarks (Bechamel) ===@.";
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -57,47 +101,75 @@ let run_bechamel () =
   let cfg =
     Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
   in
-  let raw = Benchmark.all cfg instances (pass_tests ()) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some (t :: _) ->
-          Format.printf "  %-12s %10.1f ns/run  (r² %s)@." name t
-            (match Analyze.OLS.r_square ols with
-            | Some r -> Printf.sprintf "%.3f" r
-            | None -> "n/a")
-      | Some [] | None -> Format.printf "  %-12s (no estimate)@." name)
-    results;
+  List.iter
+    (fun tests ->
+      let raw = Benchmark.all cfg instances tests in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      (* Hashtbl.iter order is unspecified; sort for stable output. *)
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) ->
+              Format.printf "  %-20s %10.1f ns/run  (r² %s)@." name t
+                (match Analyze.OLS.r_square ols with
+                | Some r -> Printf.sprintf "%.3f" r
+                | None -> "n/a")
+          | Some [] | None -> Format.printf "  %-20s (no estimate)@." name)
+        rows)
+    [ pass_tests (); memsys_tests () ];
   0
 
 (* ------------------------------------------------------------------ *)
 
-(* Each piece returns the simulated cycles it executed (0 for the pieces
-   that run no timing simulation). *)
-let pieces : (string * (jobs:int -> int)) list =
+(* Each piece returns the simulated cycles it executed.  [timed] is false
+   for pieces that run no timing simulation (table1 profiles instruction
+   mixes only) — those are recorded as skipped in BENCH.json rather than
+   reported with a meaningless 0.000s wall. *)
+type piece = {
+  pname : string;
+  timed : bool;
+  run : jobs:int -> engine:Engine.t -> int;
+}
+
+let pieces : piece list =
   [
-    ("table1", fun ~jobs:_ -> Figures.table1 (); 0);
-    ("fig2", fun ~jobs -> Figures.fig2 ~jobs ());
-    ("fig4", fun ~jobs -> Figures.fig4 ~jobs ());
-    ("fig5", fun ~jobs -> Figures.fig5 ~jobs ());
-    ("fig6", fun ~jobs -> Figures.fig6 ~jobs ());
-    ("fig7", fun ~jobs -> Figures.fig7 ~jobs ());
-    ("fig8", fun ~jobs -> Figures.fig8 ~jobs ());
-    ("fig9", fun ~jobs -> Figures.fig9 ~jobs ());
-    ("fig10", fun ~jobs -> Figures.fig10 ~jobs ());
-    ("ablation", fun ~jobs -> Figures.ablation_flat_offsets ~jobs ());
-    ("ablation-split", fun ~jobs -> Figures.ablation_split ~jobs ());
-    ("bechamel", fun ~jobs:_ -> run_bechamel ());
+    {
+      pname = "table1";
+      timed = false;
+      run = (fun ~jobs:_ ~engine:_ -> Figures.table1 (); 0);
+    };
+    { pname = "fig2"; timed = true; run = (fun ~jobs ~engine -> Figures.fig2 ~jobs ~engine ()) };
+    { pname = "fig4"; timed = true; run = (fun ~jobs ~engine -> Figures.fig4 ~jobs ~engine ()) };
+    { pname = "fig5"; timed = true; run = (fun ~jobs ~engine -> Figures.fig5 ~jobs ~engine ()) };
+    { pname = "fig6"; timed = true; run = (fun ~jobs ~engine -> Figures.fig6 ~jobs ~engine ()) };
+    { pname = "fig7"; timed = true; run = (fun ~jobs ~engine -> Figures.fig7 ~jobs ~engine ()) };
+    { pname = "fig8"; timed = true; run = (fun ~jobs ~engine -> Figures.fig8 ~jobs ~engine ()) };
+    { pname = "fig9"; timed = true; run = (fun ~jobs ~engine -> Figures.fig9 ~jobs ~engine ()) };
+    { pname = "fig10"; timed = true; run = (fun ~jobs ~engine -> Figures.fig10 ~jobs ~engine ()) };
+    {
+      pname = "ablation";
+      timed = true;
+      run = (fun ~jobs ~engine -> Figures.ablation_flat_offsets ~jobs ~engine ());
+    };
+    {
+      pname = "ablation-split";
+      timed = true;
+      run = (fun ~jobs ~engine -> Figures.ablation_split ~jobs ~engine ());
+    };
+    { pname = "bechamel"; timed = true; run = (fun ~jobs:_ ~engine:_ -> run_bechamel ()) };
   ]
 
 let quick_set =
   [ "table1"; "fig2"; "fig4"; "fig5"; "fig7"; "fig8"; "fig10"; "bechamel" ]
 
-(* Recorded serial (-j 1) baseline wall-clock per piece, in seconds, from
-   the first run of this harness (EXPERIMENTS.md "Harness performance
-   baseline").  BENCH.json reports speedup vs these numbers; pieces
-   without a recorded baseline get null. *)
+(* Recorded serial (-j 1) single-trial baseline wall-clock per piece, in
+   seconds, from the interpreter-only harness (EXPERIMENTS.md "Harness
+   performance baseline").  BENCH.json reports speedup vs these numbers;
+   pieces without a recorded baseline get null. *)
 let baseline_wall_s : (string * float) list =
   [
     ("fig2", 4.8);
@@ -106,33 +178,57 @@ let baseline_wall_s : (string * float) list =
     ("fig7", 15.9);
     ("fig8", 45.0);
     ("fig10", 9.3);
-    ("bechamel", 2.5);
+    (* bechamel has no baseline entry: the piece gained the memsys group
+       in PR 3, so its wall is not comparable to the PR-1 recording. *)
   ]
 
-type measurement = { name : string; wall_s : float; cycles : int }
+type measurement = {
+  name : string;
+  skipped : bool;
+  walls_s : float list; (* one entry per trial, in run order *)
+  cycles : int;
+}
 
-let write_bench_json ~jobs ~total_s (ms : measurement list) =
+let min_wall m = List.fold_left min infinity m.walls_s
+
+let median_wall m =
+  let sorted = List.sort compare m.walls_s in
+  let n = List.length sorted in
+  if n = 0 then infinity
+  else if n mod 2 = 1 then List.nth sorted (n / 2)
+  else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let write_bench_json ~jobs ~engine ~trials ~total_s (ms : measurement list) =
   let oc = open_out "BENCH.json" in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 1,\n";
+  Buffer.add_string b "  \"schema\": 2,\n";
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"engine\": %S,\n" (Engine.to_string engine));
+  Buffer.add_string b (Printf.sprintf "  \"trials\": %d,\n" trials);
   Buffer.add_string b (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_s);
   Buffer.add_string b "  \"pieces\": [\n";
   List.iteri
     (fun i m ->
-      let speedup =
-        match List.assoc_opt m.name baseline_wall_s with
-        | Some base when m.wall_s > 0.0 ->
-            Printf.sprintf "%.2f" (base /. m.wall_s)
-        | _ -> "null"
-      in
-      Buffer.add_string b
-        (Printf.sprintf
-           "    {\"name\": %S, \"wall_s\": %.3f, \"cycles\": %d, \
-            \"speedup_vs_baseline\": %s}%s\n"
-           m.name m.wall_s m.cycles speedup
-           (if i = List.length ms - 1 then "" else ",")))
+      let sep = if i = List.length ms - 1 then "" else "," in
+      if m.skipped then
+        Buffer.add_string b
+          (Printf.sprintf "    {\"name\": %S, \"skipped\": true}%s\n" m.name sep)
+      else begin
+        let wmin = min_wall m and wmed = median_wall m in
+        let speedup =
+          match List.assoc_opt m.name baseline_wall_s with
+          | Some base when wmin > 0.0 -> Printf.sprintf "%.2f" (base /. wmin)
+          | _ -> "null"
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"name\": %S, \"wall_min_s\": %.3f, \"wall_median_s\": \
+              %.3f, \"trials\": %d, \"cycles\": %d, \"speedup_vs_baseline\": \
+              %s}%s\n"
+             m.name wmin wmed (List.length m.walls_s) m.cycles speedup sep)
+      end)
     ms;
   Buffer.add_string b "  ]\n}\n";
   output_string oc (Buffer.contents b);
@@ -140,22 +236,44 @@ let write_bench_json ~jobs ~total_s (ms : measurement list) =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Parse -j/--jobs N anywhere on the command line. *)
-  let rec split_jobs acc = function
+  (* Parse -j/--jobs N, --trials T and --engine E anywhere on the command
+     line; remaining words select pieces. *)
+  let jobs = ref None and trials = ref 3 and engine = ref Engine.default in
+  let rec split acc = function
     | ("-j" | "--jobs") :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | Some j when j >= 1 ->
+            jobs := Some j;
+            split acc rest
         | _ ->
             Format.eprintf "invalid jobs count %S@." n;
             exit 2)
-    | x :: rest -> split_jobs (x :: acc) rest
-    | [] -> (None, List.rev acc)
+    | "--trials" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some t when t >= 1 ->
+            trials := t;
+            split acc rest
+        | _ ->
+            Format.eprintf "invalid trial count %S@." n;
+            exit 2)
+    | "--engine" :: e :: rest -> (
+        match Engine.of_string e with
+        | Some e ->
+            engine := e;
+            split acc rest
+        | None ->
+            Format.eprintf "invalid engine %S (expected %s)@." e
+              (String.concat "|" (List.map Engine.to_string Engine.all));
+            exit 2)
+    | x :: rest -> split (x :: acc) rest
+    | [] -> List.rev acc
   in
-  let jobs_opt, args = split_jobs [] args in
-  let jobs = match jobs_opt with Some j -> j | None -> Pool.default_jobs () in
+  let args = split [] args in
+  let jobs = match !jobs with Some j -> j | None -> Pool.default_jobs () in
+  let trials = !trials and engine = !engine in
   let selected =
     match args with
-    | [] -> List.map fst pieces
+    | [] -> List.map (fun p -> p.pname) pieces
     | [ "quick" ] -> quick_set
     | names -> names
   in
@@ -163,18 +281,35 @@ let () =
   let measurements = ref [] in
   List.iter
     (fun name ->
-      match List.assoc_opt name pieces with
-      | Some f ->
-          let t = Unix.gettimeofday () in
-          let cycles = f ~jobs in
-          let wall_s = Unix.gettimeofday () -. t in
-          measurements := { name; wall_s; cycles } :: !measurements;
-          Format.printf "  [%s: %.1fs]@." name wall_s
+      match List.find_opt (fun p -> p.pname = name) pieces with
+      | Some p ->
+          (* Untimed pieces run once (their output is the point); timed
+             pieces run [trials] times and record every wall sample. *)
+          let n = if p.timed then trials else 1 in
+          let walls = ref [] and cycles = ref 0 in
+          for _ = 1 to n do
+            let t = Unix.gettimeofday () in
+            cycles := p.run ~jobs ~engine;
+            walls := (Unix.gettimeofday () -. t) :: !walls
+          done;
+          let m =
+            {
+              name;
+              skipped = not p.timed;
+              walls_s = List.rev !walls;
+              cycles = !cycles;
+            }
+          in
+          measurements := m :: !measurements;
+          if p.timed then
+            Format.printf "  [%s: min %.1fs, median %.1fs over %d trials]@."
+              name (min_wall m) (median_wall m) n
       | None ->
           Format.eprintf "unknown piece %S; known: quick %s@." name
-            (String.concat " " (List.map fst pieces)))
+            (String.concat " " (List.map (fun p -> p.pname) pieces)))
     selected;
   let total_s = Unix.gettimeofday () -. t0 in
-  Format.printf "@.total wall time: %.1fs (jobs=%d)@." total_s jobs;
-  write_bench_json ~jobs ~total_s (List.rev !measurements);
+  Format.printf "@.total wall time: %.1fs (jobs=%d, trials=%d, engine=%s)@."
+    total_s jobs trials (Engine.to_string engine);
+  write_bench_json ~jobs ~engine ~trials ~total_s (List.rev !measurements);
   Format.printf "wrote BENCH.json@."

@@ -54,6 +54,21 @@ let machine_arg =
     & info [ "m"; "machine" ] ~docv:"MACHINE"
         ~doc:"Target machine model (haswell, a57, a53, xeonphi).")
 
+let engine_arg =
+  let alts =
+    List.map
+      (fun e -> (Spf_sim.Engine.to_string e, e))
+      Spf_sim.Engine.all
+  in
+  Arg.(
+    value
+    & opt (enum alts) Spf_sim.Engine.default
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulator engine: $(b,interp) (classic instruction walker) or \
+           $(b,compiled) (pre-decoded micro-op closures, the default).  \
+           Both are bit-identical; compiled is faster.")
+
 type variant = Baseline | Auto | Icc | Manual
 
 let variant_arg =
@@ -129,13 +144,13 @@ let show_cmd =
 
 let run_cmd =
   let doc = "Simulate one benchmark variant on one machine." in
-  let run bench machine variant c =
+  let run bench machine variant c engine =
     let built = build_variant bench variant ~machine ~c in
-    let r = Runner.run ~machine built in
+    let r = Runner.run ~engine ~machine built in
     Format.printf "%s on %s: %a@." built.Workload.name machine.Machine.name
       Spf_sim.Stats.pp r.Runner.stats;
     if variant <> Baseline then begin
-      let base = Runner.run ~machine (bench.Benches.plain ()) in
+      let base = Runner.run ~engine ~machine (bench.Benches.plain ()) in
       Format.printf "speedup vs baseline: %.2fx (insts %+.0f%%)@."
         (Runner.speedup ~baseline:base r)
         (Runner.extra_instructions ~baseline:base r)
@@ -146,7 +161,7 @@ let run_cmd =
     Term.(
       const run
       $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
-      $ machine_arg $ variant_arg $ c_arg)
+      $ machine_arg $ variant_arg $ c_arg $ engine_arg)
 
 (* --- fig -------------------------------------------------------------- *)
 
@@ -162,23 +177,23 @@ let jobs_arg =
 
 let fig_cmd =
   let doc = "Regenerate a figure/table from the paper's evaluation." in
-  let figs jobs : (string * (unit -> unit)) list =
+  let figs jobs engine : (string * (unit -> unit)) list =
     [
       ("table1", Figures.table1);
-      ("fig2", fun () -> ignore (Figures.fig2 ?jobs ()));
-      ("fig4", fun () -> ignore (Figures.fig4 ?jobs ()));
-      ("fig5", fun () -> ignore (Figures.fig5 ?jobs ()));
-      ("fig6", fun () -> ignore (Figures.fig6 ?jobs ()));
-      ("fig7", fun () -> ignore (Figures.fig7 ?jobs ()));
-      ("fig8", fun () -> ignore (Figures.fig8 ?jobs ()));
-      ("fig9", fun () -> ignore (Figures.fig9 ?jobs ()));
-      ("fig10", fun () -> ignore (Figures.fig10 ?jobs ()));
-      ("ablation", fun () -> ignore (Figures.ablation_flat_offsets ?jobs ()));
-      ("ablation-split", fun () -> ignore (Figures.ablation_split ?jobs ()));
+      ("fig2", fun () -> ignore (Figures.fig2 ?jobs ~engine ()));
+      ("fig4", fun () -> ignore (Figures.fig4 ?jobs ~engine ()));
+      ("fig5", fun () -> ignore (Figures.fig5 ?jobs ~engine ()));
+      ("fig6", fun () -> ignore (Figures.fig6 ?jobs ~engine ()));
+      ("fig7", fun () -> ignore (Figures.fig7 ?jobs ~engine ()));
+      ("fig8", fun () -> ignore (Figures.fig8 ?jobs ~engine ()));
+      ("fig9", fun () -> ignore (Figures.fig9 ?jobs ~engine ()));
+      ("fig10", fun () -> ignore (Figures.fig10 ?jobs ~engine ()));
+      ("ablation", fun () -> ignore (Figures.ablation_flat_offsets ?jobs ~engine ()));
+      ("ablation-split", fun () -> ignore (Figures.ablation_split ?jobs ~engine ()));
     ]
   in
-  let run which jobs =
-    let figs = figs jobs in
+  let run which jobs engine =
+    let figs = figs jobs engine in
     if which = "all" then List.iter (fun (_, f) -> f ()) figs
     else
       match List.assoc_opt which figs with
@@ -192,7 +207,7 @@ let fig_cmd =
     Term.(
       const run
       $ Arg.(value & pos 0 string "all" & info [] ~docv:"FIG")
-      $ jobs_arg)
+      $ jobs_arg $ engine_arg)
 
 (* --- split ------------------------------------------------------------ *)
 
@@ -294,19 +309,34 @@ let fuzz_cmd =
       & info [ "shrink" ]
           ~doc:"Greedily shrink failing cases to minimal reproducers.")
   in
-  let run seed count shrink c jobs =
+  let cross_engine_arg =
+    Arg.(
+      value & flag
+      & info [ "cross-engine" ]
+          ~doc:
+            "Differentially compare the two simulator engines instead: \
+             every generated program (plain and transformed) runs under \
+             both $(b,interp) and $(b,compiled), which must agree on the \
+             outcome and on every stats counter, cycles included.")
+  in
+  let run seed count shrink c jobs engine cross_engine =
     let config = Spf_core.Config.with_c c Spf_core.Config.default in
     let progress n = Format.printf "  ... %d/%d@." n count; Format.print_flush () in
     let jobs =
       match jobs with Some j -> j | None -> Spf_harness.Pool.default_jobs ()
     in
-    let s = Spf_fuzz.Driver.run ~config ~shrink ~progress ~seed ~jobs ~count () in
+    let s =
+      Spf_fuzz.Driver.run ~config ~engine ~cross_engine ~shrink ~progress ~seed
+        ~jobs ~count ()
+    in
     Format.printf "%a" Spf_fuzz.Driver.pp_summary s;
     if not (Spf_fuzz.Driver.ok s) then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed_arg $ count_arg $ shrink_arg $ c_arg $ jobs_arg)
+    Term.(
+      const run $ seed_arg $ count_arg $ shrink_arg $ c_arg $ jobs_arg
+      $ engine_arg $ cross_engine_arg)
 
 let () =
   let doc = "Software prefetching for indirect memory accesses (CGO'17) — reproduction" in

@@ -62,10 +62,12 @@ let ok (s : summary) = s.failures = []
 (* Re-check a spec and report whether it still fails the same way (used as
    the shrinking predicate — any divergence counts, not just an identical
    one, which keeps shrinking aggressive). *)
-let fails ?config spec =
-  match Oracle.check ?config spec with
-  | Oracle.Diverged _ -> true
-  | Oracle.Agree _ -> false
+let fails ?config ?engine ~cross_engine spec =
+  let verdict =
+    if cross_engine then Oracle.check_engines ?config spec
+    else Oracle.check ?config ?engine spec
+  in
+  match verdict with Oracle.Diverged _ -> true | Oracle.Agree _ -> false
 
 (* Compact per-case result.  An [Oracle.Agree] verdict retains the whole
    pass report and the outcome's memory digest; holding [count] of those
@@ -84,10 +86,14 @@ type case_result = {
 (* One whole case — generation, oracle, shrinking — as a self-contained
    job: everything that depends on the per-case RNG stream happens here,
    so the result is a pure function of (seed, case). *)
-let run_case ?config ~shrink ~seed case =
+let run_case ?config ?engine ~cross_engine ~shrink ~seed case =
   let rng = Rng.split ~seed case in
   let spec = Gen.random rng in
-  match Oracle.check ?config spec with
+  let verdict =
+    if cross_engine then Oracle.check_engines ?config spec
+    else Oracle.check ?config ?engine spec
+  in
+  match verdict with
   | Oracle.Agree a ->
       {
         c_transformed = a.Oracle.report.Pass.n_prefetches > 0;
@@ -98,7 +104,10 @@ let run_case ?config ~shrink ~seed case =
       }
   | Oracle.Diverged d ->
       let shrunk =
-        if shrink then Some (Shrink.shrink spec ~still_fails:(fails ?config))
+        if shrink then
+          Some
+            (Shrink.shrink spec
+               ~still_fails:(fails ?config ?engine ~cross_engine))
         else None
       in
       {
@@ -109,15 +118,15 @@ let run_case ?config ~shrink ~seed case =
         c_failure = Some (spec, d, shrunk);
       }
 
-let run ?config ?(shrink = false) ?progress ?(seed = 0) ?(jobs = 1) ~count ()
-    : summary =
+let run ?config ?engine ?(cross_engine = false) ?(shrink = false) ?progress
+    ?(seed = 0) ?(jobs = 1) ~count () : summary =
   let results =
     Pool.map ~jobs
       (fun case ->
         (match progress with
         | Some f when jobs <= 1 && case mod 500 = 0 && case > 0 -> f case
         | _ -> ());
-        run_case ?config ~shrink ~seed case)
+        run_case ?config ?engine ~cross_engine ~shrink ~seed case)
       (List.init count Fun.id)
   in
   let transformed = ref 0

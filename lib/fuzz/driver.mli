@@ -25,6 +25,8 @@ val ok : summary -> bool
 
 val run :
   ?config:Spf_core.Config.t ->
+  ?engine:Spf_sim.Engine.t ->
+  ?cross_engine:bool ->
   ?shrink:bool ->
   ?progress:(int -> unit) ->
   ?seed:int ->
@@ -34,6 +36,10 @@ val run :
   summary
 (** Run [count] generated cases from [seed] (default 0) through the
     oracle; failures are shrunk to minimal reproducers when [shrink].
+    [engine] selects the simulator engine for the semantic oracle;
+    [cross_engine] switches to {!Oracle.check_engines}, which instead
+    compares the two engines against each other on every case (and
+    ignores [engine]).
 
     Cases are distributed over [jobs] domains (default 1 = serial).  Each
     case draws from its own {!Spf_workloads.Rng.split} stream, so the

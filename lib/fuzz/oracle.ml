@@ -43,6 +43,15 @@ type divergence_kind =
           (* the transformed run trapped at an instruction the pass
              inserted: the §4.2 fault-avoidance clamp itself failed *)
     }
+  | Engine_mismatch of {
+      on_transformed : bool;  (* which twin disagreed across engines *)
+      interp : outcome;
+      compiled : outcome;
+      stat : (string * int * int) option;
+          (* when the outcomes agree, the first stats counter that does
+             not: the engines computed the same answer but not the same
+             execution (timing/cache divergence) *)
+    }
 
 let divergence_to_string = function
   | Pass_raised e -> "pass raised: " ^ e
@@ -54,6 +63,16 @@ let divergence_to_string = function
         (if introduced_fault then
            " (demand fault at a pass-inserted instruction: clamp failure)"
          else "")
+  | Engine_mismatch { on_transformed; interp; compiled; stat } ->
+      Printf.sprintf "engine mismatch on the %s program: interp %s, compiled %s%s"
+        (if on_transformed then "transformed" else "plain")
+        (outcome_to_string interp)
+        (outcome_to_string compiled)
+        (match stat with
+        | Some (name, a, b) ->
+            Printf.sprintf " (first differing counter: %s interp=%d compiled=%d)"
+              name a b
+        | None -> "")
 
 (* What a single differential run yields when the pass behaved. *)
 type agreement = {
@@ -66,9 +85,9 @@ type agreement = {
 
 type verdict = Agree of agreement | Diverged of divergence_kind
 
-let execute ~fuel (b : Gen.built) =
+let execute ?engine ~fuel (b : Gen.built) =
   let interp =
-    Interp.create ~machine:Spf_sim.Machine.haswell ~mem:b.Gen.mem
+    Interp.create ~machine:Spf_sim.Machine.haswell ?engine ~mem:b.Gen.mem
       ~args:b.Gen.args b.Gen.func
   in
   match Interp.run ~fuel interp with
@@ -83,10 +102,10 @@ let execute ~fuel (b : Gen.built) =
       (Trapped { pc; addr; is_store }, Interp.stats interp)
   | exception Interp.Fuel_exhausted -> (Out_of_fuel, Interp.stats interp)
 
-let check ?config ?(strict = false) (spec : Gen.spec) : verdict =
+let check ?config ?(strict = false) ?engine (spec : Gen.spec) : verdict =
   let fuel = Gen.fuel spec in
   let original = Gen.build spec in
-  let o1, _ = execute ~fuel original in
+  let o1, _ = execute ?engine ~fuel original in
   let transformed = Gen.build spec in
   let n_orig_instrs = Ir.n_instrs transformed.Gen.func in
   match Pass.run ?config ~strict transformed.Gen.func with
@@ -97,7 +116,7 @@ let check ?config ?(strict = false) (spec : Gen.spec) : verdict =
           Diverged
             (Verifier_broken (Format.asprintf "%a" Spf_ir.Verifier.pp_violation v))
       | [] -> (
-          let o2, stats2 = execute ~fuel transformed in
+          let o2, stats2 = execute ?engine ~fuel transformed in
           let agreement discarded =
             Agree
               {
@@ -128,3 +147,59 @@ let check ?config ?(strict = false) (spec : Gen.spec) : verdict =
                  the §4.2 fault-avoidance clamp itself is broken. *)
               mismatch ~introduced_fault:(pc >= n_orig_instrs)
           | Returned _, Out_of_fuel -> mismatch ~introduced_fault:false))
+
+(* --- cross-engine differential mode ------------------------------------ *)
+
+(* Run the same program (two identical builds of it) under both engines
+   and require the full observable behaviour to match: outcome (return
+   value, memory digest, trap site) and every stats counter, timing
+   included.  This is a stronger check than the semantic oracle above --
+   the engines must agree cycle-for-cycle, not just value-for-value. *)
+let compare_engines ~fuel ~on_transformed b1 b2 =
+  let o1, s1 = execute ~engine:Spf_sim.Engine.Interp ~fuel b1 in
+  let o2, s2 = execute ~engine:Spf_sim.Engine.Compiled ~fuel b2 in
+  if o1 <> o2 then
+    Error (Engine_mismatch { on_transformed; interp = o1; compiled = o2; stat = None })
+  else
+    match Spf_sim.Stats.first_mismatch s1 s2 with
+    | Some m ->
+        Error
+          (Engine_mismatch
+             { on_transformed; interp = o1; compiled = o2; stat = Some m })
+    | None -> Ok (o1, s2)
+
+let check_engines ?config ?(strict = false) (spec : Gen.spec) : verdict =
+  let fuel = Gen.fuel spec in
+  (* The plain twin first: two builds of the same spec are structurally
+     identical, so any disagreement is an engine bug. *)
+  match compare_engines ~fuel ~on_transformed:false (Gen.build spec) (Gen.build spec) with
+  | Error d -> Diverged d
+  | Ok (o_plain, _) -> (
+      (* Then the transformed twin: apply the (deterministic) pass to both
+         builds and compare the engines on the prefetch-bearing program,
+         which exercises Prefetch uops, clamps and dropped-prefetch
+         accounting. *)
+      let t1 = Gen.build spec and t2 = Gen.build spec in
+      match
+        let r1 = Pass.run ?config ~strict t1.Gen.func in
+        let _ = Pass.run ?config ~strict t2.Gen.func in
+        r1
+      with
+      | exception exn -> Diverged (Pass_raised (Printexc.to_string exn))
+      | report -> (
+          match compare_engines ~fuel ~on_transformed:true t1 t2 with
+          | Error d -> Diverged d
+          | Ok (_, stats2) ->
+              let discarded =
+                match o_plain with
+                | Trapped _ | Out_of_fuel -> true
+                | Returned _ -> false
+              in
+              Agree
+                {
+                  report;
+                  original = o_plain;
+                  discarded;
+                  dropped_prefetches = stats2.Spf_sim.Stats.dropped_prefetches;
+                  sw_prefetches = stats2.Spf_sim.Stats.sw_prefetches;
+                }))

@@ -22,6 +22,13 @@ type divergence_kind =
           (** the transformed run trapped at a pass-inserted instruction —
               the §4.2 fault-avoidance clamp failed *)
     }
+  | Engine_mismatch of {
+      on_transformed : bool;
+      interp : outcome;
+      compiled : outcome;
+      stat : (string * int * int) option;
+          (** when outcomes agree, the first stats counter that does not *)
+    }
 
 val divergence_to_string : divergence_kind -> string
 
@@ -37,8 +44,21 @@ type agreement = {
 
 type verdict = Agree of agreement | Diverged of divergence_kind
 
-val execute : fuel:int -> Gen.built -> outcome * Spf_sim.Stats.t
+val execute :
+  ?engine:Spf_sim.Engine.t -> fuel:int -> Gen.built -> outcome * Spf_sim.Stats.t
 
-val check : ?config:Spf_core.Config.t -> ?strict:bool -> Gen.spec -> verdict
+val check :
+  ?config:Spf_core.Config.t ->
+  ?strict:bool ->
+  ?engine:Spf_sim.Engine.t ->
+  Gen.spec ->
+  verdict
 (** One differential run.  Never raises with [strict] false (the
     default): pass exceptions become {!Pass_raised} divergences. *)
+
+val check_engines :
+  ?config:Spf_core.Config.t -> ?strict:bool -> Gen.spec -> verdict
+(** One cross-engine differential run: the plain and pass-transformed
+    twins each execute under both engines, which must agree on the full
+    observable behaviour — outcome {e and} every stats counter, cycles
+    included.  Disagreements surface as {!Engine_mismatch}. *)

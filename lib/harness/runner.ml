@@ -9,7 +9,7 @@ module Workload = Spf_workloads.Workload
 
 type result = { stats : Stats.t; machine : string; bench : string }
 
-let run ?fuel ~(machine : Machine.t) (b : Workload.built) : result =
+let run ?fuel ?engine ~(machine : Machine.t) (b : Workload.built) : result =
   (match Spf_ir.Verifier.check b.func with
   | [] -> ()
   | vs ->
@@ -18,7 +18,7 @@ let run ?fuel ~(machine : Machine.t) (b : Workload.built) : result =
           (List.map (Format.asprintf "%a" Spf_ir.Verifier.pp_violation) vs)
       in
       failwith (Printf.sprintf "%s: verifier: %s" b.name msg));
-  let interp = Interp.create ~machine ~mem:b.mem ~args:b.args b.func in
+  let interp = Interp.create ~machine ?engine ~mem:b.mem ~args:b.args b.func in
   Interp.run ?fuel interp;
   Workload.validate b ~retval:(Interp.retval interp);
   { stats = Interp.stats interp; machine = machine.name; bench = b.name }

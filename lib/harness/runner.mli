@@ -11,10 +11,12 @@ type result = {
 
 val run :
   ?fuel:int ->
+  ?engine:Spf_sim.Engine.t ->
   machine:Spf_sim.Machine.t ->
   Spf_workloads.Workload.built ->
   result
-(** @raise Failure on verifier violations or checksum mismatch. *)
+(** @raise Failure on verifier violations or checksum mismatch.
+    [engine] selects the simulator engine (default {!Spf_sim.Engine.default}). *)
 
 val cycles : result -> int
 val speedup : baseline:result -> result -> float

@@ -239,6 +239,81 @@ let insert_at_end f ~bid ids =
     List.iter (fun id -> (instr f id).block <- bid) ids
   end
 
+(* ------------------------------------------------------------------ *)
+(* Structural signature                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A stable, name-independent encoding of a function's structure: entry
+   block, parameter ids, and every block's instruction ids, kinds (with
+   operands rendered exactly — floats by their bit pattern) and
+   terminator.  Two functions with equal signatures execute identically
+   instruction-for-instruction, which is what lets the compiled engine
+   cache decoded micro-op programs across rebuilds of the same workload
+   (see Compile in lib/sim).  Printing hints ([name]/[bname]/[fname]) are
+   deliberately excluded so cosmetic renames do not defeat the cache. *)
+
+let signature f =
+  let b = Buffer.create 1024 in
+  let int n = Buffer.add_string b (string_of_int n); Buffer.add_char b ',' in
+  let operand = function
+    | Var v -> Buffer.add_char b 'v'; int v
+    | Imm n -> Buffer.add_char b 'i'; int n
+    | Fimm x ->
+        Buffer.add_char b 'f';
+        Buffer.add_string b (Int64.to_string (Int64.bits_of_float x));
+        Buffer.add_char b ','
+  in
+  let ty t = Buffer.add_string b (string_of_ty t); Buffer.add_char b ',' in
+  let kind = function
+    | Binop (op, x, y) ->
+        Buffer.add_char b 'B'; Buffer.add_string b (string_of_binop op);
+        Buffer.add_char b ','; operand x; operand y
+    | Cmp (p, x, y) ->
+        Buffer.add_char b 'C'; Buffer.add_string b (string_of_cmp p);
+        Buffer.add_char b ','; operand x; operand y
+    | Select (c, x, y) -> Buffer.add_char b 'S'; operand c; operand x; operand y
+    | Load (t, a) -> Buffer.add_char b 'L'; ty t; operand a
+    | Store (t, a, v) -> Buffer.add_char b 'W'; ty t; operand a; operand v
+    | Gep { base; index; scale } ->
+        Buffer.add_char b 'G'; operand base; operand index; int scale
+    | Phi incoming ->
+        Buffer.add_char b 'P';
+        List.iter (fun (blk, v) -> int blk; operand v) incoming
+    | Call { callee; args; pure } ->
+        Buffer.add_char b 'F';
+        Buffer.add_string b callee;
+        Buffer.add_char b (if pure then 'p' else 'e');
+        List.iter operand args
+    | Prefetch a -> Buffer.add_char b 'H'; operand a
+    | Alloc a -> Buffer.add_char b 'A'; operand a
+    | Param k -> Buffer.add_char b 'R'; int k
+  in
+  let term = function
+    | Br s -> Buffer.add_char b 'b'; int s
+    | Cbr (c, bt, bf) -> Buffer.add_char b 'c'; operand c; int bt; int bf
+    | Ret None -> Buffer.add_char b 'r'
+    | Ret (Some v) -> Buffer.add_char b 'R'; operand v
+    | Unreachable -> Buffer.add_char b 'u'
+  in
+  int f.entry;
+  Array.iter int f.param_ids;
+  Buffer.add_char b '|';
+  Array.iter
+    (fun blk ->
+      Buffer.add_char b '[';
+      int blk.bid;
+      Array.iter
+        (fun id ->
+          match f.itab.(id) with
+          | Some i -> int i.id; kind i.kind
+          | None -> ())
+        blk.instrs;
+      Buffer.add_char b ';';
+      term blk.term;
+      Buffer.add_char b ']')
+    f.blocks;
+  Buffer.contents b
+
 let successors (t : terminator) : int list =
   match t with
   | Br b -> [ b ]

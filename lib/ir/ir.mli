@@ -143,6 +143,13 @@ val insert_at_end : func -> bid:int -> int list -> unit
 (** Splice already-allocated instruction ids at the end of block [bid],
     just before the terminator. *)
 
+val signature : func -> string
+(** Stable, name-independent structural encoding of the function: entry,
+    parameters, and every block's instruction ids, kinds (floats by bit
+    pattern) and terminator.  Functions with equal signatures execute
+    identically, so the compiled engine uses this as its decode-cache key;
+    printing hints are excluded so renames don't defeat caching. *)
+
 val successors : terminator -> int list
 (** Successor block ids (deduplicated when both branch arms coincide). *)
 

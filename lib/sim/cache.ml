@@ -6,17 +6,24 @@
 
 type t = {
   sets : int;
+  mask : int; (* sets - 1 when sets is a power of two, else -1 *)
   assoc : int;
   tags : int array; (* sets * assoc; -1 = invalid *)
   stamps : int array;
   mutable tick : int;
 }
 
+(* Every real machine config has power-of-two set counts, so set
+   selection is a mask rather than an integer division — [set_of] runs
+   on every cache and TLB probe, making the division measurable. *)
+let mask_of sets = if sets land (sets - 1) = 0 then sets - 1 else -1
+
 let create ~size ~assoc ~unit_shift =
   let units = size lsr unit_shift in
   let sets = max 1 (units / assoc) in
   {
     sets;
+    mask = mask_of sets;
     assoc;
     tags = Array.make (sets * assoc) (-1);
     stamps = Array.make (sets * assoc) 0;
@@ -27,18 +34,25 @@ let create_entries ~entries ~assoc =
   let sets = max 1 (entries / assoc) in
   {
     sets;
+    mask = mask_of sets;
     assoc;
     tags = Array.make (sets * assoc) (-1);
     stamps = Array.make (sets * assoc) 0;
     tick = 0;
   }
 
-let set_of t key = key mod t.sets
+let set_of t key = if t.mask >= 0 then key land t.mask else key mod t.sets
+
+(* The scans below use unsafe accesses: [set_of] is < [sets] by
+   construction, so [base + w] < [sets * assoc] = the array length for
+   every way [w] — and these loops run on every simulated memory access. *)
 
 (* Probe without modifying replacement state. *)
 let mem t key =
   let base = set_of t key * t.assoc in
-  let rec scan w = w < t.assoc && (t.tags.(base + w) = key || scan (w + 1)) in
+  let rec scan w =
+    w < t.assoc && (Array.unsafe_get t.tags (base + w) = key || scan (w + 1))
+  in
   scan 0
 
 (* Probe and, on a hit, refresh LRU state.  Returns whether the key hit. *)
@@ -46,9 +60,9 @@ let access t key =
   let base = set_of t key * t.assoc in
   let rec scan w =
     if w >= t.assoc then false
-    else if t.tags.(base + w) = key then begin
+    else if Array.unsafe_get t.tags (base + w) = key then begin
       t.tick <- t.tick + 1;
-      t.stamps.(base + w) <- t.tick;
+      Array.unsafe_set t.stamps (base + w) t.tick;
       true
     end
     else scan (w + 1)
@@ -62,8 +76,11 @@ let insert t key =
   let existing = ref (-1) in
   let victim = ref 0 in
   for w = 0 to t.assoc - 1 do
-    if t.tags.(base + w) = key then existing := w;
-    if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    if Array.unsafe_get t.tags (base + w) = key then existing := w;
+    if
+      Array.unsafe_get t.stamps (base + w)
+      < Array.unsafe_get t.stamps (base + !victim)
+    then victim := w
   done;
   t.tick <- t.tick + 1;
   if !existing >= 0 then begin

@@ -1,0 +1,520 @@
+module Ir = Spf_ir.Ir
+module Usedef = Spf_ir.Usedef
+module S = Exec_state
+
+(* Compile-to-closure execution engine.
+
+   Each static instruction is decoded once into a specialized closure (a
+   "micro-op"): operand kinds (const vs. register, int vs. float) are
+   resolved at decode time, per-instruction latencies are pre-scaled by
+   [tscale] into the closure environment, and a GEP whose single use is
+   the very next load/store's address is fused into that memory micro-op
+   (legality: exactly one use, no terminator use — see fusion notes
+   below).  The hot loop is then an indirect call over a flat array per
+   basic block instead of a pattern match over [Ir.instr] records per
+   dynamic instruction.
+
+   Every micro-op drives the shared {!Exec_state} with the shared
+   dispatch/retire/memory helpers in exactly the interpreter's order, so
+   the engine is bit-identical to {!Interp}'s classic path: same Stats,
+   same Trap/Fuel_exhausted behaviour, same multicore schedule.  The
+   golden suite and the cross-engine fuzz oracle pin this.
+
+   Decoded programs are cached per domain, keyed by (tscale, structural
+   signature): sweeps that rebuild and re-run one workload function
+   across thousands of parameter points decode exactly once per domain.
+   Nothing per-instance is captured in the closures — all mutable run
+   state arrives through the [Exec_state.t] argument — except the phi
+   edge scratch buffers, which are written and fully consumed inside a
+   single closure call and therefore safe to share between instances on
+   one domain (domains never interleave inside a call). *)
+
+type uop = S.t -> unit
+
+type program = { ublocks : uop array array; uterms : uop array }
+
+(* --- decode-time operand specialization -------------------------------- *)
+
+let iread (o : Ir.operand) : S.t -> int =
+  match o with
+  | Ir.Var id -> fun st -> st.S.env.(id)
+  | Ir.Imm n -> fun _ -> n
+  | Ir.Fimm x ->
+      let n = Int64.to_int (Int64.bits_of_float x) in
+      fun _ -> n
+
+let fread (o : Ir.operand) : S.t -> float =
+  match o with
+  | Ir.Var id -> fun st -> st.S.fenv.(id)
+  | Ir.Fimm x -> fun _ -> x
+  | Ir.Imm n ->
+      let x = float_of_int n in
+      fun _ -> x
+
+let ready1 (o : Ir.operand) : S.t -> int =
+  match o with
+  | Ir.Var id -> fun st -> st.S.ready.(id)
+  | Ir.Imm _ | Ir.Fimm _ -> fun _ -> 0
+
+let ready2 (a : Ir.operand) (b : Ir.operand) : S.t -> int =
+  match (a, b) with
+  | Ir.Var i, Ir.Var j ->
+      fun st ->
+        let x = st.S.ready.(i) and y = st.S.ready.(j) in
+        if x > y then x else y
+  | Ir.Var i, _ | _, Ir.Var i -> fun st -> st.S.ready.(i)
+  | _, _ -> fun _ -> 0
+
+let ready3 a b c =
+  let r2 = ready2 b c in
+  match a with
+  | Ir.Var i ->
+      fun st ->
+        let x = st.S.ready.(i) and y = r2 st in
+        if x > y then x else y
+  | Ir.Imm _ | Ir.Fimm _ -> r2
+
+(* Shared constant closures per operator (allocated once per decode site,
+   never per dynamic instruction). *)
+let int_fn : Ir.binop -> int -> int -> int = function
+  | Ir.Add -> ( + )
+  | Ir.Sub -> ( - )
+  | Ir.Mul -> ( * )
+  | Ir.Sdiv -> ( / )
+  | Ir.Srem -> Stdlib.( mod )
+  | Ir.And -> ( land )
+  | Ir.Or -> ( lor )
+  | Ir.Xor -> ( lxor )
+  | Ir.Shl -> ( lsl )
+  | Ir.Lshr -> ( lsr )
+  | Ir.Ashr -> ( asr )
+  | Ir.Smin -> fun a b -> if a < b then a else b
+  | Ir.Smax -> fun a b -> if a > b then a else b
+  | Ir.Fadd | Ir.Fsub | Ir.Fmul | Ir.Fdiv -> assert false
+
+let float_fn : Ir.binop -> float -> float -> float = function
+  | Ir.Fadd -> ( +. )
+  | Ir.Fsub -> ( -. )
+  | Ir.Fmul -> ( *. )
+  | Ir.Fdiv -> ( /. )
+  | _ -> assert false
+
+let is_float_op = function
+  | Ir.Fadd | Ir.Fsub | Ir.Fmul | Ir.Fdiv -> true
+  | _ -> false
+
+(* Explicit int-typed lambdas: a bare [( = )]/[( < )] here would be the
+   polymorphic compare function — a C call per dynamic Cmp. *)
+let cmp_fn : Ir.cmp -> int -> int -> bool = function
+  | Ir.Eq -> fun (a : int) b -> a = b
+  | Ir.Ne -> fun (a : int) b -> a <> b
+  | Ir.Slt -> fun (a : int) b -> a < b
+  | Ir.Sle -> fun (a : int) b -> a <= b
+  | Ir.Sgt -> fun (a : int) b -> a > b
+  | Ir.Sge -> fun (a : int) b -> a >= b
+
+(* The float-half of a [Select] arm: mirror of the interpreter's
+   per-operand match ([Imm] leaves fenv untouched). *)
+let select_fwrite dst (o : Ir.operand) : S.t -> unit =
+  match o with
+  | Ir.Var id -> fun st -> st.S.fenv.(dst) <- st.S.fenv.(id)
+  | Ir.Fimm x -> fun st -> st.S.fenv.(dst) <- x
+  | Ir.Imm _ -> fun _ -> ()
+
+(* --- per-instruction micro-ops ----------------------------------------- *)
+
+(* Every micro-op performs, in the interpreter's exact order:
+   instruction count, dispatch on the sources' ready-time, the functional
+   effect, the destination ready-time update, and retirement. *)
+
+let decode_instr ~tsc (i : Ir.instr) : uop =
+  let dst = i.Ir.id in
+  match i.Ir.kind with
+  | Ir.Binop (op, x, y) when is_float_op op ->
+      let lat = S.binop_latency op * tsc in
+      let fx = fread x and fy = fread y in
+      let rr = ready2 x y in
+      let f = float_fn op in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        st.S.fenv.(dst) <- f (fx st) (fy st);
+        let c = start + lat in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Binop (op, x, y) ->
+      let lat = S.binop_latency op * tsc in
+      let gx = iread x and gy = iread y in
+      let rr = ready2 x y in
+      let f = int_fn op in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        st.S.env.(dst) <- f (gx st) (gy st);
+        let c = start + lat in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Cmp (p, x, y) ->
+      let gx = iread x and gy = iread y in
+      let rr = ready2 x y in
+      let f = cmp_fn p in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        st.S.env.(dst) <- (if f (gx st) (gy st) then 1 else 0);
+        let c = start + tsc in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Select (c0, x, y) ->
+      let rc = iread c0 in
+      let rr = ready3 c0 x y in
+      let gx = iread x and gy = iread y in
+      let wx = select_fwrite dst x and wy = select_fwrite dst y in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        if rc st <> 0 then begin
+          st.S.env.(dst) <- gx st;
+          wx st
+        end
+        else begin
+          st.S.env.(dst) <- gy st;
+          wy st
+        end;
+        let c = start + tsc in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Gep { base; index; scale } ->
+      let gb = iread base and gi = iread index in
+      let rr = ready2 base index in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        st.S.env.(dst) <- gb st + (gi st * scale);
+        let c = start + tsc in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Load (ty, a) ->
+      let ga = iread a in
+      let rr = ready1 a in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        let addr = ga st in
+        let c = S.exec_load st ~pc:dst ~dst ~ty ~addr ~start in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Store (Ir.F64, a, v) ->
+      let ga = iread a and gv = fread v in
+      let rr = ready2 a v in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        let addr = ga st in
+        let c = S.exec_store_f st ~pc:dst ~addr ~v:(gv st) ~start in
+        S.retire st ~complete:c
+  | Ir.Store (ty, a, v) ->
+      let ga = iread a and gv = iread v in
+      let rr = ready2 a v in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        let addr = ga st in
+        let c = S.exec_store_i st ~pc:dst ~ty ~addr ~v:(gv st) ~start in
+        S.retire st ~complete:c
+  | Ir.Prefetch a ->
+      let ga = iread a in
+      let rr = ready1 a in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        let addr = ga st in
+        let c = S.exec_prefetch st ~pc:dst ~addr ~start in
+        S.retire st ~complete:c
+  | Ir.Alloc sz ->
+      let g = iread sz in
+      let rr = ready1 sz in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:(rr st) in
+        st.S.env.(dst) <- Memory.alloc st.S.mem (g st);
+        let c = start + tsc in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Call { callee; args; _ } ->
+      let vread = Array.of_list (List.map iread args) in
+      let rvars =
+        Array.of_list
+          (List.filter_map
+             (function Ir.Var id -> Some id | Ir.Imm _ | Ir.Fimm _ -> None)
+             args)
+      in
+      let lat = 10 * tsc in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let ready =
+          Array.fold_left
+            (fun m id ->
+              let r = st.S.ready.(id) in
+              if r > m then r else m)
+            0 rvars
+        in
+        let start = S.dispatch st ~operands_ready:ready in
+        let argv = Array.map (fun g -> g st) vread in
+        st.S.env.(dst) <- S.exec_call st ~pc:dst ~callee argv;
+        let c = start + lat in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Param _ ->
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:0 in
+        let c = start + tsc in
+        st.S.ready.(dst) <- c;
+        S.retire st ~complete:c
+  | Ir.Phi _ ->
+      (* Phis execute on edges; decode never reaches one (blocks are
+         filtered) and a cached program holds no phi micro-ops. *)
+      fun _ -> assert false
+
+(* --- GEP fusion --------------------------------------------------------- *)
+
+(* Legality: the GEP's value has exactly one use — the immediately
+   following load/store's *address* operand — and no terminator use (phi
+   uses appear in [Usedef.uses], so a phi reader also blocks fusion).
+   The fused micro-op still performs both instructions' full timing
+   sequences (two instruction counts, two dispatches, two retirements);
+   what it elides is the env/ready round-trip through the GEP's SSA slot,
+   which the single-use condition makes unobservable. *)
+
+let fusable usedef (g : Ir.instr) (nxt : Ir.instr) =
+  match g.Ir.kind with
+  | Ir.Gep _ -> (
+      match (Usedef.uses usedef g.Ir.id, Usedef.term_uses usedef g.Ir.id) with
+      | [ u ], [] when u = nxt.Ir.id -> (
+          match nxt.Ir.kind with
+          | Ir.Load (_, Ir.Var a) -> a = g.Ir.id
+          | Ir.Store (_, Ir.Var a, v) -> a = g.Ir.id && v <> Ir.Var g.Ir.id
+          | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+let fused_uop ~tsc (g : Ir.instr) (nxt : Ir.instr) : uop =
+  let base, index, scale =
+    match g.Ir.kind with
+    | Ir.Gep { base; index; scale } -> (base, index, scale)
+    | _ -> assert false
+  in
+  let gb = iread base and gi = iread index in
+  let rrg = ready2 base index in
+  let pc = nxt.Ir.id in
+  match nxt.Ir.kind with
+  | Ir.Load (ty, _) ->
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let gstart = S.dispatch st ~operands_ready:(rrg st) in
+        let addr = gb st + (gi st * scale) in
+        let gc = gstart + tsc in
+        S.retire st ~complete:gc;
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let start = S.dispatch st ~operands_ready:gc in
+        let c = S.exec_load st ~pc ~dst:pc ~ty ~addr ~start in
+        st.S.ready.(pc) <- c;
+        S.retire st ~complete:c
+  | Ir.Store (Ir.F64, _, v) ->
+      let gv = fread v in
+      let rv = ready1 v in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let gstart = S.dispatch st ~operands_ready:(rrg st) in
+        let addr = gb st + (gi st * scale) in
+        let gc = gstart + tsc in
+        S.retire st ~complete:gc;
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let rdy = rv st in
+        let start = S.dispatch st ~operands_ready:(if gc > rdy then gc else rdy) in
+        let c = S.exec_store_f st ~pc ~addr ~v:(gv st) ~start in
+        S.retire st ~complete:c
+  | Ir.Store (ty, _, v) ->
+      let gv = iread v in
+      let rv = ready1 v in
+      fun st ->
+        let s = st.S.stats in
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let gstart = S.dispatch st ~operands_ready:(rrg st) in
+        let addr = gb st + (gi st * scale) in
+        let gc = gstart + tsc in
+        S.retire st ~complete:gc;
+        s.Stats.instructions <- s.Stats.instructions + 1;
+        let rdy = rv st in
+        let start = S.dispatch st ~operands_ready:(if gc > rdy then gc else rdy) in
+        let c = S.exec_store_i st ~pc ~ty ~addr ~v:(gv st) ~start in
+        S.retire st ~complete:c
+  | _ -> assert false
+
+(* --- terminators and edges --------------------------------------------- *)
+
+let edge_uop func ~pred ~succ : uop =
+  match S.phi_copies func ~pred ~succ with
+  | S.No_copies -> fun st -> st.S.cur <- succ
+  | S.Bad_edge msg -> fun _ -> failwith msg
+  | S.Copies { dsts; srcs } ->
+      let n = Array.length dsts in
+      (* Scratch buffers implementing read-all-before-write-any; written
+         and consumed within this one closure call (see header note on
+         sharing). *)
+      let iv = Array.make n 0 in
+      let fv = Array.make n 0.0 in
+      let rd = Array.make n 0 in
+      let ivr = Array.map iread srcs in
+      let fvr =
+        Array.map
+          (fun o ->
+            match o with
+            | Ir.Var id -> fun st -> st.S.fenv.(id)
+            | Ir.Fimm x -> fun _ -> x
+            | Ir.Imm _ -> fun _ -> 0.0)
+          srcs
+      in
+      let rdr = Array.map ready1 srcs in
+      fun st ->
+        for k = 0 to n - 1 do
+          iv.(k) <- ivr.(k) st;
+          fv.(k) <- fvr.(k) st;
+          rd.(k) <- rdr.(k) st
+        done;
+        for k = 0 to n - 1 do
+          let d = dsts.(k) in
+          st.S.env.(d) <- iv.(k);
+          st.S.fenv.(d) <- fv.(k);
+          st.S.ready.(d) <- rd.(k)
+        done;
+        st.S.cur <- succ
+
+(* Terminators occupy a dispatch slot; branch direction is assumed
+   predicted, so control does not wait on the condition's readiness. *)
+let decode_term ~tsc func bid (term : Ir.terminator) : uop =
+  let pre st =
+    let s = st.S.stats in
+    s.Stats.instructions <- s.Stats.instructions + 1;
+    let start = S.dispatch st ~operands_ready:0 in
+    S.retire st ~complete:(start + tsc)
+  in
+  match term with
+  | Ir.Br succ ->
+      let e = edge_uop func ~pred:bid ~succ in
+      fun st ->
+        pre st;
+        e st
+  | Ir.Cbr (c, bt, bf) ->
+      let rc = iread c in
+      let et = edge_uop func ~pred:bid ~succ:bt in
+      let ef = if bt = bf then et else edge_uop func ~pred:bid ~succ:bf in
+      fun st ->
+        pre st;
+        if rc st <> 0 then et st else ef st
+  | Ir.Ret v ->
+      let g = match v with Some o -> Some (iread o) | None -> None in
+      fun st ->
+        pre st;
+        st.S.retval <- (match g with Some g -> Some (g st) | None -> None);
+        st.S.halted <- true
+  | Ir.Unreachable ->
+      fun st ->
+        pre st;
+        failwith "Interp: reached unreachable"
+
+(* --- program decode ----------------------------------------------------- *)
+
+let decode ~tscale:tsc func : program =
+  let usedef = Usedef.build func in
+  let nb = Ir.n_blocks func in
+  let ublocks =
+    Array.init nb (fun b ->
+        let non_phi =
+          Array.to_list (Ir.block func b).Ir.instrs
+          |> List.filter_map (fun id ->
+                 let i = Ir.instr func id in
+                 match i.Ir.kind with Ir.Phi _ -> None | _ -> Some i)
+        in
+        let rec go acc = function
+          | g :: nxt :: rest when fusable usedef g nxt ->
+              go (fused_uop ~tsc g nxt :: acc) rest
+          | i :: rest -> go (decode_instr ~tsc i :: acc) rest
+          | [] -> List.rev acc
+        in
+        Array.of_list (go [] non_phi))
+  in
+  let uterms =
+    Array.init nb (fun b -> decode_term ~tsc func b (Ir.block func b).Ir.term)
+  in
+  { ublocks; uterms }
+
+(* --- per-domain decode cache ------------------------------------------- *)
+
+type cache = {
+  tbl : (string, program) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cache_key : cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { tbl = Hashtbl.create 32; hits = 0; misses = 0 })
+
+(* Decoded closures only reference instruction ids, immediates and
+   [tscale]-scaled constants, so (tscale, structural signature) fully
+   determines the program — one decode serves every machine model and
+   every rebuild of the same workload on this domain. *)
+let max_cache_entries = 512
+
+let get ~tscale func : program =
+  let c = Domain.DLS.get cache_key in
+  let key = string_of_int tscale ^ "#" ^ Ir.signature func in
+  match Hashtbl.find_opt c.tbl key with
+  | Some p ->
+      c.hits <- c.hits + 1;
+      p
+  | None ->
+      c.misses <- c.misses + 1;
+      let p = decode ~tscale func in
+      if Hashtbl.length c.tbl >= max_cache_entries then Hashtbl.reset c.tbl;
+      Hashtbl.add c.tbl key p;
+      p
+
+let cache_counters () =
+  let c = Domain.DLS.get cache_key in
+  (c.hits, c.misses)
+
+(* --- execution ---------------------------------------------------------- *)
+
+(* Execute the current block (micro-ops plus terminator); returns [false]
+   once the function has returned.  Identical protocol to the classic
+   engine's [step]: the cycle counter is refreshed only after a completed
+   step. *)
+let step (p : program) (st : S.t) =
+  if st.S.halted then false
+  else begin
+    let cur = st.S.cur in
+    let ub = p.ublocks.(cur) in
+    for k = 0 to Array.length ub - 1 do
+      (Array.unsafe_get ub k) st
+    done;
+    p.uterms.(cur) st;
+    S.update_cycles st;
+    not st.S.halted
+  end

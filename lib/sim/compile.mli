@@ -1,0 +1,25 @@
+(** Compile-to-closure execution engine: each static instruction is
+    pre-decoded once into a specialized micro-op closure (operand kinds
+    resolved, latencies pre-scaled, single-use GEPs fused into the
+    consuming load/store), and the hot loop becomes an indirect call over
+    a flat per-block array.  Bit-identical to the classic interpreter —
+    both drive the shared {!Exec_state} with the shared timing/memory
+    helpers. *)
+
+type uop = Exec_state.t -> unit
+
+type program = { ublocks : uop array array; uterms : uop array }
+
+val decode : tscale:int -> Spf_ir.Ir.func -> program
+(** Decode without consulting the cache. *)
+
+val get : tscale:int -> Spf_ir.Ir.func -> program
+(** Cached decode: per-domain, keyed by (tscale, {!Spf_ir.Ir.signature}),
+    so re-building and re-running the same workload decodes once per
+    domain — including across {!Spf_harness.Pool} jobs. *)
+
+val cache_counters : unit -> int * int
+(** (hits, misses) of this domain's decode cache. *)
+
+val step : program -> Exec_state.t -> bool
+(** Execute the current basic block; [false] once the function returned. *)

@@ -18,15 +18,17 @@ let create (cfg : Machine.dram_cfg) ~tscale =
     fills = 0;
   }
 
+let imax (a : int) (b : int) = if a < b then b else a
+
 (* Request a line fill at time [now]; returns its completion time. *)
 let request t ~now =
-  let begin_service = max now t.next_free in
+  let begin_service = imax now t.next_free in
   t.next_free <- begin_service + t.occupancy;
   t.fills <- t.fills + 1;
   begin_service + t.latency
 
 (* Current queueing delay a new request would see. *)
-let backlog t ~now = max 0 (t.next_free - now)
+let backlog t ~now = imax 0 (t.next_free - now)
 
 let fills t = t.fills
 let occupancy t = t.occupancy

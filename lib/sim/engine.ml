@@ -1,0 +1,23 @@
+(* Execution-engine selector for the simulator.
+
+   [Interp] walks the IR instruction records and pattern-matches on every
+   dynamic instruction; [Compiled] pre-decodes each static instruction
+   into a specialized closure once and the hot loop becomes an indirect
+   call over a flat array (see Compile).  The two are bit-identical —
+   same Stats, same Trap/Fuel_exhausted behaviour, same multicore
+   schedule — which the golden suite and the cross-engine fuzz oracle
+   both pin, so [Compiled] is the default. *)
+
+type t = Interp | Compiled
+
+let default = Compiled
+
+let to_string = function Interp -> "interp" | Compiled -> "compiled"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+let all = [ Interp; Compiled ]

@@ -1,0 +1,13 @@
+(** Execution-engine selector: the classic instruction-record interpreter
+    or the compile-to-closure engine (pre-decoded micro-ops).  Both are
+    bit-identical; [Compiled] is the default because it is faster. *)
+
+type t = Interp | Compiled
+
+val default : t
+(** [Compiled] — pinned bit-identical to [Interp] by the golden suite and
+    the cross-engine fuzz oracle. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list

@@ -1,6 +1,7 @@
 module Ir = Spf_ir.Ir
+module S = Exec_state
 
-(* IR interpreter with a dataflow timing model.
+(* IR execution with a dataflow timing model.
 
    Functional execution and timing are computed together: every SSA value
    carries a ready-time alongside its contents, and every memory operation
@@ -19,24 +20,27 @@ module Ir = Spf_ir.Ir
      misses").  Software prefetches never stall, which is where the large
      in-order speedups come from.
 
-   Time is kept in scaled cycles ([tscale] sub-cycle units) so that
-   multi-issue dispatch intervals stay integral. *)
+   The state and the timing/memory helpers live in {!Exec_state}; two
+   engines drive them (selected per instance, see {!Engine}):
 
-let default_tscale = 12
+   - the {e classic} engine below walks [Ir.instr] records and
+     pattern-matches every dynamic instruction;
+   - the {e compiled} engine ({!Compile}, the default) pre-decodes each
+     static instruction into a specialized closure once and the hot loop
+     is an indirect call over a flat array.
 
-(* Demand accesses to unmapped addresses fault, carrying enough context to
-   compare trap sites across differential runs; software prefetches to the
-   same addresses are dropped non-faulting instead (§4.4). *)
-type fault = { pc : int; addr : int; width : int; is_store : bool }
+   Both are bit-identical — pinned by the golden suite and the
+   cross-engine fuzz oracle. *)
 
-exception Trap of fault
+let default_tscale = S.default_tscale
 
-exception Fuel_exhausted
+type fault = S.fault = { pc : int; addr : int; width : int; is_store : bool }
 
-let fault_to_string { pc; addr; width; is_store } =
-  Printf.sprintf "%s of %d byte(s) at address %d faulted (instr %d)"
-    (if is_store then "store" else "load")
-    width addr pc
+exception Trap = S.Trap
+
+exception Fuel_exhausted = S.Fuel_exhausted
+
+let fault_to_string = S.fault_to_string
 
 (* Parallel phi copies for one CFG edge, precomputed at {!create} so the
    hot loop never consults a hash table or assoc list.  The scratch
@@ -55,211 +59,127 @@ type edge =
       (* a phi in the successor lacks this edge; the error is raised only
          if the edge is actually taken, matching the old lazy behaviour *)
 
-type t = {
-  machine : Machine.t;
-  func : Ir.func;
-  mem : Memory.t;
-  memsys : Memsys.t;
-  stats : Stats.t;
-  env : int array;
-  fenv : float array;
-  ready : int array;
+type classic = {
   blocks : Ir.instr array array; (* per block: non-phi instructions *)
   terms : Ir.terminator array;
   edges : edge array; (* (pred * nblocks + succ) -> phi parallel copies *)
-  call_fns : (int array -> int) option array;
-      (* per instruction id: resolved intrinsic, filled by
-         [register_intrinsic] (no hash lookup on the call path) *)
-  call_sites : (int * string) list; (* (call instr id, callee name) *)
-  tscale : int;
-  disp_int : int;
-  in_order : bool;
-  rob_ring : int array;
-  demand_free : int array;
-  miss_restart : int;
-  mutable cur : int;
-  mutable halted : bool;
-  mutable retval : int option;
-  mutable last_dispatch : int;
-  mutable last_retire : int;
-  mutable inst_index : int;
 }
 
-let create ~machine ?(tscale = default_tscale) ?dram ?stats ~mem ~args func =
-  let stats = match stats with Some s -> s | None -> Stats.create () in
-  let dram =
-    match dram with Some d -> d | None -> Dram.create machine.Machine.dram ~tscale
-  in
-  let memsys = Memsys.create machine ~tscale ~dram ~stats in
-  let n = Ir.n_instrs func in
+type impl = Classic of classic | Compiled of Compile.program
+
+type t = {
+  st : S.t;
+  impl : impl;
+  call_sites : (int * string) list; (* (call instr id, callee name) *)
+}
+
+let build_classic func : classic =
   let nb = Ir.n_blocks func in
   let blocks =
     Array.init nb (fun b ->
-        let ids = (Ir.block func b).instrs in
+        let ids = (Ir.block func b).Ir.instrs in
         let non_phi =
           Array.to_list ids
           |> List.filter_map (fun id ->
                  let i = Ir.instr func id in
-                 match i.kind with Ir.Phi _ -> None | _ -> Some i)
+                 match i.Ir.kind with Ir.Phi _ -> None | _ -> Some i)
         in
         Array.of_list non_phi)
   in
-  let terms = Array.init nb (fun b -> (Ir.block func b).term) in
-  (* Precompute the phi parallel copies of every CFG edge (pred, succ).
-     The old implementation built these lazily into a Hashtbl with an
-     [List.assoc_opt] per phi; doing it once here keeps [take_edge]
-     allocation- and lookup-free. *)
-  let edge_of ~pred ~succ =
-    let copies = ref [] and missing = ref None in
-    Array.iter
-      (fun id ->
-        let i = Ir.instr func id in
-        match i.kind with
-        | Ir.Phi incoming -> (
-            match List.assoc_opt pred incoming with
-            | Some v -> copies := (i.id, v) :: !copies
-            | None ->
-                if !missing = None then
-                  missing :=
-                    Some
-                      (Printf.sprintf "Interp: phi %d lacks edge from bb%d"
-                         i.id pred))
-        | _ -> ())
-      (Ir.block func succ).instrs;
-    match !missing with
-    | Some msg -> Bad_phi msg
-    | None -> (
-        match List.rev !copies with
-        | [] -> No_copies
-        | copies ->
-            let m = List.length copies in
-            Copies
-              {
-                dsts = Array.of_list (List.map fst copies);
-                srcs = Array.of_list (List.map snd copies);
-                iv = Array.make m 0;
-                fv = Array.make m 0.0;
-                rd = Array.make m 0;
-              })
-  in
+  let terms = Array.init nb (fun b -> (Ir.block func b).Ir.term) in
   let edges = Array.make (nb * nb) No_copies in
   Array.iteri
     (fun pred term ->
-      let succs =
-        match term with
-        | Ir.Br s -> [ s ]
-        | Ir.Cbr (_, bt, bf) -> if bt = bf then [ bt ] else [ bt; bf ]
-        | Ir.Ret _ | Ir.Unreachable -> []
-      in
       List.iter
-        (fun succ -> edges.((pred * nb) + succ) <- edge_of ~pred ~succ)
-        succs)
+        (fun succ ->
+          edges.((pred * nb) + succ) <-
+            (match S.phi_copies func ~pred ~succ with
+            | S.No_copies -> No_copies
+            | S.Bad_edge msg -> Bad_phi msg
+            | S.Copies { dsts; srcs } ->
+                let m = Array.length dsts in
+                Copies
+                  {
+                    dsts;
+                    srcs;
+                    iv = Array.make m 0;
+                    fv = Array.make m 0.0;
+                    rd = Array.make m 0;
+                  }))
+        (Ir.successors term))
     terms;
+  { blocks; terms; edges }
+
+let create ~machine ?(tscale = default_tscale) ?dram ?stats
+    ?(engine = Engine.default) ~mem ~args func =
+  let dram =
+    match dram with
+    | Some d -> d
+    | None -> Dram.create machine.Machine.dram ~tscale
+  in
+  let st = S.create ~machine ~tscale ~dram ?stats ~mem ~args func in
   (* Call sites, so intrinsics resolve into a per-instruction array at
      registration time instead of a Hashtbl probe per dynamic call. *)
   let call_sites =
     Array.fold_left
-      (fun acc block ->
+      (fun acc (b : Ir.block) ->
         Array.fold_left
-          (fun acc (i : Ir.instr) ->
-            match i.kind with
-            | Ir.Call { callee; _ } -> (i.id, callee) :: acc
+          (fun acc id ->
+            let i = Ir.instr func id in
+            match i.Ir.kind with
+            | Ir.Call { callee; _ } -> (i.Ir.id, callee) :: acc
             | _ -> acc)
-          acc block)
-      [] blocks
+          acc b.Ir.instrs)
+      [] func.Ir.blocks
   in
-  let t =
-    {
-      machine;
-      func;
-      mem;
-      memsys;
-      stats;
-      env = Array.make (max n 1) 0;
-      fenv = Array.make (max n 1) 0.0;
-      ready = Array.make (max n 1) 0;
-      blocks;
-      terms;
-      edges;
-      call_fns = Array.make (max n 1) None;
-      call_sites;
-      tscale;
-      disp_int = max 1 (tscale * machine.inst_cost / machine.width);
-      in_order = machine.kind = Machine.In_order;
-      rob_ring = Array.make (max machine.rob 1) 0;
-      demand_free = Array.make (max machine.demand_slots 1) 0;
-      miss_restart = machine.miss_restart * tscale;
-      cur = func.entry;
-      halted = false;
-      retval = None;
-      last_dispatch = 0;
-      last_retire = 0;
-      inst_index = 0;
-    }
+  let impl =
+    match engine with
+    | Engine.Compiled -> Compiled (Compile.get ~tscale func)
+    | Engine.Interp -> Classic (build_classic func)
   in
-  (* Bind parameters. *)
-  Array.iteri
-    (fun k id ->
-      if k < Array.length args then t.env.(id) <- args.(k))
-    func.param_ids;
-  t
+  { st; impl; call_sites }
 
 let register_intrinsic t name fn =
   List.iter
-    (fun (id, callee) -> if String.equal callee name then t.call_fns.(id) <- Some fn)
+    (fun (id, callee) ->
+      if String.equal callee name then t.st.S.call_fns.(id) <- Some fn)
     t.call_sites
 
-let ival t = function
-  | Ir.Var id -> t.env.(id)
-  | Ir.Imm n -> n
-  | Ir.Fimm x -> Int64.to_int (Int64.bits_of_float x)
+(* --- the classic engine ------------------------------------------------ *)
 
-let fval t = function
-  | Ir.Var id -> t.fenv.(id)
-  | Ir.Fimm x -> x
-  | Ir.Imm n -> float_of_int n
-
-let rtime t = function Ir.Var id -> t.ready.(id) | Ir.Imm _ | Ir.Fimm _ -> 0
-
-let srcs_ready t (k : Ir.kind) =
+let srcs_ready st (k : Ir.kind) =
   match k with
   | Ir.Binop (_, a, b) | Ir.Cmp (_, a, b) | Ir.Store (_, a, b) ->
-      max (rtime t a) (rtime t b)
-  | Ir.Select (c, a, b) -> max (rtime t c) (max (rtime t a) (rtime t b))
-  | Ir.Load (_, a) | Ir.Prefetch a | Ir.Alloc a -> rtime t a
-  | Ir.Gep { base; index; _ } -> max (rtime t base) (rtime t index)
-  | Ir.Call { args; _ } -> List.fold_left (fun m a -> max m (rtime t a)) 0 args
+      S.imax (S.rtime st a) (S.rtime st b)
+  | Ir.Select (c, a, b) ->
+      S.imax (S.rtime st c) (S.imax (S.rtime st a) (S.rtime st b))
+  | Ir.Load (_, a) | Ir.Prefetch a | Ir.Alloc a -> S.rtime st a
+  | Ir.Gep { base; index; _ } -> S.imax (S.rtime st base) (S.rtime st index)
+  | Ir.Call { args; _ } ->
+      List.fold_left (fun m a -> S.imax m (S.rtime st a)) 0 args
   | Ir.Phi _ | Ir.Param _ -> 0
 
-let exec_binop t op x y dst =
+let exec_binop st op x y dst =
   match op with
-  | Ir.Add -> t.env.(dst) <- ival t x + ival t y
-  | Ir.Sub -> t.env.(dst) <- ival t x - ival t y
-  | Ir.Mul -> t.env.(dst) <- ival t x * ival t y
-  | Ir.Sdiv -> t.env.(dst) <- ival t x / ival t y
-  | Ir.Srem -> t.env.(dst) <- ival t x mod ival t y
-  | Ir.And -> t.env.(dst) <- ival t x land ival t y
-  | Ir.Or -> t.env.(dst) <- ival t x lor ival t y
-  | Ir.Xor -> t.env.(dst) <- ival t x lxor ival t y
-  | Ir.Shl -> t.env.(dst) <- ival t x lsl ival t y
-  | Ir.Lshr -> t.env.(dst) <- ival t x lsr ival t y
-  | Ir.Ashr -> t.env.(dst) <- ival t x asr ival t y
-  | Ir.Smin -> t.env.(dst) <- min (ival t x) (ival t y)
-  | Ir.Smax -> t.env.(dst) <- max (ival t x) (ival t y)
-  | Ir.Fadd -> t.fenv.(dst) <- fval t x +. fval t y
-  | Ir.Fsub -> t.fenv.(dst) <- fval t x -. fval t y
-  | Ir.Fmul -> t.fenv.(dst) <- fval t x *. fval t y
-  | Ir.Fdiv -> t.fenv.(dst) <- fval t x /. fval t y
+  | Ir.Add -> st.S.env.(dst) <- S.ival st x + S.ival st y
+  | Ir.Sub -> st.S.env.(dst) <- S.ival st x - S.ival st y
+  | Ir.Mul -> st.S.env.(dst) <- S.ival st x * S.ival st y
+  | Ir.Sdiv -> st.S.env.(dst) <- S.ival st x / S.ival st y
+  | Ir.Srem -> st.S.env.(dst) <- S.ival st x mod S.ival st y
+  | Ir.And -> st.S.env.(dst) <- S.ival st x land S.ival st y
+  | Ir.Or -> st.S.env.(dst) <- S.ival st x lor S.ival st y
+  | Ir.Xor -> st.S.env.(dst) <- S.ival st x lxor S.ival st y
+  | Ir.Shl -> st.S.env.(dst) <- S.ival st x lsl S.ival st y
+  | Ir.Lshr -> st.S.env.(dst) <- S.ival st x lsr S.ival st y
+  | Ir.Ashr -> st.S.env.(dst) <- S.ival st x asr S.ival st y
+  | Ir.Smin -> st.S.env.(dst) <- min (S.ival st x) (S.ival st y)
+  | Ir.Smax -> st.S.env.(dst) <- max (S.ival st x) (S.ival st y)
+  | Ir.Fadd -> st.S.fenv.(dst) <- S.fval st x +. S.fval st y
+  | Ir.Fsub -> st.S.fenv.(dst) <- S.fval st x -. S.fval st y
+  | Ir.Fmul -> st.S.fenv.(dst) <- S.fval st x *. S.fval st y
+  | Ir.Fdiv -> st.S.fenv.(dst) <- S.fval st x /. S.fval st y
 
-let binop_latency = function
-  | Ir.Mul -> 3
-  | Ir.Sdiv | Ir.Srem -> 12
-  | Ir.Fadd | Ir.Fsub | Ir.Fmul -> 4
-  | Ir.Fdiv -> 12
-  | Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr | Ir.Ashr
-  | Ir.Smin | Ir.Smax -> 1
-
-let eval_cmp pred a b =
+let eval_cmp pred (a : int) (b : int) =
   match pred with
   | Ir.Eq -> a = b
   | Ir.Ne -> a <> b
@@ -268,198 +188,134 @@ let eval_cmp pred a b =
   | Ir.Sgt -> a > b
   | Ir.Sge -> a >= b
 
-(* Dispatch the next dynamic instruction; returns its start time. *)
-let dispatch t ~operands_ready =
-  if t.in_order then begin
-    (* In-order issue: wait for operands at issue time (stall-on-use). *)
-    let issue = max (t.last_dispatch + t.disp_int) operands_ready in
-    t.last_dispatch <- issue;
-    t.inst_index <- t.inst_index + 1;
-    issue
-  end
-  else begin
-    let rob_slot = t.inst_index mod Array.length t.rob_ring in
-    let d = max (t.last_dispatch + t.disp_int) t.rob_ring.(rob_slot) in
-    t.last_dispatch <- d;
-    t.inst_index <- t.inst_index + 1;
-    max d operands_ready
-  end
-
-(* Record in-order retirement (OoO ROB bookkeeping). *)
-let retire t ~complete =
-  let r = max complete t.last_retire in
-  t.last_retire <- r;
-  if not t.in_order then begin
-    let rob_slot = (t.inst_index - 1) mod Array.length t.rob_ring in
-    t.rob_ring.(rob_slot) <- r
-  end
-
-(* Index of the earliest-free outstanding-demand-miss slot. *)
-let free_demand_slot t =
-  let slots = t.demand_free in
-  let k = ref 0 in
-  for i = 1 to Array.length slots - 1 do
-    if slots.(i) < slots.(!k) then k := i
-  done;
-  !k
-
-let exec_instr t (i : Ir.instr) =
-  t.stats.instructions <- t.stats.instructions + 1;
-  let start = dispatch t ~operands_ready:(srcs_ready t i.kind) in
-  let dst = i.id in
+let exec_instr st (i : Ir.instr) =
+  st.S.stats.Stats.instructions <- st.S.stats.Stats.instructions + 1;
+  let start = S.dispatch st ~operands_ready:(srcs_ready st i.Ir.kind) in
+  let dst = i.Ir.id in
   let complete =
-    match i.kind with
+    match i.Ir.kind with
     | Ir.Binop (op, x, y) ->
-        exec_binop t op x y dst;
-        start + (binop_latency op * t.tscale)
+        exec_binop st op x y dst;
+        start + (S.binop_latency op * st.S.tscale)
     | Ir.Cmp (pred, x, y) ->
-        t.env.(dst) <- (if eval_cmp pred (ival t x) (ival t y) then 1 else 0);
-        start + t.tscale
+        st.S.env.(dst) <-
+          (if eval_cmp pred (S.ival st x) (S.ival st y) then 1 else 0);
+        start + st.S.tscale
     | Ir.Select (c, x, y) ->
-        let pick = if ival t c <> 0 then x else y in
-        t.env.(dst) <- ival t pick;
+        let pick = if S.ival st c <> 0 then x else y in
+        st.S.env.(dst) <- S.ival st pick;
         (match pick with
-        | Ir.Var id -> t.fenv.(dst) <- t.fenv.(id)
-        | Ir.Fimm f -> t.fenv.(dst) <- f
+        | Ir.Var id -> st.S.fenv.(dst) <- st.S.fenv.(id)
+        | Ir.Fimm f -> st.S.fenv.(dst) <- f
         | Ir.Imm _ -> ());
-        start + t.tscale
+        start + st.S.tscale
     | Ir.Gep { base; index; scale } ->
-        t.env.(dst) <- ival t base + (ival t index * scale);
-        start + t.tscale
+        st.S.env.(dst) <- S.ival st base + (S.ival st index * scale);
+        start + st.S.tscale
     | Ir.Load (ty, a) ->
-        let addr = ival t a in
-        let width = Ir.size_of_ty ty in
-        if not (Memory.in_bounds t.mem ~addr ~width) then
-          raise (Trap { pc = i.id; addr; width; is_store = false });
-        (match ty with
-        | Ir.F64 -> t.fenv.(dst) <- Memory.load_f64 t.mem addr
-        | Ir.I8 | Ir.I16 | Ir.I32 | Ir.I64 ->
-            t.env.(dst) <- Memory.load t.mem ty addr);
-        (* In-order cores support few outstanding demand misses: a load
-           cannot begin its lookup until a slot frees (stall-on-miss when
-           [demand_slots] = 1).  Hits release the slot immediately. *)
-        let slot = if t.in_order then free_demand_slot t else -1 in
-        let start =
-          if t.in_order then max start t.demand_free.(slot) else start
-        in
-        let completion =
-          Memsys.access t.memsys ~kind:Memsys.Demand ~pc:i.id ~addr ~now:start
-        in
-        (match Memsys.last_level t.memsys with
-        | Memsys.L1 -> completion
-        | Memsys.Inflight | Memsys.L2 | Memsys.L3 ->
-            if t.in_order then t.demand_free.(slot) <- completion;
-            completion
-        | Memsys.Dram ->
-            if t.in_order then t.demand_free.(slot) <- completion;
-            completion + t.miss_restart)
+        S.exec_load st ~pc:dst ~dst ~ty ~addr:(S.ival st a) ~start
+    | Ir.Store (Ir.F64, a, v) ->
+        S.exec_store_f st ~pc:dst ~addr:(S.ival st a) ~v:(S.fval st v) ~start
     | Ir.Store (ty, a, v) ->
-        let addr = ival t a in
-        let width = Ir.size_of_ty ty in
-        if not (Memory.in_bounds t.mem ~addr ~width) then
-          raise (Trap { pc = i.id; addr; width; is_store = true });
-        (match ty with
-        | Ir.F64 -> Memory.store_f64 t.mem addr (fval t v)
-        | Ir.I8 | Ir.I16 | Ir.I32 | Ir.I64 ->
-            Memory.store t.mem ty addr (ival t v));
-        ignore
-          (Memsys.access t.memsys ~kind:Memsys.Write ~pc:i.id ~addr ~now:start);
-        start + t.tscale
-    | Ir.Prefetch a ->
-        (* Prefetches are hints: out-of-bounds or unmapped addresses are
-           dropped without faulting (and without touching the cache/TLB
-           model) but counted, so fuzzing can observe how often the pass
-           leans on this escape hatch. *)
-        let addr = ival t a in
-        if Memory.in_bounds t.mem ~addr ~width:1 then
-          ignore
-            (Memsys.access t.memsys ~kind:Memsys.Sw_prefetch ~pc:i.id ~addr
-               ~now:start)
-        else t.stats.dropped_prefetches <- t.stats.dropped_prefetches + 1;
-        start + t.tscale
+        S.exec_store_i st ~pc:dst ~ty ~addr:(S.ival st a) ~v:(S.ival st v)
+          ~start
+    | Ir.Prefetch a -> S.exec_prefetch st ~pc:dst ~addr:(S.ival st a) ~start
     | Ir.Alloc sz ->
-        t.env.(dst) <- Memory.alloc t.mem (ival t sz);
-        start + t.tscale
+        st.S.env.(dst) <- Memory.alloc st.S.mem (S.ival st sz);
+        start + st.S.tscale
     | Ir.Call { callee; args; _ } ->
-        let fn =
-          match t.call_fns.(i.id) with
-          | Some fn -> fn
-          | None -> failwith ("Interp: unknown intrinsic " ^ callee)
-        in
-        t.env.(dst) <- fn (Array.of_list (List.map (ival t) args));
-        start + (10 * t.tscale)
+        st.S.env.(dst) <-
+          S.exec_call st ~pc:dst ~callee
+            (Array.of_list (List.map (S.ival st) args));
+        start + (10 * st.S.tscale)
     | Ir.Param k ->
         ignore k;
-        start + t.tscale
+        start + st.S.tscale
     | Ir.Phi _ -> (* executed on edges *) start
   in
-  if Ir.defines_value i.kind then t.ready.(dst) <- complete;
-  retire t ~complete
+  if Ir.defines_value i.Ir.kind then st.S.ready.(dst) <- complete;
+  S.retire st ~complete
 
 (* Execute the precomputed phi parallel copies of edge (pred, succ):
    read every source into the edge's scratch buffers, then write every
    destination (read-all-before-write-any). *)
-let take_edge t ~pred ~succ =
-  (match t.edges.((pred * Array.length t.blocks) + succ) with
+let take_edge (c : classic) st ~pred ~succ =
+  (match c.edges.((pred * Array.length c.blocks) + succ) with
   | No_copies -> ()
   | Bad_phi msg -> failwith msg
   | Copies { dsts; srcs; iv; fv; rd } ->
       let n = Array.length dsts in
       for k = 0 to n - 1 do
         let src = srcs.(k) in
-        iv.(k) <- ival t src;
+        iv.(k) <- S.ival st src;
         (match src with
-        | Ir.Var id -> fv.(k) <- t.fenv.(id)
+        | Ir.Var id -> fv.(k) <- st.S.fenv.(id)
         | Ir.Fimm f -> fv.(k) <- f
         | Ir.Imm _ -> fv.(k) <- 0.0);
-        rd.(k) <- rtime t src
+        rd.(k) <- S.rtime st src
       done;
       for k = 0 to n - 1 do
         let dst = dsts.(k) in
-        t.env.(dst) <- iv.(k);
-        t.fenv.(dst) <- fv.(k);
-        t.ready.(dst) <- rd.(k)
+        st.S.env.(dst) <- iv.(k);
+        st.S.fenv.(dst) <- fv.(k);
+        st.S.ready.(dst) <- rd.(k)
       done);
-  t.cur <- succ
+  st.S.cur <- succ
 
 (* Execute the current block (non-phi instructions plus terminator);
    returns [false] once the function has returned. *)
-let step t =
-  if t.halted then false
+let step_classic (c : classic) st =
+  if st.S.halted then false
   else begin
-    let instrs = t.blocks.(t.cur) in
+    let instrs = c.blocks.(st.S.cur) in
     for k = 0 to Array.length instrs - 1 do
-      exec_instr t instrs.(k)
+      exec_instr st instrs.(k)
     done;
     (* Terminators occupy a dispatch slot; branch direction is assumed
        predicted, so control does not wait on the condition's readiness. *)
-    t.stats.instructions <- t.stats.instructions + 1;
-    let start = dispatch t ~operands_ready:0 in
-    retire t ~complete:(start + t.tscale);
-    (match t.terms.(t.cur) with
-    | Ir.Br succ -> take_edge t ~pred:t.cur ~succ
-    | Ir.Cbr (c, bt, bf) ->
-        let succ = if ival t c <> 0 then bt else bf in
-        take_edge t ~pred:t.cur ~succ
+    st.S.stats.Stats.instructions <- st.S.stats.Stats.instructions + 1;
+    let start = S.dispatch st ~operands_ready:0 in
+    S.retire st ~complete:(start + st.S.tscale);
+    (match c.terms.(st.S.cur) with
+    | Ir.Br succ -> take_edge c st ~pred:st.S.cur ~succ
+    | Ir.Cbr (cond, bt, bf) ->
+        let succ = if S.ival st cond <> 0 then bt else bf in
+        take_edge c st ~pred:st.S.cur ~succ
     | Ir.Ret v ->
-        t.retval <- Option.map (ival t) v;
-        t.halted <- true
+        st.S.retval <- Option.map (S.ival st) v;
+        st.S.halted <- true
     | Ir.Unreachable -> failwith "Interp: reached unreachable");
-    t.stats.cycles <- (max t.last_retire t.last_dispatch) / t.tscale;
-    not t.halted
+    S.update_cycles st;
+    not st.S.halted
   end
+
+(* --- engine dispatch --------------------------------------------------- *)
+
+let step t =
+  match t.impl with
+  | Classic c -> step_classic c t.st
+  | Compiled p -> Compile.step p t.st
 
 let run ?(fuel = max_int) t =
   let steps = ref 0 in
-  while (not t.halted) && !steps < fuel do
-    ignore (step t);
-    incr steps
-  done;
-  if not t.halted then raise Fuel_exhausted
+  (match t.impl with
+  | Classic c ->
+      let st = t.st in
+      while (not st.S.halted) && !steps < fuel do
+        ignore (step_classic c st);
+        incr steps
+      done
+  | Compiled p ->
+      let st = t.st in
+      while (not st.S.halted) && !steps < fuel do
+        ignore (Compile.step p st);
+        incr steps
+      done);
+  if not t.st.S.halted then raise Fuel_exhausted
 
-let stats t = t.stats
-let cycles t = t.stats.cycles
-let retval t = t.retval
-let time t = max t.last_retire t.last_dispatch
-let halted t = t.halted
-let memory t = t.mem
+let stats t = t.st.S.stats
+let cycles t = t.st.S.stats.Stats.cycles
+let retval t = t.st.S.retval
+let time t = S.time t.st
+let halted t = t.st.S.halted
+let memory t = t.st.S.mem

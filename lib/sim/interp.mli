@@ -33,13 +33,16 @@ val create :
   ?tscale:int ->
   ?dram:Dram.t ->
   ?stats:Stats.t ->
+  ?engine:Engine.t ->
   mem:Memory.t ->
   args:int array ->
   Spf_ir.Ir.func ->
   t
 (** Instantiate an execution of [func] with parameter values [args] over
     the given memory.  Pass a shared [dram] to model multicore bandwidth
-    contention. *)
+    contention.  [engine] selects the classic instruction walker or the
+    compile-to-closure engine (default {!Engine.default}); both are
+    bit-identical. *)
 
 val register_intrinsic : t -> string -> (int array -> int) -> unit
 (** Provide the implementation of a [Call] target. *)

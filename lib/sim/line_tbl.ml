@@ -1,0 +1,116 @@
+(* Open-addressing int -> int hash table for the memory system's in-flight
+   fill tracking (line number -> fill completion time).
+
+   A generic [Hashtbl] probe on this path pays a C call for hashing and
+   another for polymorphic key comparison per access; with one probe per
+   simulated memory operation those two calls are among the hottest
+   instructions in the whole simulator.  This table keeps keys and values
+   in two int arrays with multiplicative hashing and linear probing, so a
+   probe is a handful of inline loads.
+
+   Keys are non-negative (line numbers).  Slots: -1 = empty, -2 =
+   tombstone.  The capacity is a power of two; the table grows (and drops
+   tombstones) when live + dead entries exceed half of it. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable mask : int; (* capacity - 1 *)
+  mutable live : int; (* entries holding a binding *)
+  mutable used : int; (* live + tombstones *)
+}
+
+let empty_slot = -1
+let tombstone = -2
+
+let create () =
+  {
+    keys = Array.make 64 empty_slot;
+    vals = Array.make 64 0;
+    mask = 63;
+    live = 0;
+    used = 0;
+  }
+
+let length t = t.live
+
+(* Fibonacci hashing: spreads the low-entropy high bits of sequential line
+   numbers across the table.  The multiplier is 2^62/phi, odd. *)
+let home t key = (key * 0x2E67_F2AE_35E8_DC29) land t.mask
+
+(* Returns the binding of [key], or -1 when absent (values are completion
+   times, always >= 0) — no [option] allocation on the per-access path. *)
+let find t key =
+  let keys = t.keys in
+  let mask = t.mask in
+  let rec probe i =
+    let k = Array.unsafe_get keys i in
+    if k = key then Array.unsafe_get t.vals i
+    else if k = empty_slot then -1
+    else probe ((i + 1) land mask)
+  in
+  probe (home t key)
+
+let rec insert_fresh keys vals mask key v i =
+  if Array.unsafe_get keys i = empty_slot then begin
+    Array.unsafe_set keys i key;
+    Array.unsafe_set vals i v
+  end
+  else insert_fresh keys vals mask key v ((i + 1) land mask)
+
+(* Double the capacity (or just shed tombstones if mostly dead) and
+   re-insert the live bindings. *)
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * if t.live * 4 > t.mask + 1 then 2 else 1 in
+  let keys = Array.make cap empty_slot in
+  let vals = Array.make cap 0 in
+  let mask = cap - 1 in
+  t.keys <- keys;
+  t.vals <- vals;
+  t.mask <- mask;
+  t.used <- t.live;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then insert_fresh keys vals mask k old_vals.(i) (home t k))
+    old_keys
+
+let replace t key v =
+  let keys = t.keys in
+  let mask = t.mask in
+  (* First tombstone seen on the probe path, reusable if the key is
+     absent. *)
+  let rec probe i dead =
+    let k = Array.unsafe_get keys i in
+    if k = key then Array.unsafe_set t.vals i v
+    else if k = empty_slot then
+      if dead >= 0 then begin
+        Array.unsafe_set keys dead key;
+        Array.unsafe_set t.vals dead v;
+        t.live <- t.live + 1
+      end
+      else begin
+        Array.unsafe_set keys i key;
+        Array.unsafe_set t.vals i v;
+        t.live <- t.live + 1;
+        t.used <- t.used + 1;
+        if t.used * 2 > mask then grow t
+      end
+    else
+      probe ((i + 1) land mask)
+        (if dead < 0 && k = tombstone then i else dead)
+  in
+  probe (home t key) (-1)
+
+let remove t key =
+  let keys = t.keys in
+  let mask = t.mask in
+  let rec probe i =
+    let k = Array.unsafe_get keys i in
+    if k = key then begin
+      Array.unsafe_set keys i tombstone;
+      t.live <- t.live - 1
+    end
+    else if k <> empty_slot then probe ((i + 1) land mask)
+  in
+  probe (home t key)

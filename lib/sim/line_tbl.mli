@@ -1,0 +1,15 @@
+(** Open-addressing [int -> int] hash table for the memory system's
+    in-flight fill map — a probe is a few inline loads instead of the two
+    C calls (hash + polymorphic compare) a generic [Hashtbl] probe costs.
+    Keys and values must be non-negative. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+
+val find : t -> int -> int
+(** The binding of the key, or [-1] when absent. *)
+
+val replace : t -> int -> int -> unit
+val remove : t -> int -> unit

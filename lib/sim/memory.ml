@@ -62,6 +62,58 @@ let store t (ty : Ir.ty) addr v =
 let load_f64 t addr = Int64.float_of_bits (Bytes.get_int64_le t.data addr)
 let store_f64 t addr x = Bytes.set_int64_le t.data addr (Int64.bits_of_float x)
 
+(* Unchecked multi-byte accessors.  [Bytes.get_int64_le] and friends are
+   out-of-line stdlib calls that bounds-check and box their result; on the
+   simulator's per-dynamic-load path that call plus the allocation is
+   measurable.  These compiler primitives inline to a single (unaligned)
+   machine access, with the byte order fixed up on big-endian hosts. *)
+external get_16u : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external get_32u : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external get_64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set_16u : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external set_32u : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external set_64u : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external swap16 : int -> int = "%bswap16"
+external swap32 : int32 -> int32 = "%bswap_int32"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
+(* Callers must have established [in_bounds] first — the interpreter traps
+   before reaching these, so the Bytes bounds check would be pure
+   overhead. *)
+let unsafe_load t (ty : Ir.ty) addr =
+  match ty with
+  | Ir.I8 -> Char.code (Bytes.unsafe_get t.data addr)
+  | Ir.I16 ->
+      let v = get_16u t.data addr in
+      if Sys.big_endian then swap16 v else v
+  | Ir.I32 ->
+      let v = get_32u t.data addr in
+      Int32.to_int (if Sys.big_endian then swap32 v else v) land 0xFFFFFFFF
+  | Ir.I64 | Ir.F64 ->
+      let v = get_64u t.data addr in
+      Int64.to_int (if Sys.big_endian then swap64 v else v)
+
+let unsafe_store t (ty : Ir.ty) addr v =
+  match ty with
+  | Ir.I8 -> Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+  | Ir.I16 ->
+      let v = v land 0xFFFF in
+      set_16u t.data addr (if Sys.big_endian then swap16 v else v)
+  | Ir.I32 ->
+      let v = Int32.of_int v in
+      set_32u t.data addr (if Sys.big_endian then swap32 v else v)
+  | Ir.I64 | Ir.F64 ->
+      let v = Int64.of_int v in
+      set_64u t.data addr (if Sys.big_endian then swap64 v else v)
+
+let unsafe_load_f64 t addr =
+  let v = get_64u t.data addr in
+  Int64.float_of_bits (if Sys.big_endian then swap64 v else v)
+
+let unsafe_store_f64 t addr x =
+  let v = Int64.bits_of_float x in
+  set_64u t.data addr (if Sys.big_endian then swap64 v else v)
+
 (* Convenience array views used by workload generators and checksums. *)
 
 let alloc_i32_array t values =

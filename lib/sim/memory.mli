@@ -29,6 +29,18 @@ val store : t -> Spf_ir.Ir.ty -> int -> int -> unit
 val load_f64 : t -> int -> float
 val store_f64 : t -> int -> float -> unit
 
+(** {1 Unchecked accessors for the simulator hot path}
+
+    Same semantics as the checked versions, but skip the Bytes bounds
+    check and inline to a raw machine access.  Callers must have
+    established [in_bounds] for the access first — the interpreter's
+    trap check does exactly that. *)
+
+val unsafe_load : t -> Spf_ir.Ir.ty -> int -> int
+val unsafe_store : t -> Spf_ir.Ir.ty -> int -> int -> unit
+val unsafe_load_f64 : t -> int -> float
+val unsafe_store_f64 : t -> int -> float -> unit
+
 (** {1 Bulk helpers for workload setup and checksums} *)
 
 val alloc_i32_array : t -> int array -> int

@@ -20,7 +20,7 @@ type t = {
   walkers : int array; (* busy-until time per walker *)
   mshrs : int array; (* busy-until time per demand fill slot *)
   pf_mshrs : int array; (* busy-until time per prefetch fill slot *)
-  inflight : (int, int) Hashtbl.t; (* line -> fill completion *)
+  inflight : Line_tbl.t; (* line -> fill completion *)
   dram : Dram.t;
   spf : Stride_pf.t option;
   stats : Stats.t;
@@ -45,7 +45,7 @@ let create (m : Machine.t) ~tscale ~dram ~stats =
     walkers = Array.make (max 1 m.walkers) 0;
     mshrs = Array.make (max 1 m.mshrs) 0;
     pf_mshrs = Array.make (max 1 m.pf_mshrs) 0;
-    inflight = Hashtbl.create 64;
+    inflight = Line_tbl.create ();
     dram;
     spf = Option.map Stride_pf.create m.stride_pf;
     stats;
@@ -59,6 +59,8 @@ let create (m : Machine.t) ~tscale ~dram ~stats =
 
 let last_level t = t.last_level
 let stats t = t.stats
+
+let imax (a : int) (b : int) = if a < b then b else a
 
 (* Index of the earliest-free slot in a busy-until array. *)
 let min_slot slots =
@@ -79,7 +81,7 @@ let translate t ~addr ~now =
     t.stats.tlb_misses <- t.stats.tlb_misses + 1;
     t.stats.page_walks <- t.stats.page_walks + 1;
     let k = min_slot t.walkers in
-    let start = max now t.walkers.(k) in
+    let start = imax now t.walkers.(k) in
     t.walkers.(k) <- start + t.walk_latency;
     ignore (Cache.insert t.tlb page);
     start + t.walk_latency
@@ -98,20 +100,26 @@ let with_mshr t ~kind ~now fill =
     | Sw_prefetch | Hw_prefetch -> t.pf_mshrs
   in
   let k = min_slot slots in
-  let start = max now slots.(k) in
+  let start = imax now slots.(k) in
   let completion = fill start in
   slots.(k) <- completion;
   completion
 
-(* The cache/DRAM lookup path, shared by demand and prefetch requests. *)
+(* The cache/DRAM lookup path, shared by demand and prefetch requests.
+   The in-flight probe is guarded by an O(1) emptiness check: phases that
+   hit in cache never populate the table, so their L1 hits skip the hash
+   probe entirely and the walk is a single [Cache.access]. *)
 let lookup t ~kind ~line ~now =
-  match Hashtbl.find_opt t.inflight line with
-  | Some fill when fill > now ->
-      if kind = Demand then t.stats.inflight_hits <- t.stats.inflight_hits + 1;
-      t.last_level <- Inflight;
-      fill
-  | maybe_stale -> (
-      if maybe_stale <> None then Hashtbl.remove t.inflight line;
+  let fill =
+    if Line_tbl.length t.inflight = 0 then -1 else Line_tbl.find t.inflight line
+  in
+  if fill > now then begin
+    if kind = Demand then t.stats.inflight_hits <- t.stats.inflight_hits + 1;
+    t.last_level <- Inflight;
+    fill
+  end
+  else begin
+      if fill >= 0 then Line_tbl.remove t.inflight line;
       if Cache.access t.l1 line then begin
         t.last_level <- L1;
         t.stats.l1_hits <- t.stats.l1_hits + 1;
@@ -150,7 +158,7 @@ let lookup t ~kind ~line ~now =
               | Sw_prefetch | Hw_prefetch -> t.pf_mshrs
             in
             let k = min_slot slots in
-            let start = max now slots.(k) in
+            let start = imax now slots.(k) in
             if
               is_prefetch
               && Dram.backlog t.dram ~now:start > 3 * Dram.latency t.dram
@@ -172,9 +180,10 @@ let lookup t ~kind ~line ~now =
               | None -> ());
               ignore (Cache.insert t.l2 line);
               if into_l1 then ignore (Cache.insert t.l1 line);
-              Hashtbl.replace t.inflight line completion;
+              Line_tbl.replace t.inflight line completion;
               completion
-            end))
+            end)
+  end
 
 let access t ~kind ~pc ~addr ~now =
   let ready = translate t ~addr ~now in
@@ -184,18 +193,18 @@ let access t ~kind ~pc ~addr ~now =
   | Demand -> (
       t.stats.loads <- t.stats.loads + 1;
       match t.spf with
-      | Some p -> (
-          match Stride_pf.train p ~pc ~addr with
-          | Some pf_addr when pf_addr >= 0 ->
-              t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
-              let level = t.last_level in
-              let pf_ready = translate t ~addr:pf_addr ~now:ready in
-              ignore
-                (lookup t ~kind:Hw_prefetch
-                   ~line:(pf_addr lsr Machine.line_shift)
-                   ~now:pf_ready);
-              t.last_level <- level
-          | Some _ | None -> ())
+      | Some p ->
+          let pf_addr = Stride_pf.train p ~pc ~addr in
+          if pf_addr >= 0 then begin
+            t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
+            let level = t.last_level in
+            let pf_ready = translate t ~addr:pf_addr ~now:ready in
+            ignore
+              (lookup t ~kind:Hw_prefetch
+                 ~line:(pf_addr lsr Machine.line_shift)
+                 ~now:pf_ready);
+            t.last_level <- level
+          end
       | None -> ())
   | Write -> t.stats.stores <- t.stats.stores + 1
   | Sw_prefetch -> t.stats.sw_prefetches <- t.stats.sw_prefetches + 1

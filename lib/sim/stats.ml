@@ -37,6 +37,34 @@ let create () =
     cycles = 0;
   }
 
+let fields t =
+  [
+    ("cycles", t.cycles);
+    ("instructions", t.instructions);
+    ("loads", t.loads);
+    ("stores", t.stores);
+    ("sw_prefetches", t.sw_prefetches);
+    ("hw_prefetches", t.hw_prefetches);
+    ("dropped_prefetches", t.dropped_prefetches);
+    ("l1_hits", t.l1_hits);
+    ("l2_hits", t.l2_hits);
+    ("l3_hits", t.l3_hits);
+    ("dram_fills", t.dram_fills);
+    ("inflight_hits", t.inflight_hits);
+    ("tlb_misses", t.tlb_misses);
+    ("page_walks", t.page_walks);
+  ]
+
+let first_mismatch a b =
+  let rec go = function
+    | [], [] -> None
+    | (name, x) :: ra, (name', y) :: rb ->
+        assert (String.equal name name');
+        if x <> y then Some (name, x, y) else go (ra, rb)
+    | _ -> assert false
+  in
+  go (fields a, fields b)
+
 let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instructions /. float_of_int t.cycles
 
 let pp fmt t =

@@ -19,5 +19,14 @@ type t = {
 }
 
 val create : unit -> t
+
+val fields : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order. *)
+
+val first_mismatch : t -> t -> (string * int * int) option
+(** First counter whose values differ — [Some (name, a, b)] — or [None]
+    when all counters agree.  Drives readable diffs when two engines or
+    two golden runs diverge. *)
+
 val ipc : t -> float
 val pp : Format.formatter -> t -> unit

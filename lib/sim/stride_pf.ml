@@ -25,20 +25,18 @@ type t = { cfg : Machine.stride_cfg; entries : entry array (* 2 per set *) }
 
 let region_shift = 12
 
-(* Sub-streams tracked per region.  These streamers detect one forward
+(* One stream tracked per region.  These streamers detect one forward
    stream per 4 KiB page: when the pass's look-ahead loads interleave with
    the demand stream on the same array, the two keep retraining the entry
    and coverage collapses — the measured reason the intuitive
    indirect-only scheme of Fig 2 underperforms and the stride companions
    of Fig 5 pay off. *)
-let slots_per_region = 1
 
 let create (cfg : Machine.stride_cfg) =
   {
     cfg;
     entries =
-      Array.init (cfg.table * slots_per_region) (fun _ ->
-          { region = -1; last = 0; stride = 0; conf = 0 });
+      Array.init cfg.table (fun _ -> { region = -1; last = 0; stride = 0; conf = 0 });
   }
 
 let reset e ~region ~addr =
@@ -47,72 +45,42 @@ let reset e ~region ~addr =
   e.stride <- 0;
   e.conf <- 0
 
-(* Train on a demand access; returns the address to prefetch, if any. *)
+(* Train on a demand access; returns the address to prefetch, or a
+   negative value when there is nothing to issue.  [train] runs once per
+   simulated demand load, so with one sub-stream per region the selection
+   reduces to: continue the region's stream while the access stays within
+   a 2 KiB window of it, re-train (reset) otherwise. *)
 let train t ~pc ~addr =
   ignore pc;
   let region = addr lsr region_shift in
-  let sets = Array.length t.entries / slots_per_region in
-  let base = region mod sets * slots_per_region in
-  let slot k = t.entries.(base + k) in
-  (* Among this region's sub-streams, pick the one whose stride continues
-     at [addr]; failing that, the closest one; failing that, steal the
-     weakest. *)
-  let best = ref None in
-  for k = 0 to slots_per_region - 1 do
-    let e = slot k in
-    if e.region = region then begin
-      let d = addr - e.last in
-      let continues = d = e.stride && d <> 0 in
-      let closeness = abs d in
-      match !best with
-      | Some (bc, bclose, _) when (bc && not continues)
-                                   || (bc = continues && bclose <= closeness) ->
-          ()
-      | _ -> best := Some (continues, closeness, e)
+  let e = Array.unsafe_get t.entries (region mod Array.length t.entries) in
+  if e.region <> region then begin
+    reset e ~region ~addr;
+    -1
+  end
+  else begin
+    let d = addr - e.last in
+    if (if d < 0 then -d else d) > 2048 then begin
+      (* Too far from the tracked stream: treat as a new stream stealing
+         the region's entry. *)
+      reset e ~region ~addr;
+      -1
     end
-  done;
-  let free_slot () =
-    let found = ref None in
-    for k = 0 to slots_per_region - 1 do
-      if !found = None && (slot k).region <> region then found := Some (slot k)
-    done;
-    !found
-  in
-  match !best with
-  | Some ((continues, closeness, e) : bool * int * entry)
-    when closeness <= 2048 && (continues || free_slot () = None) ->
-      (* Continue (or re-train) this sub-stream.  A non-continuing access
-         prefers a free sub-slot (handled below) so that a second stream in
-         the region does not destroy the first. *)
-      let s = addr - e.last in
+    else begin
       e.last <- addr;
-      if s = 0 then None
-      else if s = e.stride then begin
+      if d = 0 then -1
+      else if d = e.stride then begin
         if e.conf < 1_000 then e.conf <- e.conf + 1;
-        if e.conf >= t.cfg.threshold then begin
-          let dir = if s > 0 then 1 else -1 in
-          Some (addr + (dir * t.cfg.distance * Machine.line_size))
-        end
-        else None
+        if e.conf >= t.cfg.threshold then
+          addr + ((if d > 0 then 1 else -1) * t.cfg.distance * Machine.line_size)
+        else -1
       end
       else begin
-        e.stride <- s;
+        e.stride <- d;
         e.conf <- 0;
-        None
+        -1
       end
-  | _ -> (
-      (* New (sub-)stream: prefer a slot holding another region, else the
-         weakest of this region's slots. *)
-      match free_slot () with
-      | Some e ->
-          reset e ~region ~addr;
-          None
-      | None ->
-          let victim = ref (slot 0) in
-          for k = 1 to slots_per_region - 1 do
-            if (slot k).conf < !victim.conf then victim := slot k
-          done;
-          reset !victim ~region ~addr;
-          None)
+    end
+  end
 
 let insert_to_l1 t = t.cfg.to_l1

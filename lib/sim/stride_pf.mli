@@ -11,9 +11,12 @@ type t
 
 val create : Machine.stride_cfg -> t
 
-val train : t -> pc:int -> addr:int -> int option
+val train : t -> pc:int -> addr:int -> int
 (** Train the entry for [pc] with a demand access to [addr]; returns an
-    address to hardware-prefetch once the stride is confirmed. *)
+    address to hardware-prefetch once the stride is confirmed, or a
+    negative value when there is nothing to issue.  (An [int] rather than
+    an [int option]: this runs once per simulated demand load, and the
+    allocation plus match showed up in profiles.) *)
 
 val insert_to_l1 : t -> bool
 (** Whether this prefetcher's fills are installed in the L1 (otherwise they

@@ -24,5 +24,6 @@ let () =
       ("safety-edges", Test_safety_edges.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
+      ("engine", Test_engine.suite);
       ("golden", Test_golden.suite);
     ]

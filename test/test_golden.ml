@@ -57,19 +57,43 @@ let build ~machine (b : Benches.bench) = function
   | "manual" -> b.manual ~machine ~c:None
   | v -> Alcotest.failf "unknown golden variant %s" v
 
-let check_one (mname, bid, variant, (cycles, insts, loads, swpf)) () =
+(* On a mismatch, fail with the first differing counter spelled out
+   (golden vs simulated, with the row identified) rather than a raw
+   assert — a regression should read as a sentence in the test log. *)
+let check_one ~engine (mname, bid, variant, (cycles, insts, loads, swpf)) () =
   let machine = machine_of mname in
-  let r = Runner.run ~machine (build ~machine (bench_of bid) variant) in
+  let r = Runner.run ~engine ~machine (build ~machine (bench_of bid) variant) in
   let s = r.Runner.stats in
-  Alcotest.(check int) "cycles" cycles s.Stats.cycles;
-  Alcotest.(check int) "instructions" insts s.Stats.instructions;
-  Alcotest.(check int) "loads" loads s.Stats.loads;
-  Alcotest.(check int) "sw_prefetches" swpf s.Stats.sw_prefetches
+  let mismatch =
+    List.find_opt
+      (fun (_, want, got) -> want <> got)
+      [
+        ("cycles", cycles, s.Stats.cycles);
+        ("instructions", insts, s.Stats.instructions);
+        ("loads", loads, s.Stats.loads);
+        ("sw_prefetches", swpf, s.Stats.sw_prefetches);
+      ]
+  in
+  match mismatch with
+  | None -> ()
+  | Some (field, want, got) ->
+      Alcotest.failf
+        "golden divergence on %s/%s/%s (--engine=%s): %s golden=%d got=%d"
+        mname bid variant
+        (Spf_sim.Engine.to_string engine)
+        field want got
 
+(* Every golden row runs under BOTH execution engines: the compiled
+   engine must land on the same cycle, not just the same answer. *)
 let suite =
-  List.map
-    (fun ((mname, bid, variant, _) as row) ->
-      Alcotest.test_case
-        (Printf.sprintf "%s/%s/%s" mname bid variant)
-        `Slow (check_one row))
-    golden
+  List.concat_map
+    (fun engine ->
+      List.map
+        (fun ((mname, bid, variant, _) as row) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s/%s/%s" mname bid variant
+               (Spf_sim.Engine.to_string engine))
+            `Slow
+            (check_one ~engine row))
+        golden)
+    Spf_sim.Engine.all
