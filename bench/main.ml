@@ -143,6 +143,23 @@ let pieces : piece list =
       run = (fun ~jobs:_ ~engine:_ -> Figures.table1 (); 0);
     };
     { pname = "fig2"; timed = true; run = (fun ~jobs ~engine -> Figures.fig2 ~jobs ~engine ()) };
+    {
+      pname = "fig2-supervised";
+      timed = true;
+      run =
+        (fun ~jobs ~engine ->
+          (* The same cells as fig2, but under the whole supervision
+             pipeline with its watchdog armed (a deadline no job hits) —
+             no journal or bundles, so the piece isolates supervision
+             overhead; BENCH.json reports it vs the raw fig2 walls. *)
+          let sup =
+            Spf_harness.Supervisor.(
+              options
+                ~policy:{ default_policy with deadline_s = Some 3600.0 }
+                ~jobs ~engine ())
+          in
+          Figures.fig2 ~sup ());
+    };
     { pname = "fig4"; timed = true; run = (fun ~jobs ~engine -> Figures.fig4 ~jobs ~engine ()) };
     { pname = "fig5"; timed = true; run = (fun ~jobs ~engine -> Figures.fig5 ~jobs ~engine ()) };
     { pname = "fig6"; timed = true; run = (fun ~jobs ~engine -> Figures.fig6 ~jobs ~engine ()) };
@@ -164,7 +181,17 @@ let pieces : piece list =
   ]
 
 let quick_set =
-  [ "table1"; "fig2"; "fig4"; "fig5"; "fig7"; "fig8"; "fig10"; "bechamel" ]
+  [
+    "table1";
+    "fig2";
+    "fig2-supervised";
+    "fig4";
+    "fig5";
+    "fig7";
+    "fig8";
+    "fig10";
+    "bechamel";
+  ]
 
 (* Recorded serial (-j 1) single-trial baseline wall-clock per piece, in
    seconds, from the interpreter-only harness (EXPERIMENTS.md "Harness
@@ -198,16 +225,30 @@ let median_wall m =
   else if n mod 2 = 1 then List.nth sorted (n / 2)
   else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
 
+(* Supervision cost of the tentpole's pipeline, measured piece-vs-piece:
+   best supervised fig2 wall over best raw fig2 wall (acceptance: <2%). *)
+let supervised_overhead_pct (ms : measurement list) =
+  let find n = List.find_opt (fun m -> m.name = n && not m.skipped) ms in
+  match (find "fig2", find "fig2-supervised") with
+  | Some raw, Some sup when min_wall raw > 0.0 ->
+      Some (100.0 *. (min_wall sup -. min_wall raw) /. min_wall raw)
+  | _ -> None
+
 let write_bench_json ~jobs ~engine ~trials ~total_s (ms : measurement list) =
   let oc = open_out "BENCH.json" in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 2,\n";
+  Buffer.add_string b "  \"schema\": 3,\n";
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"engine\": %S,\n" (Engine.to_string engine));
   Buffer.add_string b (Printf.sprintf "  \"trials\": %d,\n" trials);
   Buffer.add_string b (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_s);
+  Buffer.add_string b
+    (Printf.sprintf "  \"supervised_overhead_pct\": %s,\n"
+       (match supervised_overhead_pct ms with
+       | Some pct -> Printf.sprintf "%.2f" pct
+       | None -> "null"));
   Buffer.add_string b "  \"pieces\": [\n";
   List.iteri
     (fun i m ->

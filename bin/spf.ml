@@ -8,7 +8,14 @@
      sweep <bench>             look-ahead sweep for one benchmark
      profile <bench>           per-load hit/miss attribution (untimed)
      split <bench>             loop splitting + clamp-free prefetching
-     fuzz                      differential fuzzing of the pass *)
+     fuzz                      differential fuzzing of the pass
+     replay <bundle>           re-run a crash bundle offline
+
+   Campaign subcommands (fig, fuzz) take --resume DIR / --deadline /
+   --retries, which run the simulations under Spf_harness.Supervisor:
+   per-job deadlines, bounded retry, checkpoint/resume (byte-identical
+   stdout) and replayable crash bundles under DIR/bundles.  Exit codes:
+   0 success, 1 fuzz divergence, 3 supervised campaign incomplete. *)
 
 module Machine = Spf_sim.Machine
 module Workload = Spf_workloads.Workload
@@ -175,39 +182,123 @@ let jobs_arg =
            machine's recommended domain count).  Output is byte-identical \
            for every value.")
 
+(* --- supervision flags shared by the campaign subcommands -------------- *)
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"DIR"
+        ~doc:
+          "Campaign directory: completed cells are journalled to \
+           $(docv)/journal as they finish, so re-running the same command \
+           with the same $(docv) skips them and produces byte-identical \
+           output; permanently-failed jobs leave replayable crash bundles \
+           under $(docv)/bundles (see $(b,spf replay)).  Implies \
+           supervised execution.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Per-job wall-clock budget.  A watchdog cancels jobs that \
+           exceed it (cooperatively, at basic-block granularity); \
+           timeouts are retried, then reported.  Implies supervised \
+           execution.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-runs allowed per job after transient failures or timeouts \
+           (exponential backoff; default 1).  Implies supervised \
+           execution.")
+
+(* Supervision engages when any of its flags is given; [campaign] is the
+   identity line the journal pins, so a journal cannot silently be reused
+   across a different seed/figure/engine. *)
+let supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries =
+  match (resume, deadline, retries) with
+  | None, None, None -> None
+  | _ ->
+      let journal =
+        Option.map
+          (fun dir -> Spf_harness.Journal.start ~dir ~campaign)
+          resume
+      in
+      let bundle_root =
+        Option.map (fun dir -> Filename.concat dir "bundles") resume
+      in
+      let policy =
+        {
+          Spf_harness.Supervisor.default_policy with
+          deadline_s = deadline;
+          retries =
+            Option.value retries
+              ~default:Spf_harness.Supervisor.default_policy.retries;
+        }
+      in
+      Some
+        (Spf_harness.Supervisor.options ~policy ?jobs ~engine ?journal
+           ?bundle_root ())
+
 let fig_cmd =
   let doc = "Regenerate a figure/table from the paper's evaluation." in
-  let figs jobs engine : (string * (unit -> unit)) list =
+  let figs sup jobs engine : (string * (unit -> unit)) list =
     [
       ("table1", Figures.table1);
-      ("fig2", fun () -> ignore (Figures.fig2 ?jobs ~engine ()));
-      ("fig4", fun () -> ignore (Figures.fig4 ?jobs ~engine ()));
-      ("fig5", fun () -> ignore (Figures.fig5 ?jobs ~engine ()));
-      ("fig6", fun () -> ignore (Figures.fig6 ?jobs ~engine ()));
-      ("fig7", fun () -> ignore (Figures.fig7 ?jobs ~engine ()));
-      ("fig8", fun () -> ignore (Figures.fig8 ?jobs ~engine ()));
-      ("fig9", fun () -> ignore (Figures.fig9 ?jobs ~engine ()));
-      ("fig10", fun () -> ignore (Figures.fig10 ?jobs ~engine ()));
-      ("ablation", fun () -> ignore (Figures.ablation_flat_offsets ?jobs ~engine ()));
-      ("ablation-split", fun () -> ignore (Figures.ablation_split ?jobs ~engine ()));
+      ("fig2", fun () -> ignore (Figures.fig2 ?sup ?jobs ~engine ()));
+      ("fig4", fun () -> ignore (Figures.fig4 ?sup ?jobs ~engine ()));
+      ("fig5", fun () -> ignore (Figures.fig5 ?sup ?jobs ~engine ()));
+      ("fig6", fun () -> ignore (Figures.fig6 ?sup ?jobs ~engine ()));
+      ("fig7", fun () -> ignore (Figures.fig7 ?sup ?jobs ~engine ()));
+      ("fig8", fun () -> ignore (Figures.fig8 ?sup ?jobs ~engine ()));
+      ("fig9", fun () -> ignore (Figures.fig9 ?sup ?jobs ~engine ()));
+      ("fig10", fun () -> ignore (Figures.fig10 ?sup ?jobs ~engine ()));
+      ("ablation", fun () -> ignore (Figures.ablation_flat_offsets ?sup ?jobs ~engine ()));
+      ("ablation-split", fun () -> ignore (Figures.ablation_split ?sup ?jobs ~engine ()));
     ]
   in
-  let run which jobs engine =
-    let figs = figs jobs engine in
-    if which = "all" then List.iter (fun (_, f) -> f ()) figs
-    else
-      match List.assoc_opt which figs with
-      | Some f -> f ()
-      | None ->
-          Format.eprintf "unknown figure %S; known: all %s@." which
-            (String.concat " " (List.map fst figs))
+  let run which jobs engine resume deadline retries =
+    let campaign =
+      Printf.sprintf "fig %s engine=%s" which (Spf_sim.Engine.to_string engine)
+    in
+    let sup =
+      supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries
+    in
+    let figs = figs sup jobs engine in
+    match
+      if which = "all" then List.iter (fun (_, f) -> f ()) figs
+      else
+        match List.assoc_opt which figs with
+        | Some f -> f ()
+        | None ->
+            Format.eprintf "unknown figure %S; known: all %s@." which
+              (String.concat " " (List.map fst figs))
+    with
+    | () -> ()
+    | exception Figures.Campaign_failed n ->
+        Format.eprintf
+          "fig %s: %d cell(s) failed permanently; completed cells are \
+           checkpointed%s@."
+          which n
+          (match resume with
+          | Some dir ->
+              Printf.sprintf " in %s — rerun the same command to retry only \
+                              the failures" dir
+          | None -> "");
+        exit 3
   in
   Cmd.v
     (Cmd.info "fig" ~doc)
     Term.(
       const run
       $ Arg.(value & pos 0 string "all" & info [] ~docv:"FIG")
-      $ jobs_arg $ engine_arg)
+      $ jobs_arg $ engine_arg $ resume_arg $ deadline_arg $ retries_arg)
 
 (* --- split ------------------------------------------------------------ *)
 
@@ -319,24 +410,154 @@ let fuzz_cmd =
              both $(b,interp) and $(b,compiled), which must agree on the \
              outcome and on every stats counter, cycles included.")
   in
-  let run seed count shrink c jobs engine cross_engine =
+  let inject_hang_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-hang" ] ~docv:"N"
+          ~doc:
+            "(testing) Replace case $(docv) with an infinite simulator \
+             loop, exercising the watchdog/deadline path.  Requires \
+             supervised execution ($(b,--deadline)).")
+  in
+  let inject_crash_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-crash" ] ~docv:"N"
+          ~doc:
+            "(testing) Make case $(docv) raise, exercising the \
+             crash-bundle path.  Requires supervised execution.")
+  in
+  let run seed count shrink c jobs engine cross_engine resume deadline retries
+      inject_hang inject_crash =
     let config = Spf_core.Config.with_c c Spf_core.Config.default in
     let progress n = Format.printf "  ... %d/%d@." n count; Format.print_flush () in
+    let campaign =
+      Printf.sprintf "fuzz seed=%d count=%d c=%d engine=%s cross=%b" seed
+        count c
+        (Spf_sim.Engine.to_string engine)
+        cross_engine
+    in
+    let supervise =
+      supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries
+    in
+    let inject =
+      match (inject_hang, inject_crash) with
+      | Some n, _ -> Some (n, Spf_fuzz.Driver.Hang)
+      | None, Some n -> Some (n, Spf_fuzz.Driver.Crash)
+      | None, None -> None
+    in
+    (match (inject, supervise) with
+    | Some _, None ->
+        Format.eprintf
+          "fuzz: --inject-hang/--inject-crash need supervised execution \
+           (--resume, --deadline or --retries)@.";
+        exit 2
+    | _ -> ());
     let jobs =
       match jobs with Some j -> j | None -> Spf_harness.Pool.default_jobs ()
     in
-    let s =
+    match
       Spf_fuzz.Driver.run ~config ~engine ~cross_engine ~shrink ~progress ~seed
-        ~jobs ~count ()
-    in
-    Format.printf "%a" Spf_fuzz.Driver.pp_summary s;
-    if not (Spf_fuzz.Driver.ok s) then exit 1
+        ~jobs ?supervise ?inject ~count ()
+    with
+    | s ->
+        Format.printf "%a" Spf_fuzz.Driver.pp_summary s;
+        if not (Spf_fuzz.Driver.ok s) then exit 1
+    | exception Spf_fuzz.Driver.Campaign_incomplete n ->
+        Format.eprintf
+          "fuzz: %d case(s) failed permanently; completed cases are \
+           checkpointed%s@."
+          n
+          (match resume with
+          | Some dir ->
+              Printf.sprintf " in %s — rerun the same command to retry only \
+                              the failures" dir
+          | None -> "");
+        exit 3
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ shrink_arg $ c_arg $ jobs_arg
-      $ engine_arg $ cross_engine_arg)
+      $ engine_arg $ cross_engine_arg $ resume_arg $ deadline_arg
+      $ retries_arg $ inject_hang_arg $ inject_crash_arg)
+
+(* --- replay ------------------------------------------------------------ *)
+
+let replay_cmd =
+  let doc =
+    "Re-run a crash bundle captured by a supervised campaign.  Exit 0: \
+     the recorded job ran clean (the failure was transient or injected); \
+     exit 1: the failure reproduced (fuzz divergence or crash); exit 2: \
+     the bundle itself is unusable."
+  in
+  let run dir =
+    let b =
+      try Spf_harness.Bundle.read dir
+      with Failure msg ->
+        Format.eprintf "spf replay: %s@." msg;
+        exit 2
+    in
+    match Spf_harness.Bundle.meta_value b "kind" with
+    | Some "fuzz-case" -> (
+        match Spf_fuzz.Replay.replay b with
+        | Spf_fuzz.Replay.Clean ->
+            Format.printf "replay %s: clean — the recorded case no longer \
+                           fails@." dir
+        | Spf_fuzz.Replay.Divergence d ->
+            Format.printf "replay %s: divergence reproduced: %s@." dir d;
+            exit 1
+        | exception Failure msg ->
+            Format.eprintf "spf replay: %s@." msg;
+            exit 2
+        | exception e ->
+            Format.printf "replay %s: crash reproduced: %s@." dir
+              (Printexc.to_string e);
+            exit 1)
+    | Some "fig-cell" -> (
+        let req k =
+          match Spf_harness.Bundle.meta_value b k with
+          | Some v -> v
+          | None ->
+              Format.eprintf "spf replay: bundle records no %S@." k;
+              exit 2
+        in
+        let figure = req "figure" in
+        let index =
+          match int_of_string_opt (req "index") with
+          | Some i -> i
+          | None ->
+              Format.eprintf "spf replay: bad index %S@." (req "index");
+              exit 2
+        in
+        let engine =
+          Option.bind
+            (Spf_harness.Bundle.meta_value b "engine")
+            Spf_sim.Engine.of_string
+        in
+        match Figures.replay_cell ~figure ~index ?engine () with
+        | cycles ->
+            Format.printf
+              "replay %s: clean — %s/%d re-ran (%d simulated cycles)@." dir
+              figure index cycles
+        | exception e ->
+            Format.printf "replay %s: crash reproduced: %s@." dir
+              (Printexc.to_string e);
+            exit 1)
+    | Some k ->
+        Format.eprintf "spf replay: unknown bundle kind %S@." k;
+        exit 2
+    | None ->
+        Format.eprintf "spf replay: bundle records no kind@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE"))
 
 let () =
   let doc = "Software prefetching for indirect memory accesses (CGO'17) — reproduction" in
@@ -353,4 +574,5 @@ let () =
             profile_cmd;
             split_cmd;
             fuzz_cmd;
+            replay_cmd;
           ]))

@@ -1,6 +1,9 @@
 module Pass = Spf_core.Pass
 module Rng = Spf_workloads.Rng
 module Pool = Spf_harness.Pool
+module Supervisor = Spf_harness.Supervisor
+module Bundle = Spf_harness.Bundle
+module Runner = Spf_harness.Runner
 
 (* Campaign driver: generate [count] specs from [seed], run each through
    the differential oracle, shrink any failure, and summarise.
@@ -62,10 +65,10 @@ let ok (s : summary) = s.failures = []
 (* Re-check a spec and report whether it still fails the same way (used as
    the shrinking predicate — any divergence counts, not just an identical
    one, which keeps shrinking aggressive). *)
-let fails ?config ?engine ~cross_engine spec =
+let fails ?config ?engine ?cancel ~cross_engine spec =
   let verdict =
-    if cross_engine then Oracle.check_engines ?config spec
-    else Oracle.check ?config ?engine spec
+    if cross_engine then Oracle.check_engines ?config ?cancel spec
+    else Oracle.check ?config ?engine ?cancel spec
   in
   match verdict with Oracle.Diverged _ -> true | Oracle.Agree _ -> false
 
@@ -86,12 +89,12 @@ type case_result = {
 (* One whole case — generation, oracle, shrinking — as a self-contained
    job: everything that depends on the per-case RNG stream happens here,
    so the result is a pure function of (seed, case). *)
-let run_case ?config ?engine ~cross_engine ~shrink ~seed case =
+let run_case ?config ?engine ?cancel ~cross_engine ~shrink ~seed case =
   let rng = Rng.split ~seed case in
   let spec = Gen.random rng in
   let verdict =
-    if cross_engine then Oracle.check_engines ?config spec
-    else Oracle.check ?config ?engine spec
+    if cross_engine then Oracle.check_engines ?config ?cancel spec
+    else Oracle.check ?config ?engine ?cancel spec
   in
   match verdict with
   | Oracle.Agree a ->
@@ -107,7 +110,7 @@ let run_case ?config ?engine ~cross_engine ~shrink ~seed case =
         if shrink then
           Some
             (Shrink.shrink spec
-               ~still_fails:(fails ?config ?engine ~cross_engine))
+               ~still_fails:(fails ?config ?engine ?cancel ~cross_engine))
         else None
       in
       {
@@ -118,16 +121,105 @@ let run_case ?config ?engine ~cross_engine ~shrink ~seed case =
         c_failure = Some (spec, d, shrunk);
       }
 
+exception Campaign_incomplete of int
+
+type injected_fault = Hang | Crash
+
+(* Fault-injection hooks for the resilience tests: [Hang] runs an
+   infinite IR loop under the simulator with the job's own cancellation
+   token — so an injected hang exercises the very watchdog-fires-token
+   path a real runaway simulation would — and [Crash] is a plain
+   deterministic exception. *)
+let hang_forever (ctx : Runner.ctx) =
+  let b = Spf_ir.Builder.create ~name:"injected_hang" ~nparams:0 in
+  let loop = Spf_ir.Builder.new_block b "loop" in
+  Spf_ir.Builder.br b loop;
+  Spf_ir.Builder.set_block b loop;
+  Spf_ir.Builder.br b loop;
+  let func = Spf_ir.Builder.finish b in
+  let interp =
+    Spf_sim.Interp.create ~machine:Spf_sim.Machine.haswell
+      ?engine:ctx.Runner.engine ?cancel:ctx.Runner.cancel
+      ~mem:(Spf_sim.Memory.create ()) ~args:[||] func
+  in
+  Spf_sim.Interp.run interp
+
+(* The per-case job under supervision.  The work function honours the
+   supervisor's context (engine override, cancellation token); a
+   divergence — a result, not an exception — writes its own crash bundle
+   since the supervisor only bundles exceptional failures; [binfo]
+   supplies the reproduction payload for those (crashes, hangs). *)
+let supervised_job ?config ?engine ?inject opts ~cross_engine ~shrink ~seed
+    case =
+  let key = Printf.sprintf "case/%d" case in
+  let work (ctx : Runner.ctx) =
+    (match inject with
+    | Some (n, Hang) when case = n -> hang_forever ctx
+    | Some (n, Crash) when case = n -> failwith "injected crash"
+    | _ -> ());
+    let engine =
+      match ctx.Runner.engine with Some _ as e -> e | None -> engine
+    in
+    let r =
+      run_case ?config ?engine ?cancel:ctx.Runner.cancel ~cross_engine
+        ~shrink ~seed case
+    in
+    (match (r.c_failure, Supervisor.bundle_root opts) with
+    | Some (spec, d, shrunk), Some root ->
+        let best = Option.value shrunk ~default:spec in
+        let p = Replay.payload ?config ?engine ~cross_engine best in
+        ignore
+          (Bundle.write ~root ~name:key
+             ~meta:
+               (("key", key)
+               :: ("divergence", Oracle.divergence_to_string d)
+               :: Replay.meta_of_payload p)
+             ~ir:(Replay.ir_of_spec best)
+             ~payload:(Replay.encode_payload p) ())
+    | _ -> ());
+    r
+  in
+  let binfo _exn =
+    let spec = Gen.random (Rng.split ~seed case) in
+    let p = Replay.payload ?config ?engine ~cross_engine spec in
+    {
+      Supervisor.b_meta = ("case", string_of_int case) :: Replay.meta_of_payload p;
+      b_ir = Some (Replay.ir_of_spec spec);
+      b_payload = Some (Replay.encode_payload p);
+    }
+  in
+  { Supervisor.key; work; binfo = Some binfo }
+
+let encode_case (r : case_result) = Marshal.to_string r []
+
+let decode_case s =
+  try Some (Marshal.from_string s 0 : case_result) with _ -> None
+
 let run ?config ?engine ?(cross_engine = false) ?(shrink = false) ?progress
-    ?(seed = 0) ?(jobs = 1) ~count () : summary =
+    ?(seed = 0) ?(jobs = 1) ?supervise ?inject ~count () : summary =
   let results =
-    Pool.map ~jobs
-      (fun case ->
-        (match progress with
-        | Some f when jobs <= 1 && case mod 500 = 0 && case > 0 -> f case
-        | _ -> ());
-        run_case ?config ?engine ~cross_engine ~shrink ~seed case)
-      (List.init count Fun.id)
+    match supervise with
+    | None ->
+        Pool.map ~jobs
+          (fun case ->
+            (match progress with
+            | Some f when jobs <= 1 && case mod 500 = 0 && case > 0 -> f case
+            | _ -> ());
+            run_case ?config ?engine ~cross_engine ~shrink ~seed case)
+          (List.init count Fun.id)
+    | Some opts ->
+        let sjobs =
+          List.init count
+            (supervised_job ?config ?engine ?inject opts ~cross_engine
+               ~shrink ~seed)
+        in
+        let results =
+          Supervisor.run_jobs opts ~encode:encode_case ~decode:decode_case
+            sjobs
+        in
+        let ok, failed = Supervisor.report_stderr results in
+        if failed <> [] then raise (Campaign_incomplete (List.length failed));
+        List.map (fun (o : _ Supervisor.outcome) -> o.value) ok
   in
   let transformed = ref 0
   and rejected_only = ref 0

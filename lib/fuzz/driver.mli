@@ -23,6 +23,17 @@ type summary = {
 val pp_summary : Format.formatter -> summary -> unit
 val ok : summary -> bool
 
+exception Campaign_incomplete of int
+(** A supervised campaign had cases that failed permanently (crashed,
+    hung past their deadline and retries); carries the count.  Completed
+    cases are already checkpointed, failed ones bundled and reported to
+    stderr, so re-running with the same journal retries only the failed
+    cases. *)
+
+type injected_fault =
+  | Hang  (** an infinite IR loop run with the job's cancellation token *)
+  | Crash  (** a deterministic exception from inside the job *)
+
 val run :
   ?config:Spf_core.Config.t ->
   ?engine:Spf_sim.Engine.t ->
@@ -31,6 +42,8 @@ val run :
   ?progress:(int -> unit) ->
   ?seed:int ->
   ?jobs:int ->
+  ?supervise:Spf_harness.Supervisor.options ->
+  ?inject:int * injected_fault ->
   count:int ->
   unit ->
   summary
@@ -44,4 +57,12 @@ val run :
     Cases are distributed over [jobs] domains (default 1 = serial).  Each
     case draws from its own {!Spf_workloads.Rng.split} stream, so the
     summary — counters and the ordered failure list alike — is identical
-    for every [jobs] value.  [progress] only fires on serial runs. *)
+    for every [jobs] value.  [progress] only fires on serial runs.
+
+    With [supervise], cases instead run as keyed {!Spf_harness.Supervisor}
+    jobs ("case/<n>"): deadlines, retry, checkpoint/resume and crash
+    bundles (docs/ROBUSTNESS.md) — the supervisor's [jobs]/[engine]
+    options take precedence, and divergences additionally write
+    replayable bundles under the supervisor's bundle root.  [inject]
+    makes case [n] fail for the resilience tests.
+    @raise Campaign_incomplete when supervised cases failed permanently. *)

@@ -85,10 +85,10 @@ type agreement = {
 
 type verdict = Agree of agreement | Diverged of divergence_kind
 
-let execute ?engine ~fuel (b : Gen.built) =
+let execute ?engine ?cancel ~fuel (b : Gen.built) =
   let interp =
-    Interp.create ~machine:Spf_sim.Machine.haswell ?engine ~mem:b.Gen.mem
-      ~args:b.Gen.args b.Gen.func
+    Interp.create ~machine:Spf_sim.Machine.haswell ?engine ?cancel
+      ~mem:b.Gen.mem ~args:b.Gen.args b.Gen.func
   in
   match Interp.run ~fuel interp with
   | () ->
@@ -102,10 +102,10 @@ let execute ?engine ~fuel (b : Gen.built) =
       (Trapped { pc; addr; is_store }, Interp.stats interp)
   | exception Interp.Fuel_exhausted -> (Out_of_fuel, Interp.stats interp)
 
-let check ?config ?(strict = false) ?engine (spec : Gen.spec) : verdict =
+let check ?config ?(strict = false) ?engine ?cancel (spec : Gen.spec) : verdict =
   let fuel = Gen.fuel spec in
   let original = Gen.build spec in
-  let o1, _ = execute ?engine ~fuel original in
+  let o1, _ = execute ?engine ?cancel ~fuel original in
   let transformed = Gen.build spec in
   let n_orig_instrs = Ir.n_instrs transformed.Gen.func in
   match Pass.run ?config ~strict transformed.Gen.func with
@@ -116,7 +116,7 @@ let check ?config ?(strict = false) ?engine (spec : Gen.spec) : verdict =
           Diverged
             (Verifier_broken (Format.asprintf "%a" Spf_ir.Verifier.pp_violation v))
       | [] -> (
-          let o2, stats2 = execute ?engine ~fuel transformed in
+          let o2, stats2 = execute ?engine ?cancel ~fuel transformed in
           let agreement discarded =
             Agree
               {
@@ -155,9 +155,9 @@ let check ?config ?(strict = false) ?engine (spec : Gen.spec) : verdict =
    value, memory digest, trap site) and every stats counter, timing
    included.  This is a stronger check than the semantic oracle above --
    the engines must agree cycle-for-cycle, not just value-for-value. *)
-let compare_engines ~fuel ~on_transformed b1 b2 =
-  let o1, s1 = execute ~engine:Spf_sim.Engine.Interp ~fuel b1 in
-  let o2, s2 = execute ~engine:Spf_sim.Engine.Compiled ~fuel b2 in
+let compare_engines ?cancel ~fuel ~on_transformed b1 b2 =
+  let o1, s1 = execute ~engine:Spf_sim.Engine.Interp ?cancel ~fuel b1 in
+  let o2, s2 = execute ~engine:Spf_sim.Engine.Compiled ?cancel ~fuel b2 in
   if o1 <> o2 then
     Error (Engine_mismatch { on_transformed; interp = o1; compiled = o2; stat = None })
   else
@@ -168,11 +168,11 @@ let compare_engines ~fuel ~on_transformed b1 b2 =
              { on_transformed; interp = o1; compiled = o2; stat = Some m })
     | None -> Ok (o1, s2)
 
-let check_engines ?config ?(strict = false) (spec : Gen.spec) : verdict =
+let check_engines ?config ?(strict = false) ?cancel (spec : Gen.spec) : verdict =
   let fuel = Gen.fuel spec in
   (* The plain twin first: two builds of the same spec are structurally
      identical, so any disagreement is an engine bug. *)
-  match compare_engines ~fuel ~on_transformed:false (Gen.build spec) (Gen.build spec) with
+  match compare_engines ?cancel ~fuel ~on_transformed:false (Gen.build spec) (Gen.build spec) with
   | Error d -> Diverged d
   | Ok (o_plain, _) -> (
       (* Then the transformed twin: apply the (deterministic) pass to both
@@ -187,7 +187,7 @@ let check_engines ?config ?(strict = false) (spec : Gen.spec) : verdict =
       with
       | exception exn -> Diverged (Pass_raised (Printexc.to_string exn))
       | report -> (
-          match compare_engines ~fuel ~on_transformed:true t1 t2 with
+          match compare_engines ?cancel ~fuel ~on_transformed:true t1 t2 with
           | Error d -> Diverged d
           | Ok (_, stats2) ->
               let discarded =

@@ -45,19 +45,31 @@ type agreement = {
 type verdict = Agree of agreement | Diverged of divergence_kind
 
 val execute :
-  ?engine:Spf_sim.Engine.t -> fuel:int -> Gen.built -> outcome * Spf_sim.Stats.t
+  ?engine:Spf_sim.Engine.t ->
+  ?cancel:Spf_sim.Interp.cancel ->
+  fuel:int ->
+  Gen.built ->
+  outcome * Spf_sim.Stats.t
 
 val check :
   ?config:Spf_core.Config.t ->
   ?strict:bool ->
   ?engine:Spf_sim.Engine.t ->
+  ?cancel:Spf_sim.Interp.cancel ->
   Gen.spec ->
   verdict
 (** One differential run.  Never raises with [strict] false (the
-    default): pass exceptions become {!Pass_raised} divergences. *)
+    default): pass exceptions become {!Pass_raised} divergences.
+    [cancel] is threaded into every simulation the run performs, so a
+    supervisor's deadline cancels a hung case mid-oracle
+    (@raise Spf_sim.Interp.Cancelled once it fires). *)
 
 val check_engines :
-  ?config:Spf_core.Config.t -> ?strict:bool -> Gen.spec -> verdict
+  ?config:Spf_core.Config.t ->
+  ?strict:bool ->
+  ?cancel:Spf_sim.Interp.cancel ->
+  Gen.spec ->
+  verdict
 (** One cross-engine differential run: the plain and pass-transformed
     twins each execute under both engines, which must agree on the full
     observable behaviour — outcome {e and} every stats counter, cycles

@@ -1,0 +1,70 @@
+module Bundle = Spf_harness.Bundle
+
+(* Offline reproduction of fuzz-case crash bundles.
+
+   A fuzz campaign job that fails permanently (crash, hang) or detects a
+   divergence is captured as a {!Spf_harness.Bundle} whose binary payload
+   is a Marshal image of [bundle_payload]: the generated spec plus the
+   oracle configuration it ran under.  [spf replay] decodes the payload
+   and re-runs exactly that oracle check, which makes the bundle a
+   self-contained reproducer — no seed arithmetic, no campaign context.
+
+   The payload is guarded by the bundle's checksum, so a torn or edited
+   payload.bin is rejected by {!Bundle.read} before Marshal ever sees
+   it.  Decode failure here therefore means an incompatible build. *)
+
+type bundle_payload = {
+  bp_spec : Gen.spec;
+  bp_config : Spf_core.Config.t option;
+  bp_cross_engine : bool;
+  bp_engine : string option;  (* Engine.to_string; None = default *)
+}
+
+let encode_payload (p : bundle_payload) = Marshal.to_string p []
+
+let decode_payload s : bundle_payload =
+  try (Marshal.from_string s 0 : bundle_payload)
+  with _ ->
+    failwith
+      "bundle payload does not decode as a fuzz case (incompatible build?)"
+
+(* Everything the bundle records about one fuzz case, for campaign code
+   writing bundles and for replay reading them back. *)
+let payload ?config ?engine ~cross_engine spec =
+  {
+    bp_spec = spec;
+    bp_config = config;
+    bp_cross_engine = cross_engine;
+    bp_engine = Option.map Spf_sim.Engine.to_string engine;
+  }
+
+let meta_of_payload (p : bundle_payload) =
+  [
+    ("kind", "fuzz-case");
+    ("spec", Gen.to_string p.bp_spec);
+    ("cross-engine", string_of_bool p.bp_cross_engine);
+    ("oracle-engine", Option.value p.bp_engine ~default:"default");
+  ]
+
+let ir_of_spec spec = Spf_ir.Printer.func_to_string (Gen.build spec).Gen.func
+
+type result = Clean | Divergence of string
+
+let replay (b : Bundle.t) : result =
+  let payload =
+    match Bundle.payload b with
+    | Some s -> decode_payload s
+    | None ->
+        failwith
+          (Printf.sprintf "%s has no reproduction payload (not a fuzz-case \
+                           bundle?)" (Bundle.dir b))
+  in
+  let engine = Option.bind payload.bp_engine Spf_sim.Engine.of_string in
+  let verdict =
+    if payload.bp_cross_engine then
+      Oracle.check_engines ?config:payload.bp_config payload.bp_spec
+    else Oracle.check ?config:payload.bp_config ?engine payload.bp_spec
+  in
+  match verdict with
+  | Oracle.Agree _ -> Clean
+  | Oracle.Diverged d -> Divergence (Oracle.divergence_to_string d)

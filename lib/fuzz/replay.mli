@@ -1,0 +1,41 @@
+(** Offline reproduction of fuzz-case crash bundles ([spf replay]).
+    See docs/ROBUSTNESS.md for the bundle layout. *)
+
+type bundle_payload = {
+  bp_spec : Gen.spec;
+  bp_config : Spf_core.Config.t option;
+  bp_cross_engine : bool;
+  bp_engine : string option;
+}
+(** The Marshal-encoded reproduction recipe a fuzz bundle carries: the
+    generated spec and the oracle configuration it ran under. *)
+
+val payload :
+  ?config:Spf_core.Config.t ->
+  ?engine:Spf_sim.Engine.t ->
+  cross_engine:bool ->
+  Gen.spec ->
+  bundle_payload
+
+val encode_payload : bundle_payload -> string
+
+val decode_payload : string -> bundle_payload
+(** @raise Failure when the bytes do not decode (integrity is already
+    guaranteed by {!Spf_harness.Bundle}'s checksum, so this means an
+    incompatible build). *)
+
+val meta_of_payload : bundle_payload -> (string * string) list
+(** The human-readable half of the bundle: kind, spec, oracle mode. *)
+
+val ir_of_spec : Gen.spec -> string
+(** Printed IR of the spec's built program, for the bundle's
+    [program.ir]. *)
+
+type result = Clean | Divergence of string
+
+val replay : Spf_harness.Bundle.t -> result
+(** Re-run the exact oracle check the bundle records.  [Clean] means the
+    failure did not reproduce (e.g. the bundle captured an injected or
+    transient crash); [Divergence] means the oracle still disagrees.
+    @raise Failure on a payload-less bundle or one from an incompatible
+    build, and whatever the oracle raises if the crash itself recurs. *)

@@ -1,0 +1,32 @@
+(** Self-contained crash bundles: a directory capturing one failing
+    campaign job — metadata, printed IR, stats-so-far, and a checksummed
+    binary reproduction payload — replayable offline via [spf replay].
+    See docs/ROBUSTNESS.md. *)
+
+type t
+
+val write :
+  root:string ->
+  name:string ->
+  meta:(string * string) list ->
+  ?ir:string ->
+  ?stats:string ->
+  ?payload:string ->
+  unit ->
+  string
+(** Write bundle [root]/[name'] (where [name'] is [name] with [/] and
+    spaces flattened to [-]) and return its directory.  [meta] keys must
+    be single tokens; values may span lines.  When [payload] is given its
+    MD5 is recorded in meta, so {!read} can reject tampering. *)
+
+val read : string -> t
+(** Load and validate a bundle directory.
+    @raise Failure if the bundle is missing pieces, has an unknown format
+    version, or its payload fails the checksum. *)
+
+val dir : t -> string
+val meta : t -> (string * string) list
+val meta_value : t -> string -> string option
+val ir : t -> string option
+val stats : t -> string option
+val payload : t -> string option

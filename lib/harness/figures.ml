@@ -12,12 +12,16 @@ module Config = Spf_core.Config
    checksum-validated — and prints the series the paper plots, alongside
    the approximate values read off the paper's charts so drift is obvious.
 
-   The independent simulations of each figure are submitted to {!Pool} as
-   jobs and collected in submission order, so the printed output is
-   byte-identical to a serial run for every [jobs] value; printing itself
-   is always serial, after collection.  Each figure returns the total
-   simulated cycles it executed (the work metric BENCH.json tracks
-   alongside wall-clock).
+   Each figure is built as a list of independent cells, each a function
+   of the per-job execution context ({!Runner.ctx}): unsupervised runs
+   fan them out over {!Pool} directly; supervised runs hand them to
+   {!Supervisor} as keyed jobs ("<fig>/<index>"), which adds deadlines,
+   retry, checkpoint/resume and crash bundles.  Results are collected in
+   submission order and printed serially, so the printed output is
+   byte-identical to a serial run for every [jobs] value — and, because
+   checkpointed payloads round-trip through Marshal exactly, for
+   resumed runs too.  Each figure returns the total simulated cycles it
+   executed (the work metric BENCH.json tracks alongside wall-clock).
 
    The experiment index lives in DESIGN.md §3; paper-vs-measured narrative
    in EXPERIMENTS.md. *)
@@ -27,10 +31,57 @@ let fmt = Format.std_formatter
 let hr title =
   Format.fprintf fmt "@.=== %s ===@." title
 
-(* Fan a list of jobs out over the pool; each job returns (value,
-   simulated cycles).  Results come back in submission order. *)
-let par ?jobs thunks =
-  let rs = Pool.map ?jobs (fun f -> f ()) thunks in
+exception Campaign_failed of int
+
+(* Checkpoint codec for cell payloads: Marshal round-trips OCaml floats
+   and records bit-exactly, which is what makes resumed figure output
+   byte-identical.  The journal's per-record checksum guards integrity;
+   decode failure therefore means an incompatible build, not corruption. *)
+let encode v = Marshal.to_string v []
+
+let decode s = try Some (Marshal.from_string s 0) with _ -> None
+
+(* Fan a figure's cells out — each takes the job context and returns
+   (value, simulated cycles); results come back in submission order.
+   With [sup], cells run under the full supervision pipeline instead and
+   a permanently-failed cell aborts the figure with {!Campaign_failed}
+   (after every other cell has finished and been checkpointed). *)
+let par ?sup ?jobs ?engine ~fig thunks =
+  let rs =
+    match sup with
+    | None ->
+        let ctx = Runner.ctx_of_engine engine in
+        Pool.map ?jobs (fun f -> f ctx) thunks
+    | Some opts ->
+        let sjobs =
+          List.mapi
+            (fun i work ->
+              {
+                Supervisor.key = Printf.sprintf "%s/%d" fig i;
+                work;
+                binfo =
+                  (* Enough for [spf replay] to re-run the cell from the
+                     registry: figure name + index. *)
+                  Some
+                    (fun _ ->
+                      {
+                        Supervisor.b_meta =
+                          [
+                            ("kind", "fig-cell");
+                            ("figure", fig);
+                            ("index", string_of_int i);
+                          ];
+                        b_ir = None;
+                        b_payload = None;
+                      });
+              })
+            thunks
+        in
+        let results = Supervisor.run_jobs opts ~encode ~decode sjobs in
+        let ok, failed = Supervisor.report_stderr results in
+        if failed <> [] then raise (Campaign_failed (List.length failed));
+        List.map (fun (o : _ Supervisor.outcome) -> o.value) ok
+  in
   (List.map fst rs, List.fold_left (fun acc (_, c) -> acc + c) 0 rs)
 
 (* ------------------------------------------------------------------ *)
@@ -41,28 +92,28 @@ let table1 () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig2 ?jobs ?engine () =
-  hr "Fig 2: manual prefetch schemes for IS on Haswell";
+let fig2_schemes =
+  [
+    ("Intuitive", Is.intuitive, 1.08);
+    ("Offset too small", Is.offset_too_small, 1.20);
+    ("Offset too big", Is.offset_too_big, 1.25);
+    ("Optimal", Is.optimal, 1.30);
+  ]
+
+let fig2_core () =
   let machine = Machine.haswell in
-  let schemes =
-    [
-      ("Intuitive", Is.intuitive, 1.08);
-      ("Offset too small", Is.offset_too_small, 1.20);
-      ("Offset too big", Is.offset_too_big, 1.25);
-      ("Optimal", Is.optimal, 1.30);
-    ]
-  in
-  let runs, cycles =
-    par ?jobs
-      ((fun () ->
-         let r = Runner.run ?engine ~machine (Is.build Is.default) in
+  (fun ctx ->
+    let r = Runner.run_ctx ctx ~machine (Is.build Is.default) in
+    (r, Runner.cycles r))
+  :: List.map
+       (fun (_, m, _) ctx ->
+         let r = Runner.run_ctx ctx ~machine (Is.build ~manual:m Is.default) in
          (r, Runner.cycles r))
-      :: List.map
-           (fun (_, m, _) () ->
-             let r = Runner.run ?engine ~machine (Is.build ~manual:m Is.default) in
-             (r, Runner.cycles r))
-           schemes)
-  in
+       fig2_schemes
+
+let fig2 ?sup ?jobs ?engine () =
+  hr "Fig 2: manual prefetch schemes for IS on Haswell";
+  let runs, cycles = par ?sup ?jobs ?engine ~fig:"fig2" (fig2_core ()) in
   let base, scheme_runs =
     match runs with b :: rest -> (b, rest) | [] -> assert false
   in
@@ -71,7 +122,7 @@ let fig2 ?jobs ?engine () =
       Format.fprintf fmt "  %-16s %5.2fx   (paper ~%.2fx)@." label
         (Runner.speedup ~baseline:base r)
         paper)
-    schemes scheme_runs;
+    fig2_schemes scheme_runs;
   cycles
 
 (* ------------------------------------------------------------------ *)
@@ -85,13 +136,13 @@ type fig4_row = {
 
 (* One (machine, bench) cell of the Fig 4 grid: base + variants, run
    inside a single job. *)
-let fig4_cell ?engine ~(machine : Machine.t) (b : Benches.bench) =
+let fig4_cell (ctx : Runner.ctx) ~(machine : Machine.t) (b : Benches.bench) =
   let with_icc = machine.name = "XeonPhi" in
-  let base = Runner.run ?engine ~machine (b.plain ()) in
-  let auto_r = Runner.run ?engine ~machine (Benches.auto (b.plain ())) in
-  let manual_r = Runner.run ?engine ~machine (b.manual ~machine ~c:None) in
+  let base = Runner.run_ctx ctx ~machine (b.plain ()) in
+  let auto_r = Runner.run_ctx ctx ~machine (Benches.auto (b.plain ())) in
+  let manual_r = Runner.run_ctx ctx ~machine (b.manual ~machine ~c:None) in
   let icc_r =
-    if with_icc then Some (Runner.run ?engine ~machine (Benches.icc (b.plain ())))
+    if with_icc then Some (Runner.run_ctx ctx ~machine (Benches.icc (b.plain ())))
     else None
   in
   let cycles =
@@ -108,21 +159,23 @@ let fig4_cell ?engine ~(machine : Machine.t) (b : Benches.bench) =
 
 let fig4_machine ?jobs ?engine (machine : Machine.t) : fig4_row list =
   fst
-    (par ?jobs
+    (par ?jobs ?engine ~fig:"fig4m"
        (List.map
-          (fun b () -> fig4_cell ?engine ~machine b)
+          (fun b ctx -> fig4_cell ctx ~machine b)
           (Benches.all ())))
 
-let fig4 ?jobs ?engine ?(machines = Machine.all) () =
+let fig4_core ?(machines = Machine.all) () =
+  let benches = Benches.all () in
+  List.concat_map
+    (fun machine ->
+      List.map (fun b ctx -> fig4_cell ctx ~machine b) benches)
+    machines
+
+let fig4 ?sup ?jobs ?engine ?(machines = Machine.all) () =
   hr "Fig 4: autogenerated and manual software-prefetch speedups";
   let benches = Benches.all () in
-  let pairs =
-    List.concat_map
-      (fun machine -> List.map (fun b -> (machine, b)) benches)
-      machines
-  in
   let cells, cycles =
-    par ?jobs (List.map (fun (machine, b) () -> fig4_cell ?engine ~machine b) pairs)
+    par ?sup ?jobs ?engine ~fig:"fig4" (fig4_core ~machines ())
   in
   (* Regroup the machine-major job list into per-machine panels. *)
   let nb = List.length benches in
@@ -165,28 +218,27 @@ let fig4 ?jobs ?engine ?(machines = Machine.all) () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig5 ?jobs ?engine () =
-  hr "Fig 5: indirect-only vs indirect+stride prefetches (auto, Haswell)";
+let fig5_core () =
   let machine = Machine.haswell in
-  let rows, cycles =
-    par ?jobs
-      (List.map
-         (fun (b : Benches.bench) () ->
-           let base = Runner.run ?engine ~machine (b.plain ()) in
-           let ind_r =
-             Runner.run ?engine ~machine
-               (Benches.auto
-                  ~config:
-                    { Config.default with Config.stride_companion = false }
-                  (b.plain ()))
-           in
-           let both_r = Runner.run ?engine ~machine (Benches.auto (b.plain ())) in
-           ( ( b.id,
-               Runner.speedup ~baseline:base ind_r,
-               Runner.speedup ~baseline:base both_r ),
-             Runner.cycles base + Runner.cycles ind_r + Runner.cycles both_r ))
-         (Benches.all ()))
-  in
+  List.map
+    (fun (b : Benches.bench) ctx ->
+      let base = Runner.run_ctx ctx ~machine (b.plain ()) in
+      let ind_r =
+        Runner.run_ctx ctx ~machine
+          (Benches.auto
+             ~config:{ Config.default with Config.stride_companion = false }
+             (b.plain ()))
+      in
+      let both_r = Runner.run_ctx ctx ~machine (Benches.auto (b.plain ())) in
+      ( ( b.id,
+          Runner.speedup ~baseline:base ind_r,
+          Runner.speedup ~baseline:base both_r ),
+        Runner.cycles base + Runner.cycles ind_r + Runner.cycles both_r ))
+    (Benches.all ())
+
+let fig5 ?sup ?jobs ?engine () =
+  hr "Fig 5: indirect-only vs indirect+stride prefetches (auto, Haswell)";
+  let rows, cycles = par ?sup ?jobs ?engine ~fig:"fig5" (fig5_core ()) in
   List.iter
     (fun (id, indirect_only, both) ->
       Format.fprintf fmt "  %-10s indirect=%5.2fx  indirect+stride=%5.2fx@."
@@ -196,8 +248,9 @@ let fig5 ?jobs ?engine () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig6 ?jobs ?engine ?(cs = [ 4; 8; 16; 32; 64; 128; 256 ]) () =
-  hr "Fig 6: speedup vs look-ahead distance c (manual prefetches)";
+let fig6_default_cs = [ 4; 8; 16; 32; 64; 128; 256 ]
+
+let fig6_core ?(cs = fig6_default_cs) () =
   let benches = Benches.sweepable () in
   let pairs =
     List.concat_map
@@ -205,25 +258,27 @@ let fig6 ?jobs ?engine ?(cs = [ 4; 8; 16; 32; 64; 128; 256 ]) () =
         List.map (fun machine -> (b, machine)) Machine.all)
       benches
   in
-  let rows, cycles =
-    par ?jobs
-      (List.map
-         (fun ((b : Benches.bench), machine) () ->
-           let base = Runner.run ?engine ~machine (b.plain ()) in
-           let acc = ref (Runner.cycles base) in
-           let speedups =
-             List.map
-               (fun c ->
-                 let r =
-                   Runner.run ?engine ~machine (b.manual ~machine ~c:(Some c))
-                 in
-                 acc := !acc + Runner.cycles r;
-                 Runner.speedup ~baseline:base r)
-               cs
-           in
-           (speedups, !acc))
-         pairs)
-  in
+  List.map
+    (fun ((b : Benches.bench), machine) ctx ->
+      let base = Runner.run_ctx ctx ~machine (b.plain ()) in
+      let acc = ref (Runner.cycles base) in
+      let speedups =
+        List.map
+          (fun c ->
+            let r =
+              Runner.run_ctx ctx ~machine (b.manual ~machine ~c:(Some c))
+            in
+            acc := !acc + Runner.cycles r;
+            Runner.speedup ~baseline:base r)
+          cs
+      in
+      (speedups, !acc))
+    pairs
+
+let fig6 ?sup ?jobs ?engine ?(cs = fig6_default_cs) () =
+  hr "Fig 6: speedup vs look-ahead distance c (manual prefetches)";
+  let benches = Benches.sweepable () in
+  let rows, cycles = par ?sup ?jobs ?engine ~fig:"fig6" (fig6_core ~cs ()) in
   let nm = List.length Machine.all in
   List.iteri
     (fun k (b : Benches.bench) ->
@@ -243,29 +298,29 @@ let fig6 ?jobs ?engine ?(cs = [ 4; 8; 16; 32; 64; 128; 256 ]) () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig7 ?jobs ?engine () =
-  hr "Fig 7: prefetching progressively more dependent loads (HJ-8)";
+let fig7_core () =
   let depths = [ 1; 2; 3; 4 ] in
-  let rows, cycles =
-    par ?jobs
-      (List.map
-         (fun machine () ->
-           let base = Runner.run ?engine ~machine (Hj.build Hj.default_hj8) in
-           let acc = ref (Runner.cycles base) in
-           let speedups =
-             List.map
-               (fun depth ->
-                 let r =
-                   Runner.run ?engine ~machine
-                     (Hj.build ~manual:{ Hj.c = 64; depth } Hj.default_hj8)
-                 in
-                 acc := !acc + Runner.cycles r;
-                 Runner.speedup ~baseline:base r)
-               depths
-           in
-           (speedups, !acc))
-         Machine.all)
-  in
+  List.map
+    (fun machine ctx ->
+      let base = Runner.run_ctx ctx ~machine (Hj.build Hj.default_hj8) in
+      let acc = ref (Runner.cycles base) in
+      let speedups =
+        List.map
+          (fun depth ->
+            let r =
+              Runner.run_ctx ctx ~machine
+                (Hj.build ~manual:{ Hj.c = 64; depth } Hj.default_hj8)
+            in
+            acc := !acc + Runner.cycles r;
+            Runner.speedup ~baseline:base r)
+          depths
+      in
+      (speedups, !acc))
+    Machine.all
+
+let fig7 ?sup ?jobs ?engine () =
+  hr "Fig 7: prefetching progressively more dependent loads (HJ-8)";
+  let rows, cycles = par ?sup ?jobs ?engine ~fig:"fig7" (fig7_core ()) in
   Format.fprintf fmt "  %-8s depth=1 depth=2 depth=3 depth=4@." "machine";
   List.iter2
     (fun machine speedups ->
@@ -277,19 +332,19 @@ let fig7 ?jobs ?engine () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig8 ?jobs ?engine () =
-  hr "Fig 8: % extra dynamic instructions, optimal scheme, Haswell";
+let fig8_core () =
   let machine = Machine.haswell in
-  let rows, cycles =
-    par ?jobs
-      (List.map
-         (fun (b : Benches.bench) () ->
-           let base = Runner.run ?engine ~machine (b.plain ()) in
-           let manual = Runner.run ?engine ~machine (b.manual ~machine ~c:None) in
-           ( (b.id, Runner.extra_instructions ~baseline:base manual),
-             Runner.cycles base + Runner.cycles manual ))
-         (Benches.all ()))
-  in
+  List.map
+    (fun (b : Benches.bench) ctx ->
+      let base = Runner.run_ctx ctx ~machine (b.plain ()) in
+      let manual = Runner.run_ctx ctx ~machine (b.manual ~machine ~c:None) in
+      ( (b.id, Runner.extra_instructions ~baseline:base manual),
+        Runner.cycles base + Runner.cycles manual ))
+    (Benches.all ())
+
+let fig8 ?sup ?jobs ?engine () =
+  hr "Fig 8: % extra dynamic instructions, optimal scheme, Haswell";
+  let rows, cycles = par ?sup ?jobs ?engine ~fig:"fig8" (fig8_core ()) in
   List.iter
     (fun (id, extra) -> Format.fprintf fmt "  %-10s +%.0f%%@." id extra)
     rows;
@@ -300,41 +355,45 @@ let fig8 ?jobs ?engine () =
 (* Fig 9: n independent copies of IS on cores sharing one DRAM channel.
    Throughput is normalised to one copy on one core without prefetching:
    thr(n) = n * makespan(1 core, no pf) / makespan(n cores). *)
-let fig9 ?jobs ?engine ?(core_counts = [ 1; 2; 4 ]) () =
-  hr "Fig 9: IS multicore throughput on Haswell (shared DRAM)";
+let fig9_run_cores (ctx : Runner.ctx) ~n ~prefetched =
   let machine = Machine.haswell in
   let params = Is.default in
-  let run_cores ~n ~prefetched =
-    let builts =
-      Array.init n (fun k ->
-          let b = Is.build { params with seed = params.seed + k } in
-          if prefetched then ignore (Spf_core.Pass.run b.Workload.func);
-          b)
-    in
-    let mc =
-      Multicore.create ~machine ~n_cores:n ~make_instance:(fun ~core_id ~dram ~tscale ->
-          let b = builts.(core_id) in
-          Interp.create ~machine ~tscale ~dram ?engine ~mem:b.Workload.mem
-            ~args:b.Workload.args b.Workload.func)
-    in
-    Multicore.run mc;
-    Array.iteri
-      (fun k core ->
-        Workload.validate builts.(k) ~retval:(Interp.retval core))
-      (Multicore.cores mc);
-    Multicore.total_cycles mc
+  let builts =
+    Array.init n (fun k ->
+        let b = Is.build { params with seed = params.seed + k } in
+        if prefetched then ignore (Spf_core.Pass.run b.Workload.func);
+        b)
   in
+  let mc =
+    Multicore.create ~machine ~n_cores:n ~make_instance:(fun ~core_id ~dram ~tscale ->
+        let b = builts.(core_id) in
+        Interp.create ~machine ~tscale ~dram ?engine:ctx.engine
+          ?cancel:ctx.cancel ~mem:b.Workload.mem ~args:b.Workload.args
+          b.Workload.func)
+  in
+  Multicore.run mc;
+  Array.iteri
+    (fun k core -> Workload.validate builts.(k) ~retval:(Interp.retval core))
+    (Multicore.cores mc);
+  Multicore.total_cycles mc
+
+let fig9_default_core_counts = [ 1; 2; 4 ]
+
+let fig9_core ?(core_counts = fig9_default_core_counts) () =
   let configs =
     (1, false)
     :: List.concat_map (fun n -> [ (n, false); (n, true) ]) core_counts
   in
+  List.map
+    (fun (n, prefetched) ctx ->
+      let m = fig9_run_cores ctx ~n ~prefetched in
+      (m, m))
+    configs
+
+let fig9 ?sup ?jobs ?engine ?(core_counts = fig9_default_core_counts) () =
+  hr "Fig 9: IS multicore throughput on Haswell (shared DRAM)";
   let makespans, cycles =
-    par ?jobs
-      (List.map
-         (fun (n, prefetched) () ->
-           let m = run_cores ~n ~prefetched in
-           (m, m))
-         configs)
+    par ?sup ?jobs ?engine ~fig:"fig9" (fig9_core ~core_counts ())
   in
   let base1, rest =
     match makespans with b :: rest -> (b, rest) | [] -> assert false
@@ -353,26 +412,28 @@ let fig9 ?jobs ?engine ?(core_counts = [ 1; 2; 4 ]) () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig10 ?jobs ?engine () =
-  hr "Fig 10: huge-page impact (auto, Haswell; speedup vs same page policy)";
-  let benches = [ Benches.is_bench (); Benches.ra_bench (); Benches.hj2_bench () ] in
-  let rows, cycles =
-    par ?jobs
-      (List.map
-         (fun (b : Benches.bench) () ->
-           let acc = ref 0 in
-           let speedup_with pages =
-             let machine = Machine.with_pages Machine.haswell pages in
-             let base = Runner.run ?engine ~machine (b.plain ()) in
-             let r = Runner.run ?engine ~machine (Benches.auto (b.plain ())) in
-             acc := !acc + Runner.cycles base + Runner.cycles r;
-             Runner.speedup ~baseline:base r
-           in
-           let small = speedup_with Machine.Small_pages in
-           let huge = speedup_with Machine.Huge_pages in
-           ((b.id, small, huge), !acc))
-         benches)
+let fig10_core () =
+  let benches =
+    [ Benches.is_bench (); Benches.ra_bench (); Benches.hj2_bench () ]
   in
+  List.map
+    (fun (b : Benches.bench) ctx ->
+      let acc = ref 0 in
+      let speedup_with pages =
+        let machine = Machine.with_pages Machine.haswell pages in
+        let base = Runner.run_ctx ctx ~machine (b.plain ()) in
+        let r = Runner.run_ctx ctx ~machine (Benches.auto (b.plain ())) in
+        acc := !acc + Runner.cycles base + Runner.cycles r;
+        Runner.speedup ~baseline:base r
+      in
+      let small = speedup_with Machine.Small_pages in
+      let huge = speedup_with Machine.Huge_pages in
+      ((b.id, small, huge), !acc))
+    benches
+
+let fig10 ?sup ?jobs ?engine () =
+  hr "Fig 10: huge-page impact (auto, Haswell; speedup vs same page policy)";
+  let rows, cycles = par ?sup ?jobs ?engine ~fig:"fig10" (fig10_core ()) in
   Format.fprintf fmt "  %-10s %-12s %-12s@." "bench" "small-pages" "huge-pages";
   List.iter
     (fun (id, small, huge) ->
@@ -384,27 +445,28 @@ let fig10 ?jobs ?engine () =
 
 (* Ablation: clamped prefetches vs Split's peeled clamp-free main loop
    (the hoisted-checks optimisation the paper attributes to ICC, §6.1). *)
-let ablation_split ?jobs ?engine () =
+let ablation_split_core () =
+  List.map
+    (fun machine ctx ->
+      let base = Runner.run_ctx ctx ~machine (Is.build Is.default) in
+      let clamped =
+        let b = Is.build Is.default in
+        ignore (Spf_core.Pass.run b.Workload.func);
+        Runner.run_ctx ctx ~machine b
+      in
+      let split =
+        let b = Is.build Is.default in
+        ignore (Spf_core.Split.split_and_prefetch b.Workload.func);
+        Runner.run_ctx ctx ~machine b
+      in
+      ( (base, clamped, split),
+        Runner.cycles base + Runner.cycles clamped + Runner.cycles split ))
+    Machine.all
+
+let ablation_split ?sup ?jobs ?engine () =
   hr "Ablation: clamped prefetches vs loop splitting (IS, all machines)";
   let rows, cycles =
-    par ?jobs
-      (List.map
-         (fun machine () ->
-           let base = Runner.run ?engine ~machine (Is.build Is.default) in
-           let clamped =
-             let b = Is.build Is.default in
-             ignore (Spf_core.Pass.run b.Workload.func);
-             Runner.run ?engine ~machine b
-           in
-           let split =
-             let b = Is.build Is.default in
-             ignore (Spf_core.Split.split_and_prefetch b.Workload.func);
-             Runner.run ?engine ~machine b
-           in
-           ( (base, clamped, split),
-             Runner.cycles base + Runner.cycles clamped + Runner.cycles split
-           ))
-         Machine.all)
+    par ?sup ?jobs ?engine ~fig:"ablation-split" (ablation_split_core ())
   in
   List.iter2
     (fun machine (base, clamped, split) ->
@@ -420,28 +482,31 @@ let ablation_split ?jobs ?engine () =
 
 (* Ablation (DESIGN.md §5): eq. 1's staggered offsets vs a flat offset for
    every load in the chain. *)
-let ablation_flat_offsets ?jobs ?engine () =
+let ablation_flat_offsets_core () =
+  List.map
+    (fun machine ctx ->
+      let base = Runner.run_ctx ctx ~machine (Hj.build Hj.default_hj8) in
+      let staggered_r =
+        Runner.run_ctx ctx ~machine
+          (Hj.build ~manual:{ Hj.c = 64; depth = 3 } Hj.default_hj8)
+      in
+      (* Flat: all prefetches at the same distance — dependent
+         prefetches miss on their own address loads. *)
+      let flat_r =
+        Runner.run_ctx ctx ~machine
+          (Hj.build ~manual:{ Hj.c = 1; depth = 3 } Hj.default_hj8)
+      in
+      ( ( Runner.speedup ~baseline:base staggered_r,
+          Runner.speedup ~baseline:base flat_r ),
+        Runner.cycles base + Runner.cycles staggered_r + Runner.cycles flat_r
+      ))
+    Machine.all
+
+let ablation_flat_offsets ?sup ?jobs ?engine () =
   hr "Ablation: eq. 1 staggered offsets vs flat offsets (HJ-8, all machines)";
   let rows, cycles =
-    par ?jobs
-      (List.map
-         (fun machine () ->
-           let base = Runner.run ?engine ~machine (Hj.build Hj.default_hj8) in
-           let staggered_r =
-             Runner.run ?engine ~machine
-               (Hj.build ~manual:{ Hj.c = 64; depth = 3 } Hj.default_hj8)
-           in
-           (* Flat: all prefetches at the same distance — dependent
-              prefetches miss on their own address loads. *)
-           let flat_r =
-             Runner.run ?engine ~machine
-               (Hj.build ~manual:{ Hj.c = 1; depth = 3 } Hj.default_hj8)
-           in
-           ( ( Runner.speedup ~baseline:base staggered_r,
-               Runner.speedup ~baseline:base flat_r ),
-             Runner.cycles base + Runner.cycles staggered_r
-             + Runner.cycles flat_r ))
-         Machine.all)
+    par ?sup ?jobs ?engine ~fig:"ablation-flat"
+      (ablation_flat_offsets_core ())
   in
   List.iter2
     (fun machine (staggered, flat) ->
@@ -449,3 +514,39 @@ let ablation_flat_offsets ?jobs ?engine () =
         machine.Machine.name staggered flat)
     Machine.all rows;
   cycles
+
+(* ------------------------------------------------------------------ *)
+
+(* Replay registry: every figure's default cell list with the payload
+   type erased (a crash bundle records only "fig <name>/<index>"; replay
+   re-runs that one cell and reports its simulated cycles). *)
+let erase cells = List.map (fun f ctx -> snd (f ctx)) cells
+
+let replay_registry : (string * (unit -> (Runner.ctx -> int) list)) list =
+  [
+    ("fig2", fun () -> erase (fig2_core ()));
+    ("fig4", fun () -> erase (fig4_core ()));
+    ("fig5", fun () -> erase (fig5_core ()));
+    ("fig6", fun () -> erase (fig6_core ()));
+    ("fig7", fun () -> erase (fig7_core ()));
+    ("fig8", fun () -> erase (fig8_core ()));
+    ("fig9", fun () -> erase (fig9_core ()));
+    ("fig10", fun () -> erase (fig10_core ()));
+    ("ablation-split", fun () -> erase (ablation_split_core ()));
+    ("ablation-flat", fun () -> erase (ablation_flat_offsets_core ()));
+  ]
+
+let replay_cell ~figure ~index ?engine () =
+  match List.assoc_opt figure replay_registry with
+  | None ->
+      failwith
+        (Printf.sprintf "unknown figure %S (known: %s)" figure
+           (String.concat ", " (List.map fst replay_registry)))
+  | Some mk ->
+      let cells = mk () in
+      let n = List.length cells in
+      if index < 0 || index >= n then
+        failwith
+          (Printf.sprintf "figure %s has cells 0..%d, not %d" figure (n - 1)
+             index);
+      (List.nth cells index) (Runner.ctx_of_engine engine)

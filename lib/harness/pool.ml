@@ -53,9 +53,27 @@ let run ?jobs thunks =
       (Array.map (function Some r -> r | None -> assert false) results)
   end
 
+let map_result ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
+
+(* [map] keeps the serial contract (raise what a serial [List.map] would
+   have raised first, i.e. the lowest-indexed failure) but no longer
+   drops the other failures silently: they are logged to stderr before
+   the first one is re-raised, so a multi-failure campaign leaves a
+   trace of every broken job. *)
 let map ?jobs f xs =
-  let results = run ?jobs (List.map (fun x () -> f x) xs) in
-  List.rev
-    (List.fold_left
-       (fun acc -> function Ok v -> v :: acc | Error e -> raise e)
-       [] results)
+  let results = map_result ?jobs f xs in
+  let first = ref None in
+  List.iteri
+    (fun i -> function
+      | Ok _ -> ()
+      | Error e -> (
+          match !first with
+          | None -> first := Some e
+          | Some _ ->
+              Printf.eprintf "Pool.map: job %d also failed: %s\n%!" i
+                (Printexc.to_string e)))
+    results;
+  match !first with
+  | Some e -> raise e
+  | None ->
+      List.map (function Ok v -> v | Error _ -> assert false) results

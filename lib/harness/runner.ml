@@ -9,7 +9,20 @@ module Workload = Spf_workloads.Workload
 
 type result = { stats : Stats.t; machine : string; bench : string }
 
-let run ?fuel ?engine ~(machine : Machine.t) (b : Workload.built) : result =
+(* Per-job execution context: everything a supervisor may want to vary
+   or revoke under a running job.  [engine = None] means the engine
+   default; [cancel] is the cooperative cancellation token a watchdog
+   fires on deadline. *)
+type ctx = {
+  engine : Spf_sim.Engine.t option;
+  cancel : Spf_sim.Exec_state.cancel option;
+}
+
+let null_ctx = { engine = None; cancel = None }
+let ctx_of_engine engine = { engine; cancel = None }
+
+let run ?fuel ?engine ?cancel ~(machine : Machine.t) (b : Workload.built) :
+    result =
   (match Spf_ir.Verifier.check b.func with
   | [] -> ()
   | vs ->
@@ -18,10 +31,15 @@ let run ?fuel ?engine ~(machine : Machine.t) (b : Workload.built) : result =
           (List.map (Format.asprintf "%a" Spf_ir.Verifier.pp_violation) vs)
       in
       failwith (Printf.sprintf "%s: verifier: %s" b.name msg));
-  let interp = Interp.create ~machine ?engine ~mem:b.mem ~args:b.args b.func in
+  let interp =
+    Interp.create ~machine ?engine ?cancel ~mem:b.mem ~args:b.args b.func
+  in
   Interp.run ?fuel interp;
   Workload.validate b ~retval:(Interp.retval interp);
   { stats = Interp.stats interp; machine = machine.name; bench = b.name }
+
+let run_ctx (c : ctx) ?fuel ~machine b =
+  run ?fuel ?engine:c.engine ?cancel:c.cancel ~machine b
 
 let cycles r = r.stats.Stats.cycles
 

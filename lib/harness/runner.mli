@@ -9,14 +9,35 @@ type result = {
   bench : string;
 }
 
+type ctx = {
+  engine : Spf_sim.Engine.t option;
+  cancel : Spf_sim.Exec_state.cancel option;
+}
+(** Per-job execution context, threaded through every supervised figure
+    cell: the engine override a supervisor may degrade, and the
+    cancellation token its watchdog fires on deadline. *)
+
+val null_ctx : ctx
+val ctx_of_engine : Spf_sim.Engine.t option -> ctx
+
 val run :
   ?fuel:int ->
   ?engine:Spf_sim.Engine.t ->
+  ?cancel:Spf_sim.Exec_state.cancel ->
   machine:Spf_sim.Machine.t ->
   Spf_workloads.Workload.built ->
   result
 (** @raise Failure on verifier violations or checksum mismatch.
-    [engine] selects the simulator engine (default {!Spf_sim.Engine.default}). *)
+    [engine] selects the simulator engine (default {!Spf_sim.Engine.default}).
+    @raise Spf_sim.Exec_state.Cancelled once [cancel] fires. *)
+
+val run_ctx :
+  ctx ->
+  ?fuel:int ->
+  machine:Spf_sim.Machine.t ->
+  Spf_workloads.Workload.built ->
+  result
+(** {!run} with the engine/cancel pair of a job context. *)
 
 val cycles : result -> int
 val speedup : baseline:result -> result -> float

@@ -440,7 +440,9 @@ let decode_term ~tsc func bid (term : Ir.terminator) : uop =
 
 (* --- program decode ----------------------------------------------------- *)
 
-let decode ~tscale:tsc func : program =
+exception Decode_error of string
+
+let decode_raw ~tsc func : program =
   let usedef = Usedef.build func in
   let nb = Ir.n_blocks func in
   let ublocks =
@@ -463,6 +465,17 @@ let decode ~tscale:tsc func : program =
     Array.init nb (fun b -> decode_term ~tsc func b (Ir.block func b).Ir.term)
   in
   { ublocks; uterms }
+
+let decode ~tscale func : program =
+  try decode_raw ~tsc:tscale func
+  with
+  | Decode_error _ as e -> raise e
+  | e ->
+      (* Anything escaping decode means this engine cannot run the
+         program; wrapping it lets a supervisor distinguish "the compiled
+         engine choked" (fall back to interp) from "the program is bad"
+         (fail the job). *)
+      raise (Decode_error (Printexc.to_string e))
 
 (* --- per-domain decode cache ------------------------------------------- *)
 

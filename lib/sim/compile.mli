@@ -10,8 +10,15 @@ type uop = Exec_state.t -> unit
 
 type program = { ublocks : uop array array; uterms : uop array }
 
+exception Decode_error of string
+(** Decode-time failure of this engine: any exception escaping {!decode}
+    is wrapped so a supervisor can tell "the compiled engine cannot
+    handle this program" (retry on the classic interpreter) apart from a
+    failure of the program itself. *)
+
 val decode : tscale:int -> Spf_ir.Ir.func -> program
-(** Decode without consulting the cache. *)
+(** Decode without consulting the cache.
+    @raise Decode_error on any decode-time failure. *)
 
 val get : tscale:int -> Spf_ir.Ir.func -> program
 (** Cached decode: per-domain, keyed by (tscale, {!Spf_ir.Ir.signature}),

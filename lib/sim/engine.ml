@@ -21,3 +21,7 @@ let of_string s =
   | _ -> None
 
 let all = [ Interp; Compiled ]
+
+(* Degradation order for a supervisor: the compiled engine's safety net
+   is the classic interpreter; the interpreter has no net below it. *)
+let fallback = function Compiled -> Some Interp | Interp -> None

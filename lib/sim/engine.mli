@@ -11,3 +11,7 @@ val default : t
 val to_string : t -> string
 val of_string : string -> t option
 val all : t list
+
+val fallback : t -> t option
+(** The engine a supervisor degrades to when this one fails to decode a
+    program: [Compiled -> Some Interp], [Interp -> None]. *)

@@ -23,6 +23,18 @@ exception Trap of fault
 
 exception Fuel_exhausted
 
+(* Cooperative cancellation: a watchdog (or any other domain) sets the
+   flag; the engines poll it at block granularity and bail out with
+   [Cancelled], carrying the stats accumulated so far — that is what a
+   crash bundle records as "stats-so-far" for a job that ran away. *)
+type cancel = { cancelled : bool Atomic.t }
+
+exception Cancelled of Stats.t
+
+let new_cancel () = { cancelled = Atomic.make false }
+let cancel c = Atomic.set c.cancelled true
+let is_cancelled c = Atomic.get c.cancelled
+
 let fault_to_string { pc; addr; width; is_store } =
   Printf.sprintf "%s of %d byte(s) at address %d faulted (instr %d)"
     (if is_store then "store" else "load")
@@ -46,6 +58,7 @@ type t = {
   rob_ring : int array;
   demand_free : int array;
   miss_restart : int;
+  cancel : cancel option;
   mutable rob_slot : int; (* next ROB ring slot (out-of-order only) *)
   mutable cur : int;
   mutable halted : bool;
@@ -54,7 +67,7 @@ type t = {
   mutable last_retire : int;
 }
 
-let create ~machine ~tscale ~dram ?stats ~mem ~args func =
+let create ~machine ~tscale ~dram ?stats ?cancel ~mem ~args func =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let memsys = Memsys.create machine ~tscale ~dram ~stats in
   let n = Ir.n_instrs func in
@@ -75,6 +88,7 @@ let create ~machine ~tscale ~dram ?stats ~mem ~args func =
       rob_ring = Array.make (max machine.rob 1) 0;
       demand_free = Array.make (max machine.demand_slots 1) 0;
       miss_restart = machine.miss_restart * tscale;
+      cancel;
       rob_slot = 0;
       cur = func.Ir.entry;
       halted = false;
@@ -88,6 +102,15 @@ let create ~machine ~tscale ~dram ?stats ~mem ~args func =
     (fun k id -> if k < Array.length args then t.env.(id) <- args.(k))
     func.Ir.param_ids;
   t
+
+(* Raise [Cancelled] if this state's token has been fired.  Called by the
+   engines' run loops every few hundred blocks — cheap enough to be
+   invisible, frequent enough that a watchdog deadline is observed within
+   microseconds of simulated work. *)
+let poll_cancel t =
+  match t.cancel with
+  | Some c when Atomic.get c.cancelled -> raise (Cancelled t.stats)
+  | _ -> ()
 
 (* --- operand access ---------------------------------------------------- *)
 

@@ -11,6 +11,21 @@ type fault = { pc : int; addr : int; width : int; is_store : bool }
 exception Trap of fault
 exception Fuel_exhausted
 
+(** {1 Cooperative cancellation}
+
+    A [cancel] token is shared between a running simulation and whoever
+    supervises it (e.g. {!Spf_harness}'s watchdog).  Firing the token from
+    any domain makes the engines raise [Cancelled] at their next poll
+    point (block granularity), carrying the stats accumulated so far. *)
+
+type cancel
+
+exception Cancelled of Stats.t
+
+val new_cancel : unit -> cancel
+val cancel : cancel -> unit
+val is_cancelled : cancel -> bool
+
 val fault_to_string : fault -> string
 
 type t = {
@@ -29,6 +44,7 @@ type t = {
   rob_ring : int array;
   demand_free : int array;
   miss_restart : int;
+  cancel : cancel option;
   mutable rob_slot : int;
   mutable cur : int;
   mutable halted : bool;
@@ -42,10 +58,14 @@ val create :
   tscale:int ->
   dram:Dram.t ->
   ?stats:Stats.t ->
+  ?cancel:cancel ->
   mem:Memory.t ->
   args:int array ->
   Spf_ir.Ir.func ->
   t
+
+val poll_cancel : t -> unit
+(** @raise Cancelled if this state's token (if any) has been fired. *)
 
 val ival : t -> Spf_ir.Ir.operand -> int
 val fval : t -> Spf_ir.Ir.operand -> float

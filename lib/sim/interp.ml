@@ -40,6 +40,12 @@ exception Trap = S.Trap
 
 exception Fuel_exhausted = S.Fuel_exhausted
 
+exception Cancelled = S.Cancelled
+
+type cancel = S.cancel
+
+let new_cancel = S.new_cancel
+let fire_cancel = S.cancel
 let fault_to_string = S.fault_to_string
 
 (* Parallel phi copies for one CFG edge, precomputed at {!create} so the
@@ -110,14 +116,14 @@ let build_classic func : classic =
     terms;
   { blocks; terms; edges }
 
-let create ~machine ?(tscale = default_tscale) ?dram ?stats
+let create ~machine ?(tscale = default_tscale) ?dram ?stats ?cancel
     ?(engine = Engine.default) ~mem ~args func =
   let dram =
     match dram with
     | Some d -> d
     | None -> Dram.create machine.Machine.dram ~tscale
   in
-  let st = S.create ~machine ~tscale ~dram ?stats ~mem ~args func in
+  let st = S.create ~machine ~tscale ~dram ?stats ?cancel ~mem ~args func in
   (* Call sites, so intrinsics resolve into a per-instruction array at
      registration time instead of a Hashtbl probe per dynamic call. *)
   let call_sites =
@@ -296,6 +302,11 @@ let step t =
   | Classic c -> step_classic c t.st
   | Compiled p -> Compile.step p t.st
 
+(* Cancellation poll mask: the engines check the token every [poll_mask
+   + 1] blocks, so supervision costs one land+branch per block and an
+   atomic read only every 1024th. *)
+let poll_mask = 1023
+
 let run ?(fuel = max_int) t =
   let steps = ref 0 in
   (match t.impl with
@@ -303,15 +314,19 @@ let run ?(fuel = max_int) t =
       let st = t.st in
       while (not st.S.halted) && !steps < fuel do
         ignore (step_classic c st);
-        incr steps
+        incr steps;
+        if !steps land poll_mask = 0 then S.poll_cancel st
       done
   | Compiled p ->
       let st = t.st in
       while (not st.S.halted) && !steps < fuel do
         ignore (Compile.step p st);
-        incr steps
+        incr steps;
+        if !steps land poll_mask = 0 then S.poll_cancel st
       done);
   if not t.st.S.halted then raise Fuel_exhausted
+
+let poll_cancel t = S.poll_cancel t.st
 
 let stats t = t.st.S.stats
 let cycles t = t.st.S.stats.Stats.cycles

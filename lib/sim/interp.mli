@@ -22,6 +22,16 @@ exception Fuel_exhausted
 (** Raised by {!run} when the fuel budget is exceeded — distinct from
     [Failure] so fuzzing can tell non-termination from other errors. *)
 
+type cancel = Exec_state.cancel
+(** Cooperative cancellation token (see {!Exec_state}). *)
+
+exception Cancelled of Stats.t
+(** Raised by {!run} (at block granularity) once the instance's [cancel]
+    token has been fired, carrying the stats accumulated so far. *)
+
+val new_cancel : unit -> cancel
+val fire_cancel : cancel -> unit
+
 val fault_to_string : fault -> string
 
 val default_tscale : int
@@ -33,6 +43,7 @@ val create :
   ?tscale:int ->
   ?dram:Dram.t ->
   ?stats:Stats.t ->
+  ?cancel:cancel ->
   ?engine:Engine.t ->
   mem:Memory.t ->
   args:int array ->
@@ -53,7 +64,12 @@ val step : t -> bool
 val run : ?fuel:int -> t -> unit
 (** Run to completion.
     @raise Fuel_exhausted if [fuel] blocks are exceeded.
-    @raise Trap on a demand access to an unmapped address. *)
+    @raise Trap on a demand access to an unmapped address.
+    @raise Cancelled once the instance's cancel token fires. *)
+
+val poll_cancel : t -> unit
+(** @raise Cancelled if the instance's token has been fired — the
+    multicore driver's poll point between core steps. *)
 
 val stats : t -> Stats.t
 val cycles : t -> int

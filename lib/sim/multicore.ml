@@ -57,6 +57,10 @@ let run ?(fuel = max_int) t =
     sift_down i
   done;
   let steps = ref 0 in
+  (* Cancellation poll: any core carries the (shared) token, so checking
+     the one being stepped every 1024 steps observes a watchdog deadline
+     without touching the per-step hot path. *)
+  let poll_mask = 1023 in
   while !size > 0 && !steps < fuel do
     if !size = 1 then begin
       (* One runnable core left (the common case: every single-core run,
@@ -65,11 +69,13 @@ let run ?(fuel = max_int) t =
       let c = t.cores.(heap.(0)) in
       while !size = 1 && !steps < fuel do
         if not (Interp.step c) then decr size;
-        incr steps
+        incr steps;
+        if !steps land poll_mask = 0 then Interp.poll_cancel c
       done
     end
     else begin
       let k = heap.(0) in
+      if !steps land poll_mask = 0 then Interp.poll_cancel t.cores.(k);
       if Interp.step t.cores.(k) then
         (* The core's local time advanced: restore the heap ordering. *)
         sift_down 0

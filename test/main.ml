@@ -24,6 +24,8 @@ let () =
       ("safety-edges", Test_safety_edges.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
+      ("supervisor", Test_supervisor.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("engine", Test_engine.suite);
       ("golden", Test_golden.suite);
     ]
