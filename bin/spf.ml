@@ -9,6 +9,7 @@
      profile <bench>           per-load hit/miss attribution (untimed)
      split <bench>             loop splitting + clamp-free prefetching
      fuzz                      differential fuzzing of the pass
+     validate <case>           translation validation: proof or counterexample
      replay <bundle>           re-run a crash bundle offline
 
    Campaign subcommands (fig, fuzz) take --resume DIR / --deadline /
@@ -93,6 +94,23 @@ let c_arg =
     value
     & opt int 64
     & info [ "c" ] ~docv:"C" ~doc:"Look-ahead constant of eq. (1).")
+
+let assume_margin_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "assume-margin" ] ~docv:"BYTES"
+        ~doc:
+          "(testing) Deliberately unsound pass variant: look-ahead \
+           address offsets of at most $(docv) bytes skip the §4.2 \
+           fault-avoidance clamp.  Exists so the validator and the \
+           symbolic fuzz oracle can be shown to catch the faults this \
+           introduces.")
+
+let with_margin margin config =
+  match margin with
+  | None -> config
+  | Some m -> { config with Spf_core.Config.assume_margin = m }
 
 let build_variant (b : Benches.bench) variant ~machine ~c =
   match variant with
@@ -410,6 +428,29 @@ let fuzz_cmd =
              both $(b,interp) and $(b,compiled), which must agree on the \
              outcome and on every stats counter, cycles included.")
   in
+  let oracle_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("concrete", `Concrete);
+                  ("cross-engine", `Cross);
+                  ("symbolic", `Symbolic);
+                ]))
+          None
+      & info [ "oracle" ] ~docv:"MODE"
+          ~doc:
+            "Oracle mode: $(b,concrete) (the default differential run), \
+             $(b,cross-engine) (same as $(b,--cross-engine)), or \
+             $(b,symbolic) — the concrete run backed by a \
+             translation-validation proof over all environments.  \
+             Symbolic counterexamples shrink and bundle exactly like \
+             concrete divergences; cases the validator can neither prove \
+             nor refute are counted (and a give-up rate printed), not \
+             failed.")
+  in
   let inject_hang_arg =
     Arg.(
       value
@@ -429,15 +470,31 @@ let fuzz_cmd =
             "(testing) Make case $(docv) raise, exercising the \
              crash-bundle path.  Requires supervised execution.")
   in
-  let run seed count shrink c jobs engine cross_engine resume deadline retries
-      inject_hang inject_crash =
-    let config = Spf_core.Config.with_c c Spf_core.Config.default in
+  let run seed count shrink c margin jobs engine cross_engine oracle resume
+      deadline retries inject_hang inject_crash =
+    let config =
+      with_margin margin (Spf_core.Config.with_c c Spf_core.Config.default)
+    in
+    let oracle =
+      match oracle with
+      | Some `Concrete -> Some (Spf_fuzz.Oracle.Concrete (Some engine))
+      | Some `Cross -> Some Spf_fuzz.Oracle.Cross_engine
+      | Some `Symbolic -> Some Spf_fuzz.Oracle.Symbolic
+      | None -> None
+    in
+    let mode =
+      match oracle with
+      | Some m -> m
+      | None ->
+          if cross_engine then Spf_fuzz.Oracle.Cross_engine
+          else Spf_fuzz.Oracle.Concrete (Some engine)
+    in
     let progress n = Format.printf "  ... %d/%d@." n count; Format.print_flush () in
     let campaign =
-      Printf.sprintf "fuzz seed=%d count=%d c=%d engine=%s cross=%b" seed
+      Printf.sprintf "fuzz seed=%d count=%d c=%d oracle=%s margin=%s" seed
         count c
-        (Spf_sim.Engine.to_string engine)
-        cross_engine
+        (Spf_fuzz.Oracle.mode_to_string mode)
+        (match margin with Some m -> string_of_int m | None -> "-")
     in
     let supervise =
       supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries
@@ -459,8 +516,8 @@ let fuzz_cmd =
       match jobs with Some j -> j | None -> Spf_harness.Pool.default_jobs ()
     in
     match
-      Spf_fuzz.Driver.run ~config ~engine ~cross_engine ~shrink ~progress ~seed
-        ~jobs ?supervise ?inject ~count ()
+      Spf_fuzz.Driver.run ~config ~engine ~cross_engine ?oracle ~shrink
+        ~progress ~seed ~jobs ?supervise ?inject ~count ()
     with
     | s ->
         Format.printf "%a" Spf_fuzz.Driver.pp_summary s;
@@ -480,9 +537,202 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      const run $ seed_arg $ count_arg $ shrink_arg $ c_arg $ jobs_arg
-      $ engine_arg $ cross_engine_arg $ resume_arg $ deadline_arg
-      $ retries_arg $ inject_hang_arg $ inject_crash_arg)
+      const run $ seed_arg $ count_arg $ shrink_arg $ c_arg
+      $ assume_margin_arg $ jobs_arg $ engine_arg $ cross_engine_arg
+      $ oracle_arg $ resume_arg $ deadline_arg $ retries_arg
+      $ inject_hang_arg $ inject_crash_arg)
+
+(* --- validate ---------------------------------------------------------- *)
+
+let validate_cmd =
+  let doc =
+    "Translation validation: symbolically prove the prefetch pass \
+     semantics-preserving on a program, or print a confirmed, runnable \
+     counterexample.  Exit 0: proved; 1: refuted; 2: gave up (the \
+     checker over-approximates, so an unconfirmed proof failure is a \
+     give-up, never a refutation).  See docs/ROBUSTNESS.md."
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A runnable $(b,.case) file (program + concrete environment; \
+             the format $(b,spf validate) itself prints counterexamples \
+             in).")
+  in
+  let golden_arg =
+    Arg.(
+      value & flag
+      & info [ "golden" ]
+          ~doc:
+            "Validate the six distinct (program, transformed) pairs \
+             behind the 44-row golden timing suite: IS, CG, RA, HJ-2 and \
+             HJ-8 under the automatic pass, plus HJ-8 under the manual \
+             scheme.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Validate every $(b,*.case) file under $(docv).  With the \
+             supervision flags, each file runs as a supervised job \
+             ($(b,validate/<file>)): a proof search that exceeds the \
+             deadline is classified as a give-up instead of poisoning \
+             the sweep, and completed files checkpoint/resume through \
+             the journal.")
+  in
+  let gen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gen-corpus" ] ~docv:"DIR"
+          ~doc:
+            "Generate a validation corpus under $(docv): random \
+             generated programs whose original run completes, which the \
+             pass actually transforms, and which the validator proves, \
+             written as $(b,NNN.case) until $(b,--count) are collected.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "n"; "count" ] ~docv:"N"
+          ~doc:"Cases to collect with $(b,--gen-corpus).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Generation seed for $(b,--gen-corpus).")
+  in
+  let run file golden corpus gen count seed margin jobs engine resume deadline
+      retries =
+    let config = with_margin margin Spf_core.Config.default in
+    (* Fold a batch of per-pair statuses into output + exit code:
+       refutation dominates give-up dominates proved. *)
+    let finish rows =
+      let proved = ref 0 and refuted = ref 0 and gave_up = ref 0 in
+      List.iter
+        (fun (name, st) ->
+          (match st with
+          | Spf_valid.Validate.S_proved _ -> incr proved
+          | Spf_valid.Validate.S_refuted _ -> incr refuted
+          | Spf_valid.Validate.S_gave_up _ -> incr gave_up);
+          Format.printf "%s: %s@." name
+            (Spf_valid.Validate.status_to_string st))
+        rows;
+      Format.printf "validate: %d proved, %d refuted, %d gave up@." !proved
+        !refuted !gave_up;
+      if !refuted > 0 then exit 1 else if !gave_up > 0 then exit 2
+    in
+    match (file, golden, corpus, gen) with
+    | Some f, false, None, None -> (
+        let case =
+          try Spf_valid.Case.load f
+          with
+          | Spf_ir.Parser.Parse_error { line; msg } ->
+              Format.eprintf "spf validate: %s:%d: %s@." f line msg;
+              exit 2
+          | Sys_error m ->
+              Format.eprintf "spf validate: %s@." m;
+              exit 2
+        in
+        match Spf_valid.Validate.check_case ~config case with
+        | Spf_valid.Validate.Proved { paths; obligations } ->
+            Format.printf "%s: proved (%d paths, %d look-ahead obligations)@."
+              f paths obligations
+        | Spf_valid.Validate.Refuted { detail; cex; case } ->
+            Format.printf "%s: refuted: %s@." f detail;
+            Format.printf
+              "  confirmed at brk=%d: original %s, transformed %s%s@."
+              cex.Spf_valid.Model.brk
+              (Spf_valid.Model.outcome_to_string cex.Spf_valid.Model.original)
+              (Spf_valid.Model.outcome_to_string
+                 cex.Spf_valid.Model.transformed)
+              (if cex.Spf_valid.Model.introduced_fault then
+                 " (fault at a pass-inserted instruction)"
+               else "");
+            Format.printf ";; counterexample as a runnable case:@.%s@."
+              (Spf_valid.Case.to_string case);
+            exit 1
+        | Spf_valid.Validate.Gave_up r ->
+            Format.printf "%s: gave up: %s@." f r;
+            exit 2)
+    | None, true, None, None ->
+        finish
+          (List.map
+             (fun (name, o) -> (name, Spf_valid.Validate.status_of_outcome o))
+             (Spf_valid.Validate.check_golden ~config ()))
+    | None, false, Some dir, None ->
+        let campaign =
+          Printf.sprintf "validate corpus=%s margin=%s" dir
+            (match margin with Some m -> string_of_int m | None -> "-")
+        in
+        let supervise =
+          supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries
+        in
+        finish (Spf_valid.Validate.check_corpus ~config ?supervise dir)
+    | None, false, None, Some dir -> (
+        (try if not (Sys.is_directory dir) then begin
+           Format.eprintf "spf validate: %s exists and is not a directory@." dir;
+           exit 2
+         end
+         with Sys_error _ -> Sys.mkdir dir 0o755);
+        let kept = ref 0 and tried = ref 0 in
+        while !kept < count do
+          let spec =
+            Spf_fuzz.Gen.random (Spf_workloads.Rng.split ~seed !tried)
+          in
+          incr tried;
+          (* Three gates: the original completes and the concrete oracle
+             agrees; the pass emits at least one prefetch (an untouched
+             program proves trivially and tests nothing); and the
+             validator proves the file as it will be re-read — saved
+             first, then loaded back, so the corpus check in CI exercises
+             the exact parse-validate path. *)
+          match Spf_fuzz.Oracle.check spec with
+          | Spf_fuzz.Oracle.Agree a
+            when (not a.Spf_fuzz.Oracle.discarded)
+                 && a.Spf_fuzz.Oracle.report.Spf_core.Pass.n_prefetches > 0 ->
+              let b = Spf_fuzz.Gen.build spec in
+              let case =
+                Spf_valid.Case.of_concrete ~func:b.Spf_fuzz.Gen.func
+                  ~mem:b.Spf_fuzz.Gen.mem ~args:b.Spf_fuzz.Gen.args
+                  ~fuel:(Spf_fuzz.Gen.fuel spec)
+              in
+              let path =
+                Filename.concat dir (Printf.sprintf "%03d.case" !kept)
+              in
+              Spf_valid.Case.save path case;
+              (match
+                 Spf_valid.Validate.check_case ~config
+                   (Spf_valid.Case.load path)
+               with
+              | Spf_valid.Validate.Proved { paths; obligations } ->
+                  Format.printf "%s: proved (%d paths, %d obligations) — %s@."
+                    path paths obligations
+                    (Spf_fuzz.Gen.to_string spec);
+                  incr kept
+              | _ -> Sys.remove path)
+          | _ -> ()
+        done;
+        Format.printf "gen-corpus: kept %d/%d generated programs in %s@."
+          !kept !tried dir)
+    | _ ->
+        Format.eprintf
+          "spf validate: give exactly one of FILE, --golden, --corpus or \
+           --gen-corpus@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(
+      const run $ file_arg $ golden_arg $ corpus_arg $ gen_arg $ count_arg
+      $ seed_arg $ assume_margin_arg $ jobs_arg $ engine_arg $ resume_arg
+      $ deadline_arg $ retries_arg)
 
 (* --- replay ------------------------------------------------------------ *)
 
@@ -509,6 +759,10 @@ let replay_cmd =
         | Spf_fuzz.Replay.Divergence d ->
             Format.printf "replay %s: divergence reproduced: %s@." dir d;
             exit 1
+        | Spf_fuzz.Replay.Undecided r ->
+            Format.printf "replay %s: undecided — the validator gave up \
+                           re-checking this case: %s@." dir r;
+            exit 2
         | exception Failure msg ->
             Format.eprintf "spf replay: %s@." msg;
             exit 2
@@ -574,5 +828,6 @@ let () =
             profile_cmd;
             split_cmd;
             fuzz_cmd;
+            validate_cmd;
             replay_cmd;
           ]))

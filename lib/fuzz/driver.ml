@@ -38,6 +38,7 @@ type summary = {
   dropped_prefetches : int;  (* §4.4 non-faulting drops, summed *)
   sw_prefetches : int;
   introduced_faults : int;  (* clamp failures (subset of failures) *)
+  undecided : int;  (* symbolic oracle give-ups: neither proof nor cex *)
   failures : failure list;
 }
 
@@ -50,6 +51,10 @@ let pp_summary fmt (s : summary) =
     s.sw_prefetches s.dropped_prefetches
     (List.length s.failures)
     s.introduced_faults;
+  if s.undecided > 0 then
+    Format.fprintf fmt
+      "  %d undecided (validator gave up: %.1f%% give-up rate)@." s.undecided
+      (100. *. float_of_int s.undecided /. float_of_int (max 1 s.runs));
   List.iter
     (fun f ->
       Format.fprintf fmt "  case %d: %s@.    spec %s@." f.case
@@ -64,13 +69,16 @@ let ok (s : summary) = s.failures = []
 
 (* Re-check a spec and report whether it still fails the same way (used as
    the shrinking predicate — any divergence counts, not just an identical
-   one, which keeps shrinking aggressive). *)
-let fails ?config ?engine ?cancel ~cross_engine spec =
-  let verdict =
-    if cross_engine then Oracle.check_engines ?config ?cancel spec
-    else Oracle.check ?config ?engine ?cancel spec
-  in
-  match verdict with Oracle.Diverged _ -> true | Oracle.Agree _ -> false
+   one, which keeps shrinking aggressive).  The re-check runs under the
+   same oracle [mode] that found the failure: a symbolic counterexample
+   must stay a counterexample *under the symbolic oracle* at every
+   shrinking step, not merely under one concrete run — and an [Undecided]
+   shrink candidate is not a failure, so shrinking never trades a proven
+   divergence for an unprovable program. *)
+let fails ?config ?cancel ~mode spec =
+  match Oracle.check_mode ?config ?cancel mode spec with
+  | Oracle.Diverged _ -> true
+  | Oracle.Agree _ | Oracle.Undecided _ -> false
 
 (* Compact per-case result.  An [Oracle.Agree] verdict retains the whole
    pass report and the outcome's memory digest; holding [count] of those
@@ -83,34 +91,40 @@ type case_result = {
   c_discarded : bool;
   c_dropped : int;
   c_issued : int;
+  c_undecided : string option;  (* symbolic give-up reason *)
   c_failure : (Gen.spec * Oracle.divergence_kind * Gen.spec option) option;
 }
 
 (* One whole case — generation, oracle, shrinking — as a self-contained
    job: everything that depends on the per-case RNG stream happens here,
    so the result is a pure function of (seed, case). *)
-let run_case ?config ?engine ?cancel ~cross_engine ~shrink ~seed case =
+let run_case ?config ?cancel ~mode ~shrink ~seed case =
   let rng = Rng.split ~seed case in
   let spec = Gen.random rng in
-  let verdict =
-    if cross_engine then Oracle.check_engines ?config ?cancel spec
-    else Oracle.check ?config ?engine ?cancel spec
-  in
-  match verdict with
+  match Oracle.check_mode ?config ?cancel mode spec with
   | Oracle.Agree a ->
       {
         c_transformed = a.Oracle.report.Pass.n_prefetches > 0;
         c_discarded = a.Oracle.discarded;
         c_dropped = a.Oracle.dropped_prefetches;
         c_issued = a.Oracle.sw_prefetches;
+        c_undecided = None;
+        c_failure = None;
+      }
+  | Oracle.Undecided reason ->
+      {
+        c_transformed = false;
+        c_discarded = false;
+        c_dropped = 0;
+        c_issued = 0;
+        c_undecided = Some reason;
         c_failure = None;
       }
   | Oracle.Diverged d ->
       let shrunk =
         if shrink then
           Some
-            (Shrink.shrink spec
-               ~still_fails:(fails ?config ?engine ?cancel ~cross_engine))
+            (Shrink.shrink spec ~still_fails:(fails ?config ?cancel ~mode))
         else None
       in
       {
@@ -118,6 +132,7 @@ let run_case ?config ?engine ?cancel ~cross_engine ~shrink ~seed case =
         c_discarded = false;
         c_dropped = 0;
         c_issued = 0;
+        c_undecided = None;
         c_failure = Some (spec, d, shrunk);
       }
 
@@ -149,25 +164,27 @@ let hang_forever (ctx : Runner.ctx) =
    divergence — a result, not an exception — writes its own crash bundle
    since the supervisor only bundles exceptional failures; [binfo]
    supplies the reproduction payload for those (crashes, hangs). *)
-let supervised_job ?config ?engine ?inject opts ~cross_engine ~shrink ~seed
-    case =
+let supervised_job ?config ?inject opts ~mode ~shrink ~seed case =
   let key = Printf.sprintf "case/%d" case in
   let work (ctx : Runner.ctx) =
     (match inject with
     | Some (n, Hang) when case = n -> hang_forever ctx
     | Some (n, Crash) when case = n -> failwith "injected crash"
     | _ -> ());
-    let engine =
-      match ctx.Runner.engine with Some _ as e -> e | None -> engine
+    (* The supervisor's engine override only makes sense for the concrete
+       oracle — the other modes pick their own engines — and, as before
+       the oracle became selectable, it takes precedence over the
+       campaign's choice. *)
+    let mode =
+      match (mode, ctx.Runner.engine) with
+      | Oracle.Concrete _, (Some _ as e) -> Oracle.Concrete e
+      | _ -> mode
     in
-    let r =
-      run_case ?config ?engine ?cancel:ctx.Runner.cancel ~cross_engine
-        ~shrink ~seed case
-    in
+    let r = run_case ?config ?cancel:ctx.Runner.cancel ~mode ~shrink ~seed case in
     (match (r.c_failure, Supervisor.bundle_root opts) with
     | Some (spec, d, shrunk), Some root ->
         let best = Option.value shrunk ~default:spec in
-        let p = Replay.payload ?config ?engine ~cross_engine best in
+        let p = Replay.payload ?config ~mode best in
         ignore
           (Bundle.write ~root ~name:key
              ~meta:
@@ -181,7 +198,7 @@ let supervised_job ?config ?engine ?inject opts ~cross_engine ~shrink ~seed
   in
   let binfo _exn =
     let spec = Gen.random (Rng.split ~seed case) in
-    let p = Replay.payload ?config ?engine ~cross_engine spec in
+    let p = Replay.payload ?config ~mode spec in
     {
       Supervisor.b_meta = ("case", string_of_int case) :: Replay.meta_of_payload p;
       b_ir = Some (Replay.ir_of_spec spec);
@@ -195,8 +212,14 @@ let encode_case (r : case_result) = Marshal.to_string r []
 let decode_case s =
   try Some (Marshal.from_string s 0 : case_result) with _ -> None
 
-let run ?config ?engine ?(cross_engine = false) ?(shrink = false) ?progress
-    ?(seed = 0) ?(jobs = 1) ?supervise ?inject ~count () : summary =
+let run ?config ?engine ?(cross_engine = false) ?oracle ?(shrink = false)
+    ?progress ?(seed = 0) ?(jobs = 1) ?supervise ?inject ~count () : summary =
+  let mode =
+    match oracle with
+    | Some m -> m
+    | None ->
+        if cross_engine then Oracle.Cross_engine else Oracle.Concrete engine
+  in
   let results =
     match supervise with
     | None ->
@@ -205,13 +228,12 @@ let run ?config ?engine ?(cross_engine = false) ?(shrink = false) ?progress
             (match progress with
             | Some f when jobs <= 1 && case mod 500 = 0 && case > 0 -> f case
             | _ -> ());
-            run_case ?config ?engine ~cross_engine ~shrink ~seed case)
+            run_case ?config ~mode ~shrink ~seed case)
           (List.init count Fun.id)
     | Some opts ->
         let sjobs =
           List.init count
-            (supervised_job ?config ?engine ?inject opts ~cross_engine
-               ~shrink ~seed)
+            (supervised_job ?config ?inject opts ~mode ~shrink ~seed)
         in
         let results =
           Supervisor.run_jobs opts ~encode:encode_case ~decode:decode_case
@@ -227,10 +249,12 @@ let run ?config ?engine ?(cross_engine = false) ?(shrink = false) ?progress
   and dropped = ref 0
   and issued = ref 0
   and introduced = ref 0
+  and undecided = ref 0
   and failures = ref [] in
   List.iteri
     (fun case r ->
       match r.c_failure with
+      | None when r.c_undecided <> None -> incr undecided
       | None ->
           if r.c_transformed then incr transformed else incr rejected_only;
           if r.c_discarded then incr discarded;
@@ -253,5 +277,6 @@ let run ?config ?engine ?(cross_engine = false) ?(shrink = false) ?progress
     dropped_prefetches = !dropped;
     sw_prefetches = !issued;
     introduced_faults = !introduced;
+    undecided = !undecided;
     failures = List.rev !failures;
   }

@@ -17,6 +17,10 @@ type summary = {
   dropped_prefetches : int;
   sw_prefetches : int;
   introduced_faults : int;
+  undecided : int;
+      (** symbolic-oracle give-ups: neither proved nor refuted.  Counted
+          (and a give-up rate printed by {!pp_summary}), but not a
+          failure — {!ok} ignores them. *)
   failures : failure list;
 }
 
@@ -38,6 +42,7 @@ val run :
   ?config:Spf_core.Config.t ->
   ?engine:Spf_sim.Engine.t ->
   ?cross_engine:bool ->
+  ?oracle:Oracle.mode ->
   ?shrink:bool ->
   ?progress:(int -> unit) ->
   ?seed:int ->
@@ -48,11 +53,13 @@ val run :
   unit ->
   summary
 (** Run [count] generated cases from [seed] (default 0) through the
-    oracle; failures are shrunk to minimal reproducers when [shrink].
-    [engine] selects the simulator engine for the semantic oracle;
-    [cross_engine] switches to {!Oracle.check_engines}, which instead
-    compares the two engines against each other on every case (and
-    ignores [engine]).
+    oracle; failures are shrunk to minimal reproducers when [shrink] —
+    under the {e same} oracle mode the campaign runs, so a symbolic
+    counterexample shrinks under the symbolic oracle.  [oracle] picks
+    the mode directly; without it, [engine] selects the simulator engine
+    for the concrete oracle and [cross_engine] switches to
+    {!Oracle.check_engines}, which instead compares the two engines
+    against each other on every case (and ignores [engine]).
 
     Cases are distributed over [jobs] domains (default 1 = serial).  Each
     case draws from its own {!Spf_workloads.Rng.split} stream, so the

@@ -83,7 +83,44 @@ type agreement = {
   sw_prefetches : int;  (* prefetches actually issued *)
 }
 
-type verdict = Agree of agreement | Diverged of divergence_kind
+(* [Undecided] is specific to the symbolic oracle: the validator could
+   neither prove the transform correct on this program nor concretely
+   confirm a counterexample.  Campaigns count these as give-ups, not
+   failures. *)
+type verdict =
+  | Agree of agreement
+  | Diverged of divergence_kind
+  | Undecided of string
+
+(* How a campaign checks each case.  [Concrete] is the classic
+   differential run (optionally pinning a simulator engine);
+   [Cross_engine] compares the two engines against each other;
+   [Symbolic] backs the concrete run with a translation-validation
+   proof-or-counterexample. *)
+type mode =
+  | Concrete of Spf_sim.Engine.t option
+  | Cross_engine
+  | Symbolic
+
+let mode_to_string = function
+  | Concrete None -> "concrete"
+  | Concrete (Some e) -> "concrete:" ^ Spf_sim.Engine.to_string e
+  | Cross_engine -> "cross-engine"
+  | Symbolic -> "symbolic"
+
+let mode_of_string s =
+  match s with
+  | "concrete" -> Some (Concrete None)
+  | "cross-engine" -> Some Cross_engine
+  | "symbolic" -> Some Symbolic
+  | _ ->
+      let pre = "concrete:" in
+      let n = String.length pre in
+      if String.length s > n && String.sub s 0 n = pre then
+        Option.map
+          (fun e -> Concrete (Some e))
+          (Spf_sim.Engine.of_string (String.sub s n (String.length s - n)))
+      else None
 
 let execute ?engine ?cancel ~fuel (b : Gen.built) =
   let interp =
@@ -203,3 +240,56 @@ let check_engines ?config ?(strict = false) ?cancel (spec : Gen.spec) : verdict 
                   dropped_prefetches = stats2.Spf_sim.Stats.dropped_prefetches;
                   sw_prefetches = stats2.Spf_sim.Stats.sw_prefetches;
                 }))
+
+(* --- symbolic (translation validation) mode ----------------------------- *)
+
+let model_outcome : Spf_valid.Model.outcome -> outcome = function
+  | Spf_valid.Model.Returned { retval; digest } -> Returned { retval; digest }
+  | Spf_valid.Model.Trapped { pc; addr; is_store } ->
+      Trapped { pc; addr; is_store }
+  | Spf_valid.Model.Out_of_fuel -> Out_of_fuel
+
+(* The symbolic oracle runs the concrete differential check first (which
+   also exercises pass containment and the static verifier), then backs
+   an agreeing run with a proof: the validator either proves the pair
+   equivalent over ALL environments, confirms a concrete counterexample
+   the single concrete run missed (e.g. a fault only a tighter mapping
+   exposes), or gives up — reported as [Undecided], never as agreement. *)
+let check_symbolic ?config ?strict ?cancel (spec : Gen.spec) : verdict =
+  match check ?config ?strict ?cancel spec with
+  | (Diverged _ | Undecided _) as v -> v
+  | Agree a -> (
+      let original = Gen.build spec in
+      let transformed = Gen.build spec in
+      match Spf_core.Pass.run ?config transformed.Gen.func with
+      | exception exn -> Diverged (Pass_raised (Printexc.to_string exn))
+      | _report -> (
+          let env =
+            {
+              Spf_valid.Model.fresh =
+                (fun () ->
+                  let b = Gen.build spec in
+                  (b.Gen.mem, b.Gen.args));
+              fuel = Gen.fuel spec;
+            }
+          in
+          match
+            Spf_valid.Validate.check ?cancel ~env ~orig:original.Gen.func
+              ~xform:transformed.Gen.func ()
+          with
+          | Spf_valid.Validate.Proved _ -> Agree a
+          | Spf_valid.Validate.Refuted { cex; _ } ->
+              Diverged
+                (Outcome_mismatch
+                   {
+                     original = model_outcome cex.Spf_valid.Model.original;
+                     transformed = model_outcome cex.Spf_valid.Model.transformed;
+                     introduced_fault = cex.Spf_valid.Model.introduced_fault;
+                   })
+          | Spf_valid.Validate.Gave_up r -> Undecided r))
+
+let check_mode ?config ?strict ?cancel mode (spec : Gen.spec) : verdict =
+  match mode with
+  | Concrete engine -> check ?config ?strict ?engine ?cancel spec
+  | Cross_engine -> check_engines ?config ?strict ?cancel spec
+  | Symbolic -> check_symbolic ?config ?strict ?cancel spec

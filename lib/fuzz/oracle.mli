@@ -42,7 +42,29 @@ type agreement = {
   sw_prefetches : int;
 }
 
-type verdict = Agree of agreement | Diverged of divergence_kind
+type verdict =
+  | Agree of agreement
+  | Diverged of divergence_kind
+  | Undecided of string
+      (** symbolic oracle only: the validator could neither prove the
+          transform correct on this program nor concretely confirm a
+          counterexample.  Campaigns count these as give-ups, not
+          failures. *)
+
+(** How a campaign checks each case: the classic differential run
+    (optionally pinning a simulator engine), the engine-vs-engine
+    comparison, or the concrete run backed by a translation-validation
+    proof-or-counterexample. *)
+type mode =
+  | Concrete of Spf_sim.Engine.t option
+  | Cross_engine
+  | Symbolic
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
+(** Inverse of {!mode_to_string}; [None] on an unrecognised mode string
+    (e.g. a crash bundle recorded by a newer build). *)
 
 val execute :
   ?engine:Spf_sim.Engine.t ->
@@ -74,3 +96,26 @@ val check_engines :
     twins each execute under both engines, which must agree on the full
     observable behaviour — outcome {e and} every stats counter, cycles
     included.  Disagreements surface as {!Engine_mismatch}. *)
+
+val check_symbolic :
+  ?config:Spf_core.Config.t ->
+  ?strict:bool ->
+  ?cancel:Spf_sim.Interp.cancel ->
+  Gen.spec ->
+  verdict
+(** One symbolic run: the concrete differential {!check} first (pass
+    containment, verifier, one concrete environment), then — if it
+    agreed — the translation validator proves the pair equivalent over
+    {e all} environments.  A proof keeps the agreement; a confirmed
+    counterexample becomes an {!Outcome_mismatch} divergence exactly as
+    a concrete disagreement would (so shrinking and crash bundles work
+    unchanged); anything else is {!Undecided}. *)
+
+val check_mode :
+  ?config:Spf_core.Config.t ->
+  ?strict:bool ->
+  ?cancel:Spf_sim.Interp.cancel ->
+  mode ->
+  Gen.spec ->
+  verdict
+(** Dispatch one case through the oracle selected by [mode]. *)

@@ -16,8 +16,7 @@ module Bundle = Spf_harness.Bundle
 type bundle_payload = {
   bp_spec : Gen.spec;
   bp_config : Spf_core.Config.t option;
-  bp_cross_engine : bool;
-  bp_engine : string option;  (* Engine.to_string; None = default *)
+  bp_mode : string;  (* Oracle.mode_to_string; decoded at replay time *)
 }
 
 let encode_payload (p : bundle_payload) = Marshal.to_string p []
@@ -29,26 +28,24 @@ let decode_payload s : bundle_payload =
       "bundle payload does not decode as a fuzz case (incompatible build?)"
 
 (* Everything the bundle records about one fuzz case, for campaign code
-   writing bundles and for replay reading them back. *)
-let payload ?config ?engine ~cross_engine spec =
-  {
-    bp_spec = spec;
-    bp_config = config;
-    bp_cross_engine = cross_engine;
-    bp_engine = Option.map Spf_sim.Engine.to_string engine;
-  }
+   writing bundles and for replay reading them back.  The oracle mode is
+   stored as its string form rather than the variant: a bundle written by
+   a build with more modes than this one still decodes, and the unknown
+   mode surfaces as a clear replay-time error instead of a Marshal
+   failure. *)
+let payload ?config ~mode spec =
+  { bp_spec = spec; bp_config = config; bp_mode = Oracle.mode_to_string mode }
 
 let meta_of_payload (p : bundle_payload) =
   [
     ("kind", "fuzz-case");
     ("spec", Gen.to_string p.bp_spec);
-    ("cross-engine", string_of_bool p.bp_cross_engine);
-    ("oracle-engine", Option.value p.bp_engine ~default:"default");
+    ("oracle", p.bp_mode);
   ]
 
 let ir_of_spec spec = Spf_ir.Printer.func_to_string (Gen.build spec).Gen.func
 
-type result = Clean | Divergence of string
+type result = Clean | Divergence of string | Undecided of string
 
 let replay (b : Bundle.t) : result =
   let payload =
@@ -59,12 +56,17 @@ let replay (b : Bundle.t) : result =
           (Printf.sprintf "%s has no reproduction payload (not a fuzz-case \
                            bundle?)" (Bundle.dir b))
   in
-  let engine = Option.bind payload.bp_engine Spf_sim.Engine.of_string in
-  let verdict =
-    if payload.bp_cross_engine then
-      Oracle.check_engines ?config:payload.bp_config payload.bp_spec
-    else Oracle.check ?config:payload.bp_config ?engine payload.bp_spec
+  let mode =
+    match Oracle.mode_of_string payload.bp_mode with
+    | Some m -> m
+    | None ->
+        failwith
+          (Printf.sprintf
+             "%s records oracle mode %S, which this build does not know \
+              (bundle from a newer build?)"
+             (Bundle.dir b) payload.bp_mode)
   in
-  match verdict with
+  match Oracle.check_mode ?config:payload.bp_config mode payload.bp_spec with
   | Oracle.Agree _ -> Clean
   | Oracle.Diverged d -> Divergence (Oracle.divergence_to_string d)
+  | Oracle.Undecided r -> Undecided r

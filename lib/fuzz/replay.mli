@@ -4,18 +4,16 @@
 type bundle_payload = {
   bp_spec : Gen.spec;
   bp_config : Spf_core.Config.t option;
-  bp_cross_engine : bool;
-  bp_engine : string option;
+  bp_mode : string;
+      (** {!Oracle.mode_to_string} form, decoded at replay time so a
+          bundle recording a mode this build does not know fails with a
+          clear message rather than a Marshal error *)
 }
 (** The Marshal-encoded reproduction recipe a fuzz bundle carries: the
     generated spec and the oracle configuration it ran under. *)
 
 val payload :
-  ?config:Spf_core.Config.t ->
-  ?engine:Spf_sim.Engine.t ->
-  cross_engine:bool ->
-  Gen.spec ->
-  bundle_payload
+  ?config:Spf_core.Config.t -> mode:Oracle.mode -> Gen.spec -> bundle_payload
 
 val encode_payload : bundle_payload -> string
 
@@ -31,11 +29,13 @@ val ir_of_spec : Gen.spec -> string
 (** Printed IR of the spec's built program, for the bundle's
     [program.ir]. *)
 
-type result = Clean | Divergence of string
+type result = Clean | Divergence of string | Undecided of string
 
 val replay : Spf_harness.Bundle.t -> result
 (** Re-run the exact oracle check the bundle records.  [Clean] means the
     failure did not reproduce (e.g. the bundle captured an injected or
-    transient crash); [Divergence] means the oracle still disagrees.
-    @raise Failure on a payload-less bundle or one from an incompatible
-    build, and whatever the oracle raises if the crash itself recurs. *)
+    transient crash); [Divergence] means the oracle still disagrees;
+    [Undecided] means the symbolic oracle gave up this time.
+    @raise Failure on a payload-less bundle, one from an incompatible
+    build, or one recording an oracle mode this build does not know, and
+    whatever the oracle raises if the crash itself recurs. *)

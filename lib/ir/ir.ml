@@ -231,6 +231,29 @@ let remove_instr f id =
   b.instrs <- Array.of_list (List.filter (( <> ) id) (Array.to_list b.instrs));
   f.itab.(id) <- None
 
+(* Deep copy with identical ids: fresh instruction records and block
+   arrays so mutations of the clone never reach the original. *)
+let clone_func f =
+  {
+    fname = f.fname;
+    blocks =
+      Array.map
+        (fun b ->
+          { bid = b.bid; instrs = Array.copy b.instrs; term = b.term;
+            bname = b.bname })
+        f.blocks;
+    itab =
+      Array.map
+        (function
+          | Some i ->
+              Some { id = i.id; kind = i.kind; block = i.block; name = i.name }
+          | None -> None)
+        f.itab;
+    n_instrs = f.n_instrs;
+    entry = f.entry;
+    param_ids = Array.copy f.param_ids;
+  }
+
 (* Splice [ids] at the end of block [bid] (just before the terminator). *)
 let insert_at_end f ~bid ids =
   if ids <> [] then begin

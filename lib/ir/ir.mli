@@ -143,6 +143,11 @@ val insert_at_end : func -> bid:int -> int list -> unit
 (** Splice already-allocated instruction ids at the end of block [bid],
     just before the terminator. *)
 
+val clone_func : func -> func
+(** Deep copy: fresh instruction records and block arrays, same ids and
+    structure.  Mutating the clone (e.g. running the pass on it) leaves
+    the original untouched — the translation validator compares the two. *)
+
 val signature : func -> string
 (** Stable, name-independent structural encoding of the function: entry,
     parameters, and every block's instruction ids, kinds (floats by bit

@@ -32,6 +32,17 @@ let alloc t size =
 
 let size t = t.brk
 
+(* Shrink the mapped region (clamp the break).  Accesses at or past the
+   new break trap afterwards; the validator uses this to hunt for
+   introduced faults near the end of the allocation. *)
+let truncate t brk =
+  (* The initial page is never unmapped: [create] starts the break at
+     4096 and [alloc] only grows it, so addresses below 4096 are
+     in-bounds in every reachable memory — an invariant the translation
+     validator's null-page reasoning relies on. *)
+  let brk = max brk 4096 in
+  if brk < t.brk then t.brk <- brk
+
 (* An access is in bounds when it lies entirely below the break.  The
    interpreter traps demand accesses outside this range and drops software
    prefetches to it non-faulting; the first page (never handed out by

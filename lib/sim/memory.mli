@@ -11,6 +11,13 @@ val alloc : t -> int -> int
 val size : t -> int
 (** Current break (total bytes in use). *)
 
+val truncate : t -> int -> unit
+(** Shrink the mapping break (used by the translation validator to hunt
+    for introduced faults under the tightest mapping that still admits
+    the original run).  Clamped to 4096: the initial page is never
+    unmapped, so addresses below 4096 stay in-bounds in every reachable
+    memory. *)
+
 val in_bounds : t -> addr:int -> width:int -> bool
 (** Whether a [width]-byte access at [addr] lies entirely inside the
     allocated (mapped) region [0, break).  The interpreter traps demand

@@ -1,0 +1,47 @@
+(** Runnable IR test cases: a program plus the concrete environment it
+    runs in, in one text file — the format [spf validate] prints
+    counterexamples in and the checked-in corpus is stored in:
+
+    {v
+    ;; spf-case v1
+    !arg 4096
+    !brk 12288
+    !fuel 100000
+    !mem 4096 01000000faffffff
+    func kernel (1 params, entry bb0) { ... }
+    v}
+
+    [!]-lines are environment directives ([!arg] in parameter order,
+    [!mem ADDR HEXBYTES] for the non-zero spans of the image, [!brk]
+    the mapping break, [!fuel] the block budget); [;;] lines are
+    comments; everything else is the textual IR of the {e original}
+    program. *)
+
+type t = {
+  func : Spf_ir.Ir.func;
+  args : int array;
+  brk : int;
+  fuel : int;
+  writes : (int * string) list;  (** address, raw bytes *)
+}
+
+val of_concrete :
+  func:Spf_ir.Ir.func ->
+  mem:Spf_sim.Memory.t ->
+  args:int array ->
+  fuel:int ->
+  t
+(** Snapshot a concrete environment (non-zero spans of [mem], its
+    break, the argument vector) into a case. *)
+
+val to_string : t -> string
+
+val parse : string -> t
+(** @raise Spf_ir.Parser.Parse_error on a malformed directive or IR. *)
+
+val load : string -> t
+val save : string -> t -> unit
+
+val to_env : t -> Model.env
+(** Rebuild an identical fresh environment on every call — what
+    {!Model.confirm} needs. *)

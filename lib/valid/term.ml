@@ -1,0 +1,433 @@
+module Ir = Spf_ir.Ir
+
+(* Symbolic integer terms in normalized linear form:
+
+     t  ::=  const + Σ coeff·atom        (atoms sorted, coeffs non-zero)
+
+   Atoms are the opaque leaves — fresh symbols, memory reads, and the
+   non-linear operators (min/max, compares, selects, bitwise ops, float
+   arithmetic).  Equality of two terms is structural equality of the
+   normalized forms, which is the executor's notion of "provably the same
+   value".  Constant folding mirrors the interpreter exactly: OCaml native
+   [int] arithmetic (`lib/sim/interp.ml`, [exec_binop]/[eval_cmp]), so a
+   term that folds to a constant is the value the simulator computes.
+
+   Compare atoms are kept in a reduced form [Acmp (pred, d)] meaning
+   [pred (d, 0)] with [pred] restricted to {Eq, Ne, Slt, Sle}; the value
+   of such an atom is 0 or 1.  [Aread {ver; addr; ty}] is the value of
+   memory at [addr] as of write-version [ver] — the executor assigns
+   canonical versions so that reads unaffected by intervening stores get
+   equal terms. *)
+
+type t = { const : int; lin : (atom * int) list }
+
+and atom =
+  | Asym of int
+  | Aread of { ver : int; addr : t; ty : Ir.ty }
+  | Amin of t * t
+  | Amax of t * t
+  | Acmp of Ir.cmp * t
+  | Asel of t * t * t
+  | Aop of Ir.binop * t * t
+  | Acall of string * t list
+  | Afconst of float
+
+(* Structural compare; [Asym] ids make the common case cheap.  Used only
+   for canonical ordering inside linear forms. *)
+let compare_atom (a : atom) (b : atom) = Stdlib.compare a b
+
+let equal_atom a b = compare_atom a b = 0
+
+let equal (x : t) (y : t) =
+  x.const = y.const
+  && List.length x.lin = List.length y.lin
+  && List.for_all2 (fun (a, c) (b, d) -> c = d && equal_atom a b) x.lin y.lin
+
+let compare (x : t) (y : t) = Stdlib.compare x y
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_int c = { const = c; lin = [] }
+let zero = of_int 0
+let one = of_int 1
+let sym i = { const = 0; lin = [ (Asym i, 1) ] }
+let of_atom a = { const = 0; lin = [ (a, 1) ] }
+let as_const t = if t.lin = [] then Some t.const else None
+let is_const t = t.lin = []
+
+(* Merge two sorted coefficient lists. *)
+let rec merge_lin xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | (a, ca) :: xs', (b, cb) :: ys' ->
+      let c = compare_atom a b in
+      if c < 0 then (a, ca) :: merge_lin xs' ys
+      else if c > 0 then (b, cb) :: merge_lin xs ys'
+      else
+        let s = ca + cb in
+        if s = 0 then merge_lin xs' ys' else (a, s) :: merge_lin xs' ys'
+
+let add x y = { const = x.const + y.const; lin = merge_lin x.lin y.lin }
+
+let mul_const k t =
+  if k = 0 then zero
+  else if k = 1 then t
+  else { const = k * t.const; lin = List.map (fun (a, c) -> (a, k * c)) t.lin }
+
+let neg t = mul_const (-1) t
+let sub x y = add x (neg y)
+let add_const k t = { t with const = t.const + k }
+
+(* Canonical argument order for commutative opaque operators, so both
+   sides of the checker build identical atoms regardless of source
+   operand order. *)
+let ordered x y = if compare x y <= 0 then (x, y) else (y, x)
+
+let smin x y =
+  if equal x y then x
+  else
+    match as_const (sub x y) with
+    | Some d -> if d <= 0 then x else y
+    | None ->
+        let x, y = ordered x y in
+        of_atom (Amin (x, y))
+
+let smax x y =
+  if equal x y then x
+  else
+    match as_const (sub x y) with
+    | Some d -> if d >= 0 then x else y
+    | None ->
+        let x, y = ordered x y in
+        of_atom (Amax (x, y))
+
+let fconst f = of_atom (Afconst f)
+
+exception Symbolic_division
+(** [Sdiv]/[Srem] whose result the term language cannot represent
+    soundly: symbolic or zero divisor.  The executor maps this to a
+    give-up (or, for a zero constant divisor, mirrors the trap). *)
+
+let mul x y =
+  match (as_const x, as_const y) with
+  | Some k, _ -> mul_const k y
+  | _, Some k -> mul_const k x
+  | None, None ->
+      let x, y = ordered x y in
+      of_atom (Aop (Ir.Mul, x, y))
+
+let binop (op : Ir.binop) x y =
+  let fold f =
+    match (as_const x, as_const y) with
+    | Some a, Some b -> Some (of_int (f a b))
+    | _ -> None
+  in
+  let opaque ?(commutative = false) () =
+    let x, y = if commutative then ordered x y else (x, y) in
+    of_atom (Aop (op, x, y))
+  in
+  match op with
+  | Ir.Add -> add x y
+  | Ir.Sub -> sub x y
+  | Ir.Mul -> mul x y
+  | Ir.Sdiv | Ir.Srem -> (
+      match (as_const x, as_const y) with
+      | _, Some 0 -> raise Symbolic_division
+      | Some a, Some b -> of_int (if op = Ir.Sdiv then a / b else a mod b)
+      | _ -> raise Symbolic_division)
+  | Ir.And -> (
+      match fold ( land ) with Some t -> t | None -> opaque ~commutative:true ())
+  | Ir.Or -> (
+      match fold ( lor ) with Some t -> t | None -> opaque ~commutative:true ())
+  | Ir.Xor -> (
+      match fold ( lxor ) with Some t -> t | None -> opaque ~commutative:true ())
+  | Ir.Shl -> (
+      match fold ( lsl ) with
+      | Some t -> t
+      | None -> (
+          (* Left shift by a small constant is a multiplication both in
+             OCaml's wrapped arithmetic and on the machine. *)
+          match as_const y with
+          | Some c when c >= 0 && c <= 61 -> mul_const (1 lsl c) x
+          | _ -> opaque ()))
+  | Ir.Lshr -> ( match fold ( lsr ) with Some t -> t | None -> opaque ())
+  | Ir.Ashr -> ( match fold ( asr ) with Some t -> t | None -> opaque ())
+  | Ir.Smin -> smin x y
+  | Ir.Smax -> smax x y
+  | Ir.Fadd | Ir.Fsub | Ir.Fmul | Ir.Fdiv -> opaque ()
+
+(* Normalize a compare to pred(d, 0) with pred in {Eq, Ne, Slt, Sle}. *)
+let cmp (pred : Ir.cmp) x y =
+  let pred, d =
+    match pred with
+    | Ir.Eq -> (Ir.Eq, sub x y)
+    | Ir.Ne -> (Ir.Ne, sub x y)
+    | Ir.Slt -> (Ir.Slt, sub x y)
+    | Ir.Sle -> (Ir.Sle, sub x y)
+    | Ir.Sgt -> (Ir.Slt, sub y x)
+    | Ir.Sge -> (Ir.Sle, sub y x)
+  in
+  match as_const d with
+  | Some c ->
+      let b =
+        match pred with
+        | Ir.Eq -> c = 0
+        | Ir.Ne -> c <> 0
+        | Ir.Slt -> c < 0
+        | Ir.Sle -> c <= 0
+        | _ -> assert false
+      in
+      if b then one else zero
+  | None ->
+      (* Eq/Ne are symmetric in d: canonicalize the sign so both
+         orderings of the original operands produce one atom. *)
+      let d =
+        match (pred, d.lin) with
+        | (Ir.Eq | Ir.Ne), (_, c) :: _ when c < 0 -> neg d
+        | _ -> d
+      in
+      of_atom (Acmp (pred, d))
+
+let select c a b =
+  match as_const c with
+  | Some 0 -> b
+  | Some _ -> a
+  | None -> if equal a b then a else of_atom (Asel (c, a, b))
+
+let read ~ver ~addr ~ty = of_atom (Aread { ver; addr; ty })
+
+(* A pure call is an uninterpreted function of its arguments: two calls
+   to the same callee with provably-equal arguments are provably equal,
+   which is what lets a pass-inserted look-ahead call match the demand
+   call it clones. *)
+let call callee args = of_atom (Acall (callee, args))
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lin t = t.lin
+let const t = t.const
+let coeff_of t a =
+  match List.find_opt (fun (b, _) -> equal_atom a b) t.lin with
+  | Some (_, c) -> c
+  | None -> 0
+
+(* Top-level symbol atoms with their coefficients. *)
+let top_syms t =
+  List.filter_map (function Asym i, c -> Some (i, c) | _ -> None) t.lin
+
+let rec iter_syms f t =
+  List.iter
+    (fun (a, _) ->
+      match a with
+      | Asym i -> f i
+      | Aread { addr; _ } -> iter_syms f addr
+      | Amin (x, y) | Amax (x, y) | Aop (_, x, y) ->
+          iter_syms f x;
+          iter_syms f y
+      | Acmp (_, d) -> iter_syms f d
+      | Asel (c, x, y) ->
+          iter_syms f c;
+          iter_syms f x;
+          iter_syms f y
+      | Acall (_, args) -> List.iter (iter_syms f) args
+      | Afconst _ -> ())
+    t.lin
+
+let occurs_sym i t =
+  let found = ref false in
+  iter_syms (fun j -> if i = j then found := true) t;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Substitution (deep, rebuilding through the smart constructors)      *)
+(* ------------------------------------------------------------------ *)
+
+let rec subst_sym i ~by t =
+  List.fold_left
+    (fun acc (a, c) -> add acc (mul_const c (subst_atom_sym i ~by a)))
+    (of_int t.const) t.lin
+
+and subst_atom_sym i ~by a =
+  match a with
+  | Asym j -> if i = j then by else of_atom a
+  | Aread { ver; addr; ty } -> read ~ver ~addr:(subst_sym i ~by addr) ~ty
+  | Amin (x, y) -> smin (subst_sym i ~by x) (subst_sym i ~by y)
+  | Amax (x, y) -> smax (subst_sym i ~by x) (subst_sym i ~by y)
+  | Acmp (p, d) -> cmp p (subst_sym i ~by d) zero
+  | Asel (c, x, y) ->
+      select (subst_sym i ~by c) (subst_sym i ~by x) (subst_sym i ~by y)
+  | Aop (op, x, y) -> (
+      try binop op (subst_sym i ~by x) (subst_sym i ~by y)
+      with Symbolic_division -> of_atom a)
+  | Acall (n, args) -> call n (List.map (subst_sym i ~by) args)
+  | Afconst _ -> of_atom a
+
+(* Replace every occurrence of [atom] (an extensional value: it equals
+   one of its arms) by [by]; used by the prover's min/max case split. *)
+let rec subst_atom ~atom ~by t =
+  List.fold_left
+    (fun acc (a, c) ->
+      let a' =
+        if equal_atom a atom then by
+        else
+          match a with
+          | Asym _ | Afconst _ -> of_atom a
+          | Aread { ver; addr; ty } ->
+              read ~ver ~addr:(subst_atom ~atom ~by addr) ~ty
+          | Amin (x, y) ->
+              smin (subst_atom ~atom ~by x) (subst_atom ~atom ~by y)
+          | Amax (x, y) ->
+              smax (subst_atom ~atom ~by x) (subst_atom ~atom ~by y)
+          | Acmp (p, d) -> cmp p (subst_atom ~atom ~by d) zero
+          | Asel (c, x, y) ->
+              select (subst_atom ~atom ~by c) (subst_atom ~atom ~by x)
+                (subst_atom ~atom ~by y)
+          | Aop (op, x, y) -> (
+              try binop op (subst_atom ~atom ~by x) (subst_atom ~atom ~by y)
+              with Symbolic_division -> of_atom a)
+          | Acall (n, args) -> call n (List.map (subst_atom ~atom ~by) args)
+      in
+      add acc (mul_const c a'))
+    (of_int t.const) t.lin
+
+(* First case-splittable atom (min/max/select), searching deep. *)
+let rec find_split t =
+  let in_atom a =
+    match a with
+    | Amin _ | Amax _ | Asel _ -> Some a
+    | Aread { addr; _ } -> find_split addr
+    | Acmp (_, d) -> find_split d
+    | Aop (_, x, y) -> ( match find_split x with Some s -> Some s | None -> find_split y)
+    | Acall (_, args) ->
+        List.fold_left
+          (fun acc t -> match acc with Some _ -> acc | None -> find_split t)
+          None args
+    | Asym _ | Afconst _ -> None
+  in
+  List.fold_left
+    (fun acc (a, _) -> match acc with Some _ -> acc | None -> in_atom a)
+    None t.lin
+
+(* Exact division of a linear form by a constant. *)
+let div_exact t k =
+  if k = 0 then None
+  else if
+    t.const mod k = 0 && List.for_all (fun (_, c) -> c mod k = 0) t.lin
+  then Some { const = t.const / k; lin = List.map (fun (a, c) -> (a, c / k)) t.lin }
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Unification: find U with  pat[var := U] == target                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The coverage check matches a transformed-side look-ahead address
+   against an original-side access term that is a function of the loop's
+   widened induction symbol [var].  Handles the linear case (base +
+   k·var vs base + k·U) and single-atom structural descent (addresses
+   nested inside memory reads or opaque operators). *)
+let rec unify ~pat ~target ~var =
+  if not (occurs_sym var pat) then None
+  else
+    let k = coeff_of pat (Asym var) in
+    let nested =
+      List.exists
+        (fun (a, _) ->
+          match a with
+          | Asym _ -> false
+          | _ -> occurs_sym var (of_atom a))
+        pat.lin
+    in
+    if k <> 0 && not nested then
+      (* pat = rest + k·var; target must be rest + k·U. *)
+      let rest = sub pat (mul_const k (sym var)) in
+      let r = sub target rest in
+      Option.map (fun u -> u) (div_exact r k)
+    else if k = 0 && nested then begin
+      (* Cancel equal parts; exactly one atom pair may remain, with
+         equal coefficients — recurse into it. *)
+      let d = sub target pat in
+      if d.const <> 0 then None
+      else
+        (* d = Σ c·(a_target) - Σ c·(a_pat): collect positive and
+           negative leftovers. *)
+        let pos = List.filter (fun (_, c) -> c > 0) d.lin in
+        let neg_ = List.filter (fun (_, c) -> c < 0) d.lin in
+        match (pos, neg_) with
+        | [ (ta, c) ], [ (pa, c') ] when c = -c' -> unify_atom ~pat:pa ~target:ta ~var
+        | _ -> None
+    end
+    else None
+
+and unify_atom ~pat ~target ~var =
+  (* Both arguments of a binary atom may mention [var] (e.g. the hash
+     [xor k (lshr k 33)]): unify each differing pair and require the
+     solutions to agree. *)
+  (* Every differing argument pair must unify to the same solution. *)
+  let unify_list pairs =
+    List.fold_left
+      (fun acc (x, y) ->
+        match acc with
+        | `Fail -> `Fail
+        | (`No_diff | `Sol _) as acc ->
+            if equal x y then acc
+            else (
+              match (unify ~pat:x ~target:y ~var, acc) with
+              | None, _ -> `Fail
+              | Some u, `No_diff -> `Sol u
+              | Some u, `Sol u0 -> if equal u u0 then acc else `Fail))
+      `No_diff pairs
+  in
+  let unify2 (x, x') (y, y') =
+    match unify_list [ (x, x'); (y, y') ] with
+    | `Sol u -> Some u
+    | `No_diff | `Fail -> None
+  in
+  match (pat, target) with
+  | Aread { ver = v1; addr = a1; ty = t1 }, Aread { ver = v2; addr = a2; ty = t2 }
+    when v1 = v2 && t1 = t2 ->
+      unify ~pat:a1 ~target:a2 ~var
+  | Amin (x, y), Amin (x', y') | Amax (x, y), Amax (x', y') ->
+      unify2 (x, x') (y, y')
+  | Aop (o, x, y), Aop (o', x', y') when o = o' -> unify2 (x, x') (y, y')
+  | Asel (c, x, y), Asel (c', x', y') when equal c c' -> unify2 (x, x') (y, y')
+  | Acmp (p, d), Acmp (p', d') when p = p' -> unify ~pat:d ~target:d' ~var
+  | Acall (n, xs), Acall (n', ys)
+    when n = n' && List.length xs = List.length ys -> (
+      match unify_list (List.combine xs ys) with
+      | `Sol u -> Some u
+      | `No_diff | `Fail -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_string t =
+  if t.lin = [] then string_of_int t.const
+  else
+    let part (a, c) =
+      if c = 1 then atom_to_string a
+      else Printf.sprintf "%d*%s" c (atom_to_string a)
+    in
+    let body = String.concat " + " (List.map part t.lin) in
+    if t.const = 0 then body else Printf.sprintf "%s + %d" body t.const
+
+and atom_to_string = function
+  | Asym i -> Printf.sprintf "s%d" i
+  | Aread { ver; addr; ty } ->
+      Printf.sprintf "mem%d[%s]:%s" ver (to_string addr) (Ir.string_of_ty ty)
+  | Amin (x, y) -> Printf.sprintf "min(%s, %s)" (to_string x) (to_string y)
+  | Amax (x, y) -> Printf.sprintf "max(%s, %s)" (to_string x) (to_string y)
+  | Acmp (p, d) -> Printf.sprintf "(%s 0 %s)" (to_string d) (Ir.string_of_cmp p)
+  | Asel (c, a, b) ->
+      Printf.sprintf "sel(%s, %s, %s)" (to_string c) (to_string a) (to_string b)
+  | Aop (op, x, y) ->
+      Printf.sprintf "(%s %s %s)" (Ir.string_of_binop op) (to_string x)
+        (to_string y)
+  | Acall (n, args) ->
+      Printf.sprintf "%s(%s)" n (String.concat ", " (List.map to_string args))
+  | Afconst f -> Printf.sprintf "%h" f

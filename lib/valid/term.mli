@@ -1,0 +1,110 @@
+(** Symbolic integer terms in normalized linear form:
+
+    {v t ::= const + Σ coeff·atom v}
+
+    with atoms sorted and coefficients non-zero.  Atoms are the opaque
+    leaves: fresh symbols, memory reads, and the non-linear operators.
+    {!equal} on normalized forms is the executor's notion of "provably
+    the same value"; constant folding mirrors the interpreter's native
+    [int] arithmetic exactly, so a term that folds to a constant is the
+    value the simulator computes.  See docs/ROBUSTNESS.md. *)
+
+type t
+
+and atom =
+  | Asym of int  (** a fresh symbol (parameter, widened phi, havoc) *)
+  | Aread of { ver : int; addr : t; ty : Spf_ir.Ir.ty }
+      (** memory at [addr] as of write-version [ver] *)
+  | Amin of t * t
+  | Amax of t * t
+  | Acmp of Spf_ir.Ir.cmp * t
+      (** [pred (d, 0)], [pred] restricted to Eq/Ne/Slt/Sle; value 0/1 *)
+  | Asel of t * t * t
+  | Aop of Spf_ir.Ir.binop * t * t  (** irreducible operator application *)
+  | Acall of string * t list
+      (** a pure call as an uninterpreted function of its arguments *)
+  | Afconst of float
+
+val compare_atom : atom -> atom -> int
+val equal_atom : atom -> atom -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Construction} *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val sym : int -> t
+val of_atom : atom -> t
+val as_const : t -> int option
+val is_const : t -> bool
+val add : t -> t -> t
+val mul_const : int -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val add_const : int -> t -> t
+val smin : t -> t -> t
+val smax : t -> t -> t
+val fconst : float -> t
+val mul : t -> t -> t
+
+exception Symbolic_division
+(** [Sdiv]/[Srem] whose result the term language cannot represent
+    soundly: symbolic or zero divisor.  The executor maps this to a
+    give-up (or, for a constant zero divisor, mirrors the trap). *)
+
+val binop : Spf_ir.Ir.binop -> t -> t -> t
+(** Smart constructor folding constants exactly as the interpreter
+    computes them.  @raise Symbolic_division as above. *)
+
+val cmp : Spf_ir.Ir.cmp -> t -> t -> t
+(** Normalized to [pred (d, 0)] with [pred] in Eq/Ne/Slt/Sle; constant
+    operands fold to {!zero}/{!one}. *)
+
+val select : t -> t -> t -> t
+val read : ver:int -> addr:t -> ty:Spf_ir.Ir.ty -> t
+
+val call : string -> t list -> t
+(** A pure call modelled as an uninterpreted function application: equal
+    callee and provably-equal arguments give provably-equal results. *)
+
+(** {1 Queries} *)
+
+val lin : t -> (atom * int) list
+val const : t -> int
+val coeff_of : t -> atom -> int
+val top_syms : t -> (int * int) list
+(** Top-level symbol atoms with their coefficients. *)
+
+val iter_syms : (int -> unit) -> t -> unit
+(** Every symbol id occurring anywhere in the term, depth included. *)
+
+val occurs_sym : int -> t -> bool
+
+(** {1 Substitution} (deep, rebuilding through the smart constructors) *)
+
+val subst_sym : int -> by:t -> t -> t
+val subst_atom : atom:atom -> by:t -> t -> t
+(** Replace every occurrence of [atom] — an extensional value equal to
+    one of its arms — by [by]; the prover's min/max/select case split. *)
+
+val find_split : t -> atom option
+(** First case-splittable atom (min/max/select), searching deep. *)
+
+val div_exact : t -> int -> t option
+(** Exact division of every coefficient and the constant, or [None]. *)
+
+val unify : pat:t -> target:t -> var:int -> t option
+(** Find [U] with [pat[var := U] == target].  Handles the linear case
+    ([base + k·var] vs [base + k·U]) and single-atom structural descent
+    (addresses nested inside memory reads or opaque operators, both of
+    whose arguments may mention [var]).  The look-ahead coverage check
+    in {!Equiv} is built on this. *)
+
+val unify_atom : pat:atom -> target:atom -> var:int -> t option
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+val atom_to_string : atom -> string

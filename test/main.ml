@@ -22,6 +22,8 @@ let () =
       ("multicore", Test_multicore.suite);
       ("properties", Test_props.suite);
       ("safety-edges", Test_safety_edges.suite);
+      ("term", Test_term.suite);
+      ("validate", Test_validate.suite);
       ("fuzz", Test_fuzz.suite);
       ("pool", Test_pool.suite);
       ("supervisor", Test_supervisor.suite);

@@ -185,6 +185,7 @@ let test_crash_then_resume_matches_raw () =
   match Replay.replay b with
   | Replay.Clean -> ()
   | Replay.Divergence d -> Alcotest.failf "unexpected divergence: %s" d
+  | Replay.Undecided r -> Alcotest.failf "unexpected give-up: %s" r
 
 let test_kill_mid_campaign_resume () =
   (* Simulate a kill after N cells by running a prefix campaign into the
@@ -238,7 +239,7 @@ let test_kill_mid_campaign_resume () =
 
 let test_fuzz_payload_roundtrip () =
   let spec = Gen.random (Rng.split ~seed:3 17) in
-  let p = Replay.payload ~cross_engine:false spec in
+  let p = Replay.payload ~mode:(Spf_fuzz.Oracle.Concrete None) spec in
   let p' = Replay.decode_payload (Replay.encode_payload p) in
   Alcotest.(check bool) "spec survives encode/decode" true (p = p');
   Alcotest.check_raises "garbage payload rejected"

@@ -70,7 +70,7 @@ let test_shrinker_minimises_clamp_failures () =
   let fails spec =
     match Oracle.check ~config:no_clamp_config spec with
     | Oracle.Diverged _ -> true
-    | Oracle.Agree _ -> false
+    | Oracle.Agree _ | Oracle.Undecided _ -> false
   in
   (* A known-failing spec under the clamp-free config. *)
   let big =

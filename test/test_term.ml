@@ -1,0 +1,219 @@
+module Ir = Spf_ir.Ir
+module Term = Spf_valid.Term
+module Prove = Spf_valid.Prove
+
+(* The validator's term algebra and entailment prover.  Soundness here is
+   load-bearing for the whole of lib/valid: a wrong normalization or a
+   prover that "proves" a falsehood silently turns refutations into
+   proofs. *)
+
+let t =
+  Alcotest.testable
+    (fun fmt x -> Format.pp_print_string fmt (Term.to_string x))
+    Term.equal
+let i = Term.of_int
+let s = Term.sym
+
+let test_linear_normalization () =
+  Alcotest.check t "x + y = y + x" (Term.add (s 1) (s 2)) (Term.add (s 2) (s 1));
+  Alcotest.check t "x - x = 0" Term.zero (Term.sub (s 1) (s 1));
+  Alcotest.check t "2x + 3 + x = 3x + 3"
+    (Term.add_const 3 (Term.mul_const 3 (s 1)))
+    (Term.add (Term.add_const 3 (Term.mul_const 2 (s 1))) (s 1));
+  Alcotest.(check (option int))
+    "constants fold" (Some 12)
+    (Term.as_const (Term.binop Ir.Mul (i 3) (i 4)))
+
+let test_binop_folding_matches_interp () =
+  (* The interpreter computes in OCaml native ints; the term layer must
+     fold to the very same values. *)
+  List.iter
+    (fun (op, a, b, expected) ->
+      Alcotest.(check (option int))
+        (Ir.string_of_binop op) (Some expected)
+        (Term.as_const (Term.binop op (i a) (i b))))
+    [
+      (Ir.Add, 7, -3, 4);
+      (Ir.Sub, 7, -3, 10);
+      (Ir.Mul, -4, 6, -24);
+      (Ir.Sdiv, 7, 2, 3);
+      (Ir.Srem, 7, 2, 1);
+      (Ir.And, 0b1100, 0b1010, 0b1000);
+      (Ir.Or, 0b1100, 0b1010, 0b1110);
+      (Ir.Xor, 0b1100, 0b1010, 0b0110);
+      (Ir.Shl, 3, 4, 48);
+      (Ir.Lshr, 48, 4, 3);
+      (Ir.Ashr, -16, 2, -4);
+      (Ir.Smin, 3, -5, -5);
+      (Ir.Smax, 3, -5, 3);
+    ]
+
+let test_symbolic_shift_is_multiplication () =
+  Alcotest.check t "x << 3 = 8x"
+    (Term.mul_const 8 (s 1))
+    (Term.binop Ir.Shl (s 1) (i 3))
+
+let test_symbolic_division_raises () =
+  Alcotest.check_raises "x / y" Term.Symbolic_division (fun () ->
+      ignore (Term.binop Ir.Sdiv (s 1) (s 2)));
+  Alcotest.check_raises "1 / 0" Term.Symbolic_division (fun () ->
+      ignore (Term.binop Ir.Sdiv (i 1) (i 0)))
+
+let test_min_max_folding () =
+  Alcotest.check t "min(x, x) = x" (s 1) (Term.smin (s 1) (s 1));
+  Alcotest.check t "min(x+1, x+4) = x+1"
+    (Term.add_const 1 (s 1))
+    (Term.smin (Term.add_const 1 (s 1)) (Term.add_const 4 (s 1)));
+  (* Argument order is canonicalized, so both sides of the lockstep
+     checker build one atom. *)
+  Alcotest.check t "min commutes" (Term.smin (s 1) (s 2)) (Term.smin (s 2) (s 1))
+
+let test_cmp_normalization () =
+  (* sgt/sge are rewritten to slt/sle with swapped operands; eq/ne get a
+     canonical sign.  All four spellings of the same predicate must
+     produce the same atom. *)
+  Alcotest.check t "x < y  =  y > x"
+    (Term.cmp Ir.Slt (s 1) (s 2))
+    (Term.cmp Ir.Sgt (s 2) (s 1));
+  Alcotest.check t "x = y  =  y = x"
+    (Term.cmp Ir.Eq (s 1) (s 2))
+    (Term.cmp Ir.Eq (s 2) (s 1));
+  Alcotest.(check (option int))
+    "3 < 5 folds to 1" (Some 1)
+    (Term.as_const (Term.cmp Ir.Slt (i 3) (i 5)))
+
+let test_select_folding () =
+  Alcotest.check t "sel(1, a, b) = a" (s 1) (Term.select Term.one (s 1) (s 2));
+  Alcotest.check t "sel(0, a, b) = b" (s 2) (Term.select Term.zero (s 1) (s 2));
+  Alcotest.check t "sel(c, a, a) = a" (s 1) (Term.select (s 9) (s 1) (s 1))
+
+let test_subst_sym_renormalizes () =
+  (* (x + 2y)[y := 3] = x + 6, rebuilt through the smart constructors. *)
+  let e = Term.add (s 1) (Term.mul_const 2 (s 2)) in
+  Alcotest.check t "substitution folds"
+    (Term.add_const 6 (s 1))
+    (Term.subst_sym 2 ~by:(i 3) e);
+  (* min collapses once its arguments become comparable. *)
+  let m = Term.smin (s 1) (Term.add_const 5 (s 2)) in
+  Alcotest.check t "min collapses under subst" (i 4)
+    (Term.subst_sym 1 ~by:(i 4) (Term.subst_sym 2 ~by:(i 7) m))
+
+let test_unify_linear () =
+  (* pat = base + 4·var against target = base + 4·(i+64). *)
+  let base = s 1 and iv = 2 in
+  let pat = Term.add base (Term.mul_const 4 (s iv)) in
+  let u = Term.add_const 64 (s 3) in
+  let target = Term.add base (Term.mul_const 4 u) in
+  (match Term.unify ~pat ~target ~var:iv with
+  | Some got -> Alcotest.check t "linear solution" u got
+  | None -> Alcotest.fail "linear unify failed");
+  (* Non-multiple difference must not unify. *)
+  let target_bad = Term.add_const 2 target in
+  Alcotest.(check bool)
+    "misaligned target rejected" true
+    (Term.unify ~pat ~target:target_bad ~var:iv = None)
+
+let test_unify_through_read () =
+  (* mem[a + 4·var] against mem[a + 4·U]: structural descent through the
+     read atom — the shape of every indirect coverage check. *)
+  let a = s 1 and iv = 2 in
+  let mk idx =
+    Term.read ~ver:0 ~addr:(Term.add a (Term.mul_const 4 idx)) ~ty:Ir.I32
+  in
+  let u = Term.smin (Term.add_const 64 (s 3)) (s 4) in
+  match Term.unify ~pat:(mk (s iv)) ~target:(mk u) ~var:iv with
+  | Some got -> Alcotest.check t "nested solution" u got
+  | None -> Alcotest.fail "unify through Aread failed"
+
+let test_unify_both_arms_mention_var () =
+  (* xor (k, lshr (k, 3)) — a hash where both operands mention the
+     unknown; the solutions from each arm must agree. *)
+  let iv = 2 in
+  let hash x = Term.binop Ir.Xor x (Term.binop Ir.Lshr x (i 3)) in
+  let u = s 7 in
+  (match Term.unify ~pat:(hash (s iv)) ~target:(hash u) ~var:iv with
+  | Some got -> Alcotest.check t "hash solution" u got
+  | None -> Alcotest.fail "unify through both-arm op failed");
+  (* Conflicting solutions in the two arms must fail. *)
+  let pat = Term.binop Ir.Xor (s iv) (Term.binop Ir.Lshr (s iv) (i 3)) in
+  let target = Term.binop Ir.Xor (s 7) (Term.binop Ir.Lshr (s 8) (i 3)) in
+  Alcotest.(check bool)
+    "conflicting arms rejected" true
+    (Term.unify ~pat ~target ~var:iv = None)
+
+let test_unify_pure_call () =
+  (* Pure calls are uninterpreted functions: f(var) against f(U). *)
+  let iv = 2 in
+  let f x = Term.call "mix" [ x; i 5 ] in
+  let u = Term.add_const 1 (s 3) in
+  (match Term.unify ~pat:(f (s iv)) ~target:(f u) ~var:iv with
+  | Some got -> Alcotest.check t "call solution" u got
+  | None -> Alcotest.fail "unify through Acall failed");
+  Alcotest.(check bool)
+    "different callee rejected" true
+    (Term.unify
+       ~pat:(Term.call "mix" [ s iv ])
+       ~target:(Term.call "hash" [ s 3 ])
+       ~var:iv
+    = None)
+
+let test_prover_linear () =
+  let facts = [ s 1; Term.sub (s 2) (s 1) ] in
+  (* x >= 0, y - x >= 0  |-  y >= 0. *)
+  Alcotest.(check bool) "transitivity" true (Prove.prove_ge0 ~facts (s 2));
+  (* ... but not y - 1 >= 0. *)
+  Alcotest.(check bool)
+    "sound incompleteness" false
+    (Prove.prove_ge0 ~facts (Term.add_const (-1) (s 2)))
+
+let test_prover_min_split () =
+  (* n - 1 - min(i + 64, n - 1) >= 0 given i >= 0 and n >= 1: the §4.2
+     clamp obligation, needing a case split on the min. *)
+  let iv = s 1 and n = s 2 in
+  let facts = [ iv; Term.add_const (-1) n ] in
+  let clamped = Term.smin (Term.add_const 64 iv) (Term.add_const (-1) n) in
+  Alcotest.(check bool)
+    "clamped index below bound" true
+    (Prove.prove_ge0 ~facts (Term.sub (Term.add_const (-1) n) clamped));
+  Alcotest.(check bool)
+    "clamped index non-negative" true
+    (Prove.prove_ge0 ~facts:(Term.add_const 64 iv :: facts) clamped);
+  (* Drop the i >= 0 fact and the second goal must fail: min(i+64, n-1)
+     can be negative. *)
+  Alcotest.(check bool)
+    "unprovable without the fact" false
+    (Prove.prove_ge0 ~facts:[ Term.add_const (-1) n ] clamped)
+
+let test_prover_assert_cond () =
+  (* Facts from branching on (i < n): taken means n - i - 1 >= 0. *)
+  let c = Term.cmp Ir.Slt (s 1) (s 2) in
+  let taken = Prove.assert_cond c true in
+  Alcotest.(check bool)
+    "branch fact implies i <= n - 1" true
+    (Prove.prove_ge0 ~facts:taken
+       (Term.sub (Term.add_const (-1) (s 2)) (s 1)))
+
+let suite =
+  [
+    Alcotest.test_case "linear normalization" `Quick test_linear_normalization;
+    Alcotest.test_case "binop folding matches the interpreter" `Quick
+      test_binop_folding_matches_interp;
+    Alcotest.test_case "symbolic shift is multiplication" `Quick
+      test_symbolic_shift_is_multiplication;
+    Alcotest.test_case "symbolic division raises" `Quick
+      test_symbolic_division_raises;
+    Alcotest.test_case "min/max folding" `Quick test_min_max_folding;
+    Alcotest.test_case "compare normalization" `Quick test_cmp_normalization;
+    Alcotest.test_case "select folding" `Quick test_select_folding;
+    Alcotest.test_case "substitution renormalizes" `Quick
+      test_subst_sym_renormalizes;
+    Alcotest.test_case "unify: linear" `Quick test_unify_linear;
+    Alcotest.test_case "unify: through memory reads" `Quick
+      test_unify_through_read;
+    Alcotest.test_case "unify: both arms mention the variable" `Quick
+      test_unify_both_arms_mention_var;
+    Alcotest.test_case "unify: pure calls" `Quick test_unify_pure_call;
+    Alcotest.test_case "prover: linear entailment" `Quick test_prover_linear;
+    Alcotest.test_case "prover: min case split" `Quick test_prover_min_split;
+    Alcotest.test_case "prover: branch facts" `Quick test_prover_assert_cond;
+  ]
