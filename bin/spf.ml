@@ -73,9 +73,11 @@ let engine_arg =
     & opt (enum alts) Spf_sim.Engine.default
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Simulator engine: $(b,interp) (classic instruction walker) or \
-           $(b,compiled) (pre-decoded micro-op closures, the default).  \
-           Both are bit-identical; compiled is faster.")
+          "Simulator engine: $(b,interp) (classic instruction walker), \
+           $(b,compiled) (pre-decoded micro-op closures) or $(b,tape) \
+           (struct-of-arrays micro-op tape with superblock fall-through, \
+           the default).  All three are bit-identical; tape is \
+           fastest.")
 
 type variant = Baseline | Auto | Icc | Manual
 
@@ -423,10 +425,11 @@ let fuzz_cmd =
       value & flag
       & info [ "cross-engine" ]
           ~doc:
-            "Differentially compare the two simulator engines instead: \
-             every generated program (plain and transformed) runs under \
-             both $(b,interp) and $(b,compiled), which must agree on the \
-             outcome and on every stats counter, cycles included.")
+            "Differentially compare the simulator engines instead: every \
+             generated program (plain and transformed) runs under \
+             $(b,interp), $(b,compiled) and $(b,tape), which must agree \
+             pairwise on the outcome and on every stats counter, cycles \
+             included; a divergence names the disagreeing pair.")
   in
   let oracle_arg =
     Arg.(

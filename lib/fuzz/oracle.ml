@@ -45,8 +45,10 @@ type divergence_kind =
     }
   | Engine_mismatch of {
       on_transformed : bool;  (* which twin disagreed across engines *)
-      interp : outcome;
-      compiled : outcome;
+      engine_a : Spf_sim.Engine.t;  (* the pair that disagreed... *)
+      engine_b : Spf_sim.Engine.t;
+      outcome_a : outcome;  (* ...and what each of them observed *)
+      outcome_b : outcome;
       stat : (string * int * int) option;
           (* when the outcomes agree, the first stats counter that does
              not: the engines computed the same answer but not the same
@@ -63,15 +65,20 @@ let divergence_to_string = function
         (if introduced_fault then
            " (demand fault at a pass-inserted instruction: clamp failure)"
          else "")
-  | Engine_mismatch { on_transformed; interp; compiled; stat } ->
-      Printf.sprintf "engine mismatch on the %s program: interp %s, compiled %s%s"
+  | Engine_mismatch { on_transformed; engine_a; engine_b; outcome_a; outcome_b; stat }
+    ->
+      let na = Spf_sim.Engine.to_string engine_a in
+      let nb = Spf_sim.Engine.to_string engine_b in
+      Printf.sprintf "engine mismatch on the %s program: %s %s, %s %s%s"
         (if on_transformed then "transformed" else "plain")
-        (outcome_to_string interp)
-        (outcome_to_string compiled)
+        na
+        (outcome_to_string outcome_a)
+        nb
+        (outcome_to_string outcome_b)
         (match stat with
         | Some (name, a, b) ->
-            Printf.sprintf " (first differing counter: %s interp=%d compiled=%d)"
-              name a b
+            Printf.sprintf " (first differing counter: %s %s=%d %s=%d)" name na
+              a nb b
         | None -> "")
 
 (* What a single differential run yields when the pass behaved. *)
@@ -94,7 +101,7 @@ type verdict =
 
 (* How a campaign checks each case.  [Concrete] is the classic
    differential run (optionally pinning a simulator engine);
-   [Cross_engine] compares the two engines against each other;
+   [Cross_engine] compares every engine pairwise against the others;
    [Symbolic] backs the concrete run with a translation-validation
    proof-or-counterexample. *)
 type mode =
@@ -187,44 +194,81 @@ let check ?config ?(strict = false) ?engine ?cancel (spec : Gen.spec) : verdict 
 
 (* --- cross-engine differential mode ------------------------------------ *)
 
-(* Run the same program (two identical builds of it) under both engines
-   and require the full observable behaviour to match: outcome (return
-   value, memory digest, trap site) and every stats counter, timing
-   included.  This is a stronger check than the semantic oracle above --
-   the engines must agree cycle-for-cycle, not just value-for-value. *)
-let compare_engines ?cancel ~fuel ~on_transformed b1 b2 =
-  let o1, s1 = execute ~engine:Spf_sim.Engine.Interp ?cancel ~fuel b1 in
-  let o2, s2 = execute ~engine:Spf_sim.Engine.Compiled ?cancel ~fuel b2 in
-  if o1 <> o2 then
-    Error (Engine_mismatch { on_transformed; interp = o1; compiled = o2; stat = None })
-  else
-    match Spf_sim.Stats.first_mismatch s1 s2 with
-    | Some m ->
-        Error
-          (Engine_mismatch
-             { on_transformed; interp = o1; compiled = o2; stat = Some m })
-    | None -> Ok (o1, s2)
+(* Run the same program (one identical build per engine) under every
+   engine in {!Spf_sim.Engine.all} and require the full observable
+   behaviour to match pairwise: outcome (return value, memory digest,
+   trap site) and every stats counter, timing included.  This is a
+   stronger check than the semantic oracle above -- the engines must
+   agree cycle-for-cycle, not just value-for-value.  A disagreement
+   names the exact engine pair and, when the outcomes agree, the first
+   stats counter that does not. *)
+let compare_engines ?cancel ~fuel ~on_transformed builds =
+  let runs =
+    List.map2
+      (fun engine b -> (engine, execute ~engine ?cancel ~fuel b))
+      Spf_sim.Engine.all builds
+  in
+  let mismatch (ea, (oa, sa)) (eb, (ob, sb)) =
+    if oa <> ob then
+      Some
+        (Engine_mismatch
+           {
+             on_transformed;
+             engine_a = ea;
+             engine_b = eb;
+             outcome_a = oa;
+             outcome_b = ob;
+             stat = None;
+           })
+    else
+      match Spf_sim.Stats.first_mismatch sa sb with
+      | Some m ->
+          Some
+            (Engine_mismatch
+               {
+                 on_transformed;
+                 engine_a = ea;
+                 engine_b = eb;
+                 outcome_a = oa;
+                 outcome_b = ob;
+                 stat = Some m;
+               })
+      | None -> None
+  in
+  let rec pairwise = function
+    | [] -> None
+    | r :: rest -> (
+        match List.find_map (mismatch r) rest with
+        | Some d -> Some d
+        | None -> pairwise rest)
+  in
+  match pairwise runs with
+  | Some d -> Error d
+  | None ->
+      let _, (o, s) = List.hd runs in
+      Ok (o, s)
 
 let check_engines ?config ?(strict = false) ?cancel (spec : Gen.spec) : verdict =
   let fuel = Gen.fuel spec in
-  (* The plain twin first: two builds of the same spec are structurally
-     identical, so any disagreement is an engine bug. *)
-  match compare_engines ?cancel ~fuel ~on_transformed:false (Gen.build spec) (Gen.build spec) with
+  let fresh_builds () =
+    List.map (fun _ -> Gen.build spec) Spf_sim.Engine.all
+  in
+  (* The plain twin first: the per-engine builds of the same spec are
+     structurally identical, so any disagreement is an engine bug. *)
+  match compare_engines ?cancel ~fuel ~on_transformed:false (fresh_builds ()) with
   | Error d -> Diverged d
   | Ok (o_plain, _) -> (
-      (* Then the transformed twin: apply the (deterministic) pass to both
-         builds and compare the engines on the prefetch-bearing program,
-         which exercises Prefetch uops, clamps and dropped-prefetch
-         accounting. *)
-      let t1 = Gen.build spec and t2 = Gen.build spec in
+      (* Then the transformed twin: apply the (deterministic) pass to
+         every build and compare the engines on the prefetch-bearing
+         program, which exercises Prefetch uops, clamps and
+         dropped-prefetch accounting. *)
+      let ts = fresh_builds () in
       match
-        let r1 = Pass.run ?config ~strict t1.Gen.func in
-        let _ = Pass.run ?config ~strict t2.Gen.func in
-        r1
+        List.map (fun t -> Pass.run ?config ~strict t.Gen.func) ts |> List.hd
       with
       | exception exn -> Diverged (Pass_raised (Printexc.to_string exn))
       | report -> (
-          match compare_engines ?cancel ~fuel ~on_transformed:true t1 t2 with
+          match compare_engines ?cancel ~fuel ~on_transformed:true ts with
           | Error d -> Diverged d
           | Ok (_, stats2) ->
               let discarded =

@@ -24,8 +24,10 @@ type divergence_kind =
     }
   | Engine_mismatch of {
       on_transformed : bool;
-      interp : outcome;
-      compiled : outcome;
+      engine_a : Spf_sim.Engine.t;  (** the pair that disagreed... *)
+      engine_b : Spf_sim.Engine.t;
+      outcome_a : outcome;  (** ...and what each of them observed *)
+      outcome_b : outcome;
       stat : (string * int * int) option;
           (** when outcomes agree, the first stats counter that does not *)
     }
@@ -93,9 +95,10 @@ val check_engines :
   Gen.spec ->
   verdict
 (** One cross-engine differential run: the plain and pass-transformed
-    twins each execute under both engines, which must agree on the full
-    observable behaviour — outcome {e and} every stats counter, cycles
-    included.  Disagreements surface as {!Engine_mismatch}. *)
+    twins each execute under every engine in {!Spf_sim.Engine.all},
+    which must agree pairwise on the full observable behaviour — outcome
+    {e and} every stats counter, cycles included.  A disagreement
+    surfaces as {!Engine_mismatch} naming the exact engine pair. *)
 
 val check_symbolic :
   ?config:Spf_core.Config.t ->

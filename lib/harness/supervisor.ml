@@ -21,11 +21,12 @@ module Stats = Spf_sim.Stats
      timeouts (also retried — a deadline overrun can be scheduling
      noise), and deterministic ones (failed immediately: re-running a
      deterministic simulation reproduces the same failure).
-   - {e engine fallback}: a job whose compiled-engine decode raises
-     ({!Spf_sim.Compile.Decode_error}) is re-run on the classic
-     interpreter — the engines are bit-identical, so the campaign's
-     numbers are unaffected; the degradation is reported as a note, not
-     a failure, and does not consume a retry.
+   - {e engine fallback}: a job whose engine decode raises
+     ({!Spf_sim.Tape.Decode_error} or {!Spf_sim.Compile.Decode_error})
+     is re-run one step down the {!Spf_sim.Engine.fallback} chain
+     (tape -> compiled -> interp) — the engines are bit-identical, so
+     the campaign's numbers are unaffected; each degradation is reported
+     as a note, not a failure, and does not consume a retry.
    - {e checkpointing}: with a {!Journal}, each completed job's encoded
      result is durably recorded by the worker the moment it completes,
      and already-journaled jobs are skipped entirely on resume — the
@@ -61,7 +62,8 @@ exception Transient_failure of string
    Transient. *)
 let classify = function
   | S.Cancelled _ -> Timeout
-  | Spf_sim.Compile.Decode_error _ -> Decode_failure
+  | Spf_sim.Compile.Decode_error _ | Spf_sim.Tape.Decode_error _ ->
+      Decode_failure
   | Transient_failure _ | Out_of_memory | Stack_overflow -> Transient
   | Unix.Unix_error _ | Sys_error _ -> Transient
   | S.Trap _ | S.Fuel_exhausted | Failure _ -> Deterministic
@@ -74,7 +76,7 @@ type policy = {
   retries : int; (* max re-runs after the first attempt *)
   backoff_base_s : float; (* sleep before retry k: base * 2^k, capped *)
   backoff_max_s : float;
-  engine_fallback : bool; (* compiled decode failure -> interp *)
+  engine_fallback : bool; (* decode failure -> next engine down the chain *)
 }
 
 let default_policy =
@@ -134,16 +136,17 @@ type 'a job = {
 
 type note =
   | Retried of { attempt : int; slept_s : float; error : string }
-  | Fell_back of { from_engine : Engine.t; error : string }
+  | Fell_back of { from_engine : Engine.t; to_engine : Engine.t; error : string }
 
 let note_to_string = function
   | Retried { attempt; slept_s; error } ->
       Printf.sprintf "attempt %d failed (%s); retried after %.2fs backoff"
         attempt error slept_s
-  | Fell_back { from_engine; error } ->
-      Printf.sprintf "engine %s failed to decode (%s); fell back to interp"
+  | Fell_back { from_engine; to_engine; error } ->
+      Printf.sprintf "engine %s failed to decode (%s); fell back to %s"
         (Engine.to_string from_engine)
         error
+        (Engine.to_string to_engine)
 
 type 'a outcome = { value : 'a; notes : note list; resumed : bool }
 
@@ -284,24 +287,23 @@ let run_jobs opts ~encode ~decode jobs =
                       write_bundle job exn ~cls ~attempts ~notes:!notes;
                   }
               in
-              match cls with
-              | Decode_failure
-                when opts.policy.engine_fallback
-                     && Option.value !engine ~default:Engine.default
-                        <> Engine.Interp ->
-                  (* Degradation, not a retry: the interpreter is
-                     bit-identical, so the campaign's numbers are safe. *)
+              let cur = Option.value !engine ~default:Engine.default in
+              match (cls, Engine.fallback cur) with
+              | Decode_failure, Some next when opts.policy.engine_fallback ->
+                  (* Degradation, not a retry: every engine down the
+                     chain is bit-identical, so the campaign's numbers
+                     are safe. *)
                   notes :=
                     Fell_back
                       {
-                        from_engine =
-                          Option.value !engine ~default:Engine.default;
+                        from_engine = cur;
+                        to_engine = next;
                         error = Printexc.to_string exn;
                       }
                     :: !notes;
-                  engine := Some Engine.Interp;
+                  engine := Some next;
                   go attempt
-              | (Transient | Timeout) when attempt < opts.policy.retries ->
+              | (Transient | Timeout), _ when attempt < opts.policy.retries ->
                   let slept = backoff_s opts.policy attempt in
                   opts.sleep slept;
                   notes :=

@@ -9,7 +9,9 @@
 type classification =
   | Transient  (** environmental (OOM, OS error); worth retrying *)
   | Deterministic  (** a property of the job itself; retrying is futile *)
-  | Decode_failure  (** compiled-engine decode raised; fall back to interp *)
+  | Decode_failure
+      (** an engine's decode raised; fall back down the
+          {!Spf_sim.Engine.fallback} chain *)
   | Timeout  (** the watchdog fired the job's deadline *)
 
 val classification_to_string : classification -> string
@@ -27,7 +29,8 @@ type policy = {
   retries : int;  (** max re-runs after the first attempt *)
   backoff_base_s : float;  (** sleep before retry [k] is [base * 2^k]... *)
   backoff_max_s : float;  (** ...capped at this *)
-  engine_fallback : bool;  (** decode failure -> interp, not a failure *)
+  engine_fallback : bool;
+      (** decode failure -> next engine down the chain, not a failure *)
 }
 
 val default_policy : policy
@@ -80,7 +83,11 @@ type 'a job = {
 
 type note =
   | Retried of { attempt : int; slept_s : float; error : string }
-  | Fell_back of { from_engine : Spf_sim.Engine.t; error : string }
+  | Fell_back of {
+      from_engine : Spf_sim.Engine.t;
+      to_engine : Spf_sim.Engine.t;
+      error : string;
+    }
 
 val note_to_string : note -> string
 

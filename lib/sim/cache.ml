@@ -1,16 +1,22 @@
 (* Set-associative cache with true-LRU replacement.
 
    Keyed on an abstract "unit" number (a line number for data caches, a
-   page number for the TLB).  Tags are stored per way alongside an access
-   stamp used for LRU. *)
+   page number for the TLB).  Each set's ways are stored in recency
+   order — tags.(base) is the MRU way, tags.(base + assoc - 1) the LRU —
+   so a probe needs no stamp array and the dominant case of the whole
+   simulator, a repeat hit on the most-recently-used way, is a single
+   compare.  A hit elsewhere rotates the prefix (move-to-front); the
+   eviction victim is simply the last way.  This is observationally
+   identical to the classic stamp-based true-LRU scheme: the same keys
+   hit, and the same victim is displaced on every insert (invalid ways
+   drift to — and are consumed from — the back, exactly like the
+   all-zero stamps they used to carry). *)
 
 type t = {
   sets : int;
   mask : int; (* sets - 1 when sets is a power of two, else -1 *)
   assoc : int;
-  tags : int array; (* sets * assoc; -1 = invalid *)
-  stamps : int array;
-  mutable tick : int;
+  tags : int array; (* sets * assoc, recency-ordered per set; -1 = invalid *)
 }
 
 (* Every real machine config has power-of-two set counts, so set
@@ -21,25 +27,11 @@ let mask_of sets = if sets land (sets - 1) = 0 then sets - 1 else -1
 let create ~size ~assoc ~unit_shift =
   let units = size lsr unit_shift in
   let sets = max 1 (units / assoc) in
-  {
-    sets;
-    mask = mask_of sets;
-    assoc;
-    tags = Array.make (sets * assoc) (-1);
-    stamps = Array.make (sets * assoc) 0;
-    tick = 0;
-  }
+  { sets; mask = mask_of sets; assoc; tags = Array.make (sets * assoc) (-1) }
 
 let create_entries ~entries ~assoc =
   let sets = max 1 (entries / assoc) in
-  {
-    sets;
-    mask = mask_of sets;
-    assoc;
-    tags = Array.make (sets * assoc) (-1);
-    stamps = Array.make (sets * assoc) 0;
-    tick = 0;
-  }
+  { sets; mask = mask_of sets; assoc; tags = Array.make (sets * assoc) (-1) }
 
 let set_of t key = if t.mask >= 0 then key land t.mask else key mod t.sets
 
@@ -55,48 +47,64 @@ let mem t key =
   in
   scan 0
 
+(* Rotate ways [0, w] of the set right by one and put [key] in front —
+   the move-to-front that refreshes recency. *)
+let promote tags ~base ~w key =
+  for k = w downto 1 do
+    Array.unsafe_set tags (base + k) (Array.unsafe_get tags (base + k - 1))
+  done;
+  Array.unsafe_set tags base key
+
 (* Probe and, on a hit, refresh LRU state.  Returns whether the key hit. *)
 let access t key =
   let base = set_of t key * t.assoc in
+  let tags = t.tags in
+  Array.unsafe_get tags base = key
+  ||
   let rec scan w =
     if w >= t.assoc then false
-    else if Array.unsafe_get t.tags (base + w) = key then begin
-      t.tick <- t.tick + 1;
-      Array.unsafe_set t.stamps (base + w) t.tick;
+    else if Array.unsafe_get tags (base + w) = key then begin
+      promote tags ~base ~w key;
       true
     end
     else scan (w + 1)
   in
-  scan 0
+  scan 1
 
-(* Insert a key (no-op if already present), evicting the LRU way.
-   Returns the evicted key, if a valid line was displaced. *)
+(* Insert a key (refreshing its recency if already present), evicting
+   the LRU way.  Returns the evicted key, if a valid line was
+   displaced. *)
 let insert t key =
   let base = set_of t key * t.assoc in
-  let existing = ref (-1) in
-  let victim = ref 0 in
-  for w = 0 to t.assoc - 1 do
-    if Array.unsafe_get t.tags (base + w) = key then existing := w;
-    if
-      Array.unsafe_get t.stamps (base + w)
-      < Array.unsafe_get t.stamps (base + !victim)
-    then victim := w
-  done;
-  t.tick <- t.tick + 1;
-  if !existing >= 0 then begin
-    t.stamps.(base + !existing) <- t.tick;
+  let tags = t.tags in
+  let rec find w =
+    if w >= t.assoc then -1
+    else if Array.unsafe_get tags (base + w) = key then w
+    else find (w + 1)
+  in
+  let pos = find 0 in
+  if pos = 0 then None
+  else if pos > 0 then begin
+    promote tags ~base ~w:pos key;
     None
   end
   else begin
-    let old = t.tags.(base + !victim) in
-    t.tags.(base + !victim) <- key;
-    t.stamps.(base + !victim) <- t.tick;
+    let old = Array.unsafe_get tags (base + t.assoc - 1) in
+    promote tags ~base ~w:(t.assoc - 1) key;
     if old >= 0 then Some old else None
   end
 
-let clear t =
-  Array.fill t.tags 0 (Array.length t.tags) (-1);
-  Array.fill t.stamps 0 (Array.length t.stamps) 0;
-  t.tick <- 0
+(* Insert a key the caller has just proven absent (an [access] on this
+   cache missed, with no intervening insert of it): skips the presence
+   scan of {!insert}, going straight to evict-LRU + move-to-front.
+   Every memory-system fill site satisfies the precondition — fills only
+   happen after the corresponding probe missed. *)
+let insert_absent t key =
+  let base = set_of t key * t.assoc in
+  let tags = t.tags in
+  let old = Array.unsafe_get tags (base + t.assoc - 1) in
+  promote tags ~base ~w:(t.assoc - 1) key;
+  if old >= 0 then Some old else None
 
+let clear t = Array.fill t.tags 0 (Array.length t.tags) (-1)
 let capacity t = t.sets * t.assoc

@@ -16,6 +16,12 @@ exception Decode_error of string
     handle this program" (retry on the classic interpreter) apart from a
     failure of the program itself. *)
 
+val fusable : Spf_ir.Usedef.t -> Spf_ir.Ir.instr -> Spf_ir.Ir.instr -> bool
+(** GEP-fusion legality, shared with the tape engine: [fusable ud g nxt]
+    iff [g] is a GEP whose single use is the immediately following
+    load/store [nxt]'s address operand (and no terminator/phi use; for a
+    store, the stored value must not be the GEP itself). *)
+
 val decode : tscale:int -> Spf_ir.Ir.func -> program
 (** Decode without consulting the cache.
     @raise Decode_error on any decode-time failure. *)

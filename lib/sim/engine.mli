@@ -1,12 +1,14 @@
-(** Execution-engine selector: the classic instruction-record interpreter
-    or the compile-to-closure engine (pre-decoded micro-ops).  Both are
-    bit-identical; [Compiled] is the default because it is faster. *)
+(** Execution-engine selector: the classic instruction-record interpreter,
+    the compile-to-closure engine (pre-decoded micro-op closures), or the
+    micro-op tape engine (contiguous struct-of-arrays micro-ops).  All
+    three are bit-identical; [Tape] is the default because it is the
+    fastest. *)
 
-type t = Interp | Compiled
+type t = Interp | Compiled | Tape
 
 val default : t
-(** [Compiled] — pinned bit-identical to [Interp] by the golden suite and
-    the cross-engine fuzz oracle. *)
+(** [Tape] — pinned bit-identical to [Interp] and [Compiled] by the
+    golden suite and the cross-engine fuzz oracle. *)
 
 val to_string : t -> string
 val of_string : string -> t option
@@ -14,4 +16,5 @@ val all : t list
 
 val fallback : t -> t option
 (** The engine a supervisor degrades to when this one fails to decode a
-    program: [Compiled -> Some Interp], [Interp -> None]. *)
+    program: [Tape -> Some Compiled], [Compiled -> Some Interp],
+    [Interp -> None]. *)

@@ -1,13 +1,13 @@
 module Ir = Spf_ir.Ir
 
-(* Execution state and timing helpers shared by the two engines.
+(* Execution state and timing helpers shared by the engines.
 
-   The classic interpreter (Interp) and the compile-to-closure engine
-   (Compile) both drive exactly this state with exactly these helpers, so
-   their timing bookkeeping cannot drift apart: dispatch/retire, the ROB
-   ring, the in-order demand-miss slots and the memory-operation sequences
-   (bounds check, functional access, Memsys timing, miss-restart penalty)
-   live here once.
+   The classic interpreter (Interp), the compile-to-closure engine
+   (Compile) and the micro-op tape engine (Tape) all drive exactly this
+   state with exactly these helpers, so their timing bookkeeping cannot
+   drift apart: dispatch/retire, the ROB ring, the in-order demand-miss
+   slots and the memory-operation sequences (bounds check, functional
+   access, Memsys timing, miss-restart penalty) live here once.
 
    Time is kept in scaled cycles ([tscale] sub-cycle units) so that
    multi-issue dispatch intervals stay integral. *)
@@ -67,10 +67,17 @@ type t = {
   mutable last_retire : int;
 }
 
-let create ~machine ~tscale ~dram ?stats ?cancel ~mem ~args func =
+(* [extra_slots] extends the value arrays beyond the SSA ids: the tape
+   engine materializes immediates into trailing constant slots (written
+   once at create, ready-time permanently 0) so every operand becomes a
+   plain slot index.  Instruction destinations are always < n_instrs, so
+   the extension is invisible to the other engines. *)
+let create ~machine ~tscale ~dram ?stats ?cancel ?(extra_slots = 0) ~mem ~args
+    func =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let memsys = Memsys.create machine ~tscale ~dram ~stats in
   let n = Ir.n_instrs func in
+  let slots = max (n + extra_slots) 1 in
   let t =
     {
       machine;
@@ -78,9 +85,9 @@ let create ~machine ~tscale ~dram ?stats ?cancel ~mem ~args func =
       mem;
       memsys;
       stats;
-      env = Array.make (max n 1) 0;
-      fenv = Array.make (max n 1) 0.0;
-      ready = Array.make (max n 1) 0;
+      env = Array.make slots 0;
+      fenv = Array.make slots 0.0;
+      ready = Array.make slots 0;
       call_fns = Array.make (max n 1) None;
       tscale;
       disp_int = max 1 (tscale * machine.Machine.inst_cost / machine.width);
@@ -129,7 +136,7 @@ let rtime t = function Ir.Var id -> t.ready.(id) | Ir.Imm _ | Ir.Fimm _ -> 0
 (* Int-specialized max: [Stdlib.max] is a generic call into polymorphic
    compare without flambda, and these run several times per dynamic
    instruction. *)
-let imax (a : int) (b : int) = if a < b then b else a
+let[@inline always] imax (a : int) (b : int) = if a < b then b else a
 
 (* Latency table shared by both engines (scaled by [tscale] at use/decode
    time). *)
@@ -148,21 +155,28 @@ let binop_latency = function
    (advanced by [retire], which strictly alternates with [dispatch])
    instead of [inst_index mod rob] — one less integer division per
    dynamic instruction, same values. *)
-let dispatch t ~operands_ready =
-  if t.in_order then begin
-    (* In-order issue: wait for operands at issue time (stall-on-use). *)
-    let issue = imax (t.last_dispatch + t.disp_int) operands_ready in
-    t.last_dispatch <- issue;
-    issue
-  end
-  else begin
-    let d = imax (t.last_dispatch + t.disp_int) t.rob_ring.(t.rob_slot) in
-    t.last_dispatch <- d;
-    imax d operands_ready
-  end
+(* In-order issue: wait for operands at issue time (stall-on-use).  The
+   fast path is [operands_ready <= slot] — on an L1-hit-dominated stream
+   every source is ready by the next issue slot, so issue advances by
+   exactly [disp_int] and the stall max is a predicted-not-taken
+   branch. *)
+let[@inline always] dispatch_in_order t ~operands_ready =
+  let slot = t.last_dispatch + t.disp_int in
+  let issue = if operands_ready <= slot then slot else operands_ready in
+  t.last_dispatch <- issue;
+  issue
+
+let[@inline always] dispatch_out_of_order t ~operands_ready =
+  let d = imax (t.last_dispatch + t.disp_int) t.rob_ring.(t.rob_slot) in
+  t.last_dispatch <- d;
+  imax d operands_ready
+
+let[@inline always] dispatch t ~operands_ready =
+  if t.in_order then dispatch_in_order t ~operands_ready
+  else dispatch_out_of_order t ~operands_ready
 
 (* Record in-order retirement (OoO ROB bookkeeping). *)
-let retire t ~complete =
+let[@inline always] retire t ~complete =
   let r = imax complete t.last_retire in
   t.last_retire <- r;
   if not t.in_order then begin
@@ -181,9 +195,20 @@ let free_demand_slot t =
   !k
 
 (* Refresh the cycle counter after a completed step (never mid-step, so a
-   trapped step leaves the previous step's value, as always). *)
-let update_cycles t =
-  t.stats.Stats.cycles <- imax t.last_retire t.last_dispatch / t.tscale
+   trapped step leaves the previous step's value, as always).  The block
+   boundary is also where dead in-flight fill records get pruned:
+   [last_dispatch] only ever grows and every memory access issues at or
+   after it, so it is a sound low-water mark for
+   {!Memsys.prune_inflight}. *)
+let[@inline always] update_cycles t =
+  let time = imax t.last_retire t.last_dispatch in
+  (* Every shipped machine model runs at the default tscale, and division
+     by a literal constant compiles to a multiply-shift where the generic
+     [/ t.tscale] pays a hardware divide on every block boundary.  The
+     branch is perfectly predicted (tscale is fixed per run). *)
+  t.stats.Stats.cycles <-
+    (if t.tscale = 12 then time / 12 else time / t.tscale);
+  Memsys.prune_inflight t.memsys ~low_water:t.last_dispatch
 
 let time t = imax t.last_retire t.last_dispatch
 

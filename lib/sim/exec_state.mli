@@ -1,8 +1,8 @@
-(** Execution state and timing helpers shared by the two simulator engines
-    (the classic interpreter and the compile-to-closure engine).  Keeping
-    dispatch/retire, the in-order miss slots and the memory-operation
-    sequences in one place is what guarantees the engines stay
-    bit-identical. *)
+(** Execution state and timing helpers shared by the simulator engines
+    (the classic interpreter, the compile-to-closure engine and the
+    micro-op tape engine).  Keeping dispatch/retire, the in-order miss
+    slots and the memory-operation sequences in one place is what
+    guarantees the engines stay bit-identical. *)
 
 val default_tscale : int
 
@@ -59,10 +59,14 @@ val create :
   dram:Dram.t ->
   ?stats:Stats.t ->
   ?cancel:cancel ->
+  ?extra_slots:int ->
   mem:Memory.t ->
   args:int array ->
   Spf_ir.Ir.func ->
   t
+(** [extra_slots] (default 0) extends [env]/[fenv]/[ready] beyond the SSA
+    ids — the tape engine materializes immediates into trailing constant
+    slots there.  Instruction destinations never reach the extension. *)
 
 val poll_cancel : t -> unit
 (** @raise Cancelled if this state's token (if any) has been fired. *)

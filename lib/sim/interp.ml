@@ -20,16 +20,19 @@ module S = Exec_state
      misses").  Software prefetches never stall, which is where the large
      in-order speedups come from.
 
-   The state and the timing/memory helpers live in {!Exec_state}; two
+   The state and the timing/memory helpers live in {!Exec_state}; three
    engines drive them (selected per instance, see {!Engine}):
 
    - the {e classic} engine below walks [Ir.instr] records and
      pattern-matches every dynamic instruction;
-   - the {e compiled} engine ({!Compile}, the default) pre-decodes each
-     static instruction into a specialized closure once and the hot loop
-     is an indirect call over a flat array.
+   - the {e compiled} engine ({!Compile}) pre-decodes each static
+     instruction into a specialized closure once and the hot loop is an
+     indirect call over a flat array;
+   - the {e tape} engine ({!Tape}, the default) flattens the decode into
+     contiguous struct-of-arrays micro-ops and the hot loop is a direct
+     match on an unboxed opcode.
 
-   Both are bit-identical — pinned by the golden suite and the
+   All three are bit-identical — pinned by the golden suite and the
    cross-engine fuzz oracle. *)
 
 let default_tscale = S.default_tscale
@@ -71,7 +74,10 @@ type classic = {
   edges : edge array; (* (pred * nblocks + succ) -> phi parallel copies *)
 }
 
-type impl = Classic of classic | Compiled of Compile.program
+type impl =
+  | Classic of classic
+  | Compiled of Compile.program
+  | Tape of Tape.program
 
 type t = {
   st : S.t;
@@ -123,7 +129,21 @@ let create ~machine ?(tscale = default_tscale) ?dram ?stats ?cancel
     | Some d -> d
     | None -> Dram.create machine.Machine.dram ~tscale
   in
-  let st = S.create ~machine ~tscale ~dram ?stats ?cancel ~mem ~args func in
+  (* The tape is decoded before the state exists: its constant-slot count
+     sizes the value arrays ([extra_slots]), and the slots' values are
+     written right after creation. *)
+  let tape =
+    match engine with
+    | Engine.Tape -> Some (Tape.get ~tscale func)
+    | Engine.Compiled | Engine.Interp -> None
+  in
+  let extra_slots =
+    match tape with Some p -> Tape.n_extra_slots p | None -> 0
+  in
+  let st =
+    S.create ~machine ~tscale ~dram ?stats ?cancel ~extra_slots ~mem ~args func
+  in
+  (match tape with Some p -> Tape.init_consts p st | None -> ());
   (* Call sites, so intrinsics resolve into a per-instruction array at
      registration time instead of a Hashtbl probe per dynamic call. *)
   let call_sites =
@@ -139,9 +159,11 @@ let create ~machine ?(tscale = default_tscale) ?dram ?stats ?cancel
       [] func.Ir.blocks
   in
   let impl =
-    match engine with
-    | Engine.Compiled -> Compiled (Compile.get ~tscale func)
-    | Engine.Interp -> Classic (build_classic func)
+    match (engine, tape) with
+    | _, Some p -> Tape p
+    | Engine.Compiled, None -> Compiled (Compile.get ~tscale func)
+    | Engine.Interp, None -> Classic (build_classic func)
+    | Engine.Tape, None -> assert false
   in
   { st; impl; call_sites }
 
@@ -301,6 +323,7 @@ let step t =
   match t.impl with
   | Classic c -> step_classic c t.st
   | Compiled p -> Compile.step p t.st
+  | Tape p -> Tape.step p t.st
 
 (* Cancellation poll mask: the engines check the token every [poll_mask
    + 1] blocks, so supervision costs one land+branch per block and an
@@ -323,7 +346,11 @@ let run ?(fuel = max_int) t =
         ignore (Compile.step p st);
         incr steps;
         if !steps land poll_mask = 0 then S.poll_cancel st
-      done);
+      done
+  | Tape p ->
+      (* The tape engine keeps its own block counter inside one flat
+         dispatch loop, with the same fuel/poll accounting as above. *)
+      Tape.exec ~fuel p t.st);
   if not t.st.S.halted then raise Fuel_exhausted
 
 let poll_cancel t = S.poll_cancel t.st

@@ -51,9 +51,9 @@ val create :
   t
 (** Instantiate an execution of [func] with parameter values [args] over
     the given memory.  Pass a shared [dram] to model multicore bandwidth
-    contention.  [engine] selects the classic instruction walker or the
-    compile-to-closure engine (default {!Engine.default}); both are
-    bit-identical. *)
+    contention.  [engine] selects the classic instruction walker, the
+    compile-to-closure engine or the micro-op tape engine (default
+    {!Engine.default}); all three are bit-identical. *)
 
 val register_intrinsic : t -> string -> (int array -> int) -> unit
 (** Provide the implementation of a [Call] target. *)

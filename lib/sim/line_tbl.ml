@@ -102,6 +102,38 @@ let replace t key v =
   in
   probe (home t key) (-1)
 
+(* Drop every binding with value <= bound and rebuild at the smallest
+   power-of-two capacity keeping the load factor under a half (floor 64).
+   The rebuild also sheds tombstones, so a post-sweep probe over the
+   (typically small) survivor set is short and host-cache-resident
+   again. *)
+let sweep t ~bound =
+  let old_keys = t.keys and old_vals = t.vals in
+  let live = ref 0 in
+  Array.iteri
+    (fun i k -> if k >= 0 && Array.unsafe_get old_vals i > bound then incr live)
+    old_keys;
+  let cap = ref 64 in
+  while !live * 2 > !cap do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  let keys = Array.make cap empty_slot in
+  let vals = Array.make cap 0 in
+  let mask = cap - 1 in
+  t.keys <- keys;
+  t.vals <- vals;
+  t.mask <- mask;
+  t.live <- !live;
+  t.used <- !live;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let v = Array.unsafe_get old_vals i in
+        if v > bound then insert_fresh keys vals mask k v (home t k)
+      end)
+    old_keys
+
 let remove t key =
   let keys = t.keys in
   let mask = t.mask in

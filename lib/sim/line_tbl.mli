@@ -13,3 +13,11 @@ val find : t -> int -> int
 
 val replace : t -> int -> int -> unit
 val remove : t -> int -> unit
+
+val sweep : t -> bound:int -> unit
+(** Drop every binding whose value is [<= bound] and rebuild the table at
+    the smallest fitting capacity.  The memory system uses this to purge
+    fills that already completed behind the core's dispatch low-water
+    mark: without it, lines that complete and are never touched again
+    accumulate for the whole run and every probe degrades into a host
+    cache miss over a multi-megabyte table. *)

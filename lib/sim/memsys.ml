@@ -62,11 +62,18 @@ let stats t = t.stats
 
 let imax (a : int) (b : int) = if a < b then b else a
 
-(* Index of the earliest-free slot in a busy-until array. *)
-let min_slot slots =
+(* Index of the earliest-free slot in a busy-until array.  Runs on every
+   miss (twice on the DRAM path), scanning a <= 24-entry array: keep the
+   comparison value in a local and the accesses unchecked. *)
+let min_slot (slots : int array) =
   let best = ref 0 in
+  let best_v = ref (Array.unsafe_get slots 0) in
   for k = 1 to Array.length slots - 1 do
-    if slots.(k) < slots.(!best) then best := k
+    let v = Array.unsafe_get slots k in
+    if v < !best_v then begin
+      best := k;
+      best_v := v
+    end
   done;
   !best
 
@@ -83,7 +90,7 @@ let translate t ~addr ~now =
     let k = min_slot t.walkers in
     let start = imax now t.walkers.(k) in
     t.walkers.(k) <- start + t.walk_latency;
-    ignore (Cache.insert t.tlb page);
+    ignore (Cache.insert_absent t.tlb page);
     start + t.walk_latency
   end
 
@@ -128,7 +135,7 @@ let lookup t ~kind ~line ~now =
       else if Cache.access t.l2 line then begin
         t.last_level <- L2;
         t.stats.l2_hits <- t.stats.l2_hits + 1;
-        ignore (Cache.insert t.l1 line);
+        ignore (Cache.insert_absent t.l1 line);
         with_mshr t ~kind ~now (fun start -> start + t.lat_l2)
       end
       else
@@ -136,8 +143,8 @@ let lookup t ~kind ~line ~now =
         | Some l3 when Cache.access l3 line ->
             t.last_level <- L3;
             t.stats.l3_hits <- t.stats.l3_hits + 1;
-            ignore (Cache.insert t.l2 line);
-            ignore (Cache.insert t.l1 line);
+            ignore (Cache.insert_absent t.l2 line);
+            ignore (Cache.insert_absent t.l1 line);
             with_mshr t ~kind ~now (fun start -> start + t.lat_l3)
         | _ -> (
             t.last_level <- Dram;
@@ -176,14 +183,30 @@ let lookup t ~kind ~line ~now =
                 | Demand | Write | Sw_prefetch -> true
               in
               (match t.l3 with
-              | Some l3 -> ignore (Cache.insert l3 line)
+              | Some l3 -> ignore (Cache.insert_absent l3 line)
               | None -> ());
-              ignore (Cache.insert t.l2 line);
-              if into_l1 then ignore (Cache.insert t.l1 line);
+              ignore (Cache.insert_absent t.l2 line);
+              if into_l1 then ignore (Cache.insert_absent t.l1 line);
               Line_tbl.replace t.inflight line completion;
               completion
             end)
   end
+
+(* Purge in-flight records whose fill completed at or before [low_water].
+   [lookup] only removes a stale record when its exact line is touched
+   again; lines that fill and are never re-accessed would otherwise
+   accumulate for the whole run (hundreds of thousands on a G500 sweep),
+   degrading every probe of the table into a host cache miss.  Any
+   monotone lower bound on all future access times makes the sweep
+   observationally free — a record with [fill <= now] already behaves as
+   absent ([fill > now] fails, and the emptiness fast path short-circuits
+   the same way a probe miss resolves.  The threshold keeps the sweep
+   amortized: genuinely in-flight lines number at most a few hundred
+   (bounded by fill latency x issue rate), so a table past the threshold
+   is mostly corpses. *)
+let prune_inflight t ~low_water =
+  if Line_tbl.length t.inflight >= 1024 then
+    Line_tbl.sweep t.inflight ~bound:low_water
 
 let access t ~kind ~pc ~addr ~now =
   let ready = translate t ~addr ~now in

@@ -26,6 +26,15 @@ val access : t -> kind:kind -> pc:int -> addr:int -> now:int -> int
 val last_level : t -> level
 (** Where the most recent [access] was satisfied. *)
 
+val prune_inflight : t -> low_water:int -> unit
+(** Drop in-flight fill records that completed at or before [low_water],
+    once enough of them have piled up (cheap no-op below an internal
+    threshold).  [low_water] must be a monotone lower bound on the [now]
+    of every future [access] — the core's dispatch clock qualifies; the
+    engines call this at block boundaries.  Observationally free: a
+    record with completion [<= now] already behaves exactly like an
+    absent one. *)
+
 val stats : t -> Stats.t
 
 val set_page_shift : t -> int -> unit

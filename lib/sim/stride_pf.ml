@@ -21,7 +21,13 @@ type entry = {
   mutable conf : int;
 }
 
-type t = { cfg : Machine.stride_cfg; entries : entry array (* 2 per set *) }
+type t = {
+  cfg : Machine.stride_cfg;
+  entries : entry array;
+  mask : int; (* length - 1 when a power of two, else -1: [train] runs
+                 once per demand load, so entry selection should be a
+                 mask, not a division, whenever the config allows *)
+}
 
 let region_shift = 12
 
@@ -33,10 +39,12 @@ let region_shift = 12
    of Fig 5 pay off. *)
 
 let create (cfg : Machine.stride_cfg) =
+  let n = max 1 cfg.table in
   {
     cfg;
     entries =
-      Array.init cfg.table (fun _ -> { region = -1; last = 0; stride = 0; conf = 0 });
+      Array.init n (fun _ -> { region = -1; last = 0; stride = 0; conf = 0 });
+    mask = (if n land (n - 1) = 0 then n - 1 else -1);
   }
 
 let reset e ~region ~addr =
@@ -53,7 +61,11 @@ let reset e ~region ~addr =
 let train t ~pc ~addr =
   ignore pc;
   let region = addr lsr region_shift in
-  let e = Array.unsafe_get t.entries (region mod Array.length t.entries) in
+  let idx =
+    if t.mask >= 0 then region land t.mask
+    else region mod Array.length t.entries
+  in
+  let e = Array.unsafe_get t.entries idx in
   if e.region <> region then begin
     reset e ~region ~addr;
     -1

@@ -29,5 +29,6 @@ let () =
       ("supervisor", Test_supervisor.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("engine", Test_engine.suite);
+      ("tape", Test_tape.suite);
       ("golden", Test_golden.suite);
     ]

@@ -9,11 +9,11 @@ module Compile = Spf_sim.Compile
 module Benches = Spf_harness.Benches
 module Runner = Spf_harness.Runner
 
-(* Cross-engine equivalence: the compiled (closure) engine must be
-   bit-identical to the classic interpreter — same return value, same
-   fourteen stats counters, same traps and same fuel behaviour — on
-   fused-GEP code, intrinsic calls, both timing models, and the real
-   benchmark kernels. *)
+(* Cross-engine equivalence: the compiled (closure) engine and the
+   micro-op tape engine must both be bit-identical to the classic
+   interpreter — same return value, same fourteen stats counters, same
+   traps and same fuel behaviour — on fused-GEP code, intrinsic calls,
+   both timing models, and the real benchmark kernels. *)
 
 let run_with ~engine ?(machine = Machine.haswell) ?(fuel = 10_000_000)
     ~mem ~args func =
@@ -21,25 +21,31 @@ let run_with ~engine ?(machine = Machine.haswell) ?(fuel = 10_000_000)
   Interp.run ~fuel interp;
   (Interp.retval interp, Interp.stats interp)
 
-(* Run [build] (a fresh memory/args/func per engine so neither run sees
-   the other's side effects) under both engines and insist on equality,
-   naming the first diverging stats counter in the failure message. *)
+(* Run [build] (a fresh memory/args/func per engine so no run sees
+   another's side effects) under every engine and insist on equality
+   with the classic interpreter, naming the engine and the first
+   diverging stats counter in the failure message. *)
 let check_both ?machine ?fuel ~what build =
   let run engine =
     let mem, args, func = build () in
     run_with ~engine ?machine ?fuel ~mem ~args func
   in
   let ret_i, st_i = run Engine.Interp in
-  let ret_c, st_c = run Engine.Compiled in
-  if ret_i <> ret_c then
-    Alcotest.failf "%s: retval differs: interp=%s compiled=%s" what
-      (match ret_i with Some v -> string_of_int v | None -> "none")
-      (match ret_c with Some v -> string_of_int v | None -> "none");
-  match Stats.first_mismatch st_i st_c with
-  | None -> ()
-  | Some (field, i, c) ->
-      Alcotest.failf "%s: stats diverge at %s: interp=%d compiled=%d" what
-        field i c
+  List.iter
+    (fun engine ->
+      let name = Engine.to_string engine in
+      let ret_e, st_e = run engine in
+      if ret_i <> ret_e then
+        Alcotest.failf "%s: retval differs: interp=%s %s=%s" what
+          (match ret_i with Some v -> string_of_int v | None -> "none")
+          name
+          (match ret_e with Some v -> string_of_int v | None -> "none");
+      match Stats.first_mismatch st_i st_e with
+      | None -> ()
+      | Some (field, i, e) ->
+          Alcotest.failf "%s: stats diverge at %s: interp=%d %s=%d" what field
+            i name e)
+    [ Engine.Compiled; Engine.Tape ]
 
 let test_sum_kernel () =
   check_both ~what:"sum kernel" (fun () ->
@@ -101,13 +107,18 @@ let test_benches_agree () =
              value divergence would already fail the run; what's left to
              compare is the timing/stats fingerprint. *)
           let r_i = Runner.run ~engine:Engine.Interp ~machine:Machine.haswell (build ()) in
-          let r_c = Runner.run ~engine:Engine.Compiled ~machine:Machine.haswell (build ()) in
-          match Stats.first_mismatch r_i.Runner.stats r_c.Runner.stats with
-          | None -> ()
-          | Some (field, i, c) ->
-              Alcotest.failf
-                "%s/%s: engine divergence at %s: interp=%d compiled=%d" b.id
-                variant field i c)
+          List.iter
+            (fun engine ->
+              let r_e = Runner.run ~engine ~machine:Machine.haswell (build ()) in
+              match Stats.first_mismatch r_i.Runner.stats r_e.Runner.stats with
+              | None -> ()
+              | Some (field, i, e) ->
+                  Alcotest.failf
+                    "%s/%s: engine divergence at %s: interp=%d %s=%d" b.id
+                    variant field i
+                    (Engine.to_string engine)
+                    e)
+            [ Engine.Compiled; Engine.Tape ])
         [
           ("plain", fun () -> b.plain ());
           ("auto", fun () -> Benches.auto (b.plain ()));
@@ -130,11 +141,16 @@ let test_trap_identical () =
     | _ -> Alcotest.fail "out-of-range load did not trap"
     | exception Interp.Trap f -> f
   in
-  let fi = fault Engine.Interp and fc = fault Engine.Compiled in
-  Alcotest.(check int) "same faulting pc" fi.Interp.pc fc.Interp.pc;
-  Alcotest.(check int) "same faulting addr" fi.Interp.addr fc.Interp.addr;
-  Alcotest.(check int) "same faulting width" fi.Interp.width fc.Interp.width;
-  Alcotest.(check bool) "same access kind" fi.Interp.is_store fc.Interp.is_store
+  let fi = fault Engine.Interp in
+  List.iter
+    (fun engine ->
+      let fc = fault engine in
+      Alcotest.(check int) "same faulting pc" fi.Interp.pc fc.Interp.pc;
+      Alcotest.(check int) "same faulting addr" fi.Interp.addr fc.Interp.addr;
+      Alcotest.(check int) "same faulting width" fi.Interp.width fc.Interp.width;
+      Alcotest.(check bool)
+        "same access kind" fi.Interp.is_store fc.Interp.is_store)
+    [ Engine.Compiled; Engine.Tape ]
 
 let test_fuel_identical () =
   let build () =

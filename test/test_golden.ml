@@ -83,8 +83,9 @@ let check_one ~engine (mname, bid, variant, (cycles, insts, loads, swpf)) () =
         (Spf_sim.Engine.to_string engine)
         field want got
 
-(* Every golden row runs under BOTH execution engines: the compiled
-   engine must land on the same cycle, not just the same answer. *)
+(* Every golden row runs under ALL THREE execution engines (22 rows x
+   interp/compiled/tape = 66 cases): the pre-decoded engines must land
+   on the same cycle, not just the same answer. *)
 let suite =
   List.concat_map
     (fun engine ->

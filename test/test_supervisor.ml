@@ -31,6 +31,9 @@ let test_classifier () =
   check "compiled-engine decode failure is its own class"
     (Spf_sim.Compile.Decode_error "x")
     Sup.Decode_failure;
+  check "tape-engine decode failure is its own class"
+    (Spf_sim.Tape.Decode_error "x")
+    Sup.Decode_failure;
   check "the transient marker is transient" (Sup.Transient_failure "env")
     Sup.Transient;
   check "resource exhaustion is transient" Out_of_memory Sup.Transient;
@@ -178,6 +181,48 @@ let test_engine_fallback_identical_stats () =
         (o.Sup.value.Runner.stats = direct.Runner.stats)
   | _ -> Alcotest.fail "expected fallback success"
 
+let test_fallback_chain_tape_to_interp () =
+  (* A job whose decode fails on both the tape and the closure engine
+     must walk the whole fallback chain (tape -> compiled -> interp),
+     leaving one note per step, and still produce the interpreter's
+     exact stats. *)
+  let machine = Spf_sim.Machine.haswell in
+  let run_is (ctx : Runner.ctx) =
+    Runner.run_ctx ctx ~machine (Is.build Is.default)
+  in
+  let work (ctx : Runner.ctx) =
+    match ctx.Runner.engine with
+    | Some Engine.Interp -> run_is ctx
+    | Some Engine.Compiled ->
+        raise (Spf_sim.Compile.Decode_error "synthetic compiled failure")
+    | _ -> raise (Spf_sim.Tape.Decode_error "synthetic tape failure")
+  in
+  let jobs = [ { Sup.key = "t/0"; work; binfo = None } ] in
+  let rencode (r : Runner.result) = Marshal.to_string r [] in
+  let rdecode s =
+    try Some (Marshal.from_string s 0 : Runner.result) with _ -> None
+  in
+  match
+    Sup.run_jobs
+      (Sup.options ~engine:Engine.Tape ())
+      ~encode:rencode ~decode:rdecode jobs
+  with
+  | [ Ok o ] ->
+      let direct = run_is (Runner.ctx_of_engine (Some Engine.Interp)) in
+      Alcotest.(check bool)
+        "two fallback notes, tape->compiled->interp" true
+        (match o.Sup.notes with
+        | [
+         Sup.Fell_back { from_engine = Engine.Tape; to_engine = Engine.Compiled; _ };
+         Sup.Fell_back { from_engine = Engine.Compiled; to_engine = Engine.Interp; _ };
+        ] ->
+            true
+        | _ -> false);
+      Alcotest.(check bool)
+        "stats identical to a direct interp run" true
+        (o.Sup.value.Runner.stats = direct.Runner.stats)
+  | _ -> Alcotest.fail "expected chained fallback success"
+
 let test_fallback_disabled_fails () =
   let work _ctx = raise (Spf_sim.Compile.Decode_error "synthetic") in
   let policy = { Sup.default_policy with engine_fallback = false } in
@@ -223,6 +268,8 @@ let suite =
       test_deadline_spares_fast_jobs;
     Alcotest.test_case "decode failure falls back to identical interp run"
       `Quick test_engine_fallback_identical_stats;
+    Alcotest.test_case "tape decode failure walks the whole fallback chain"
+      `Quick test_fallback_chain_tape_to_interp;
     Alcotest.test_case "fallback can be disabled by policy" `Quick
       test_fallback_disabled_fails;
     Alcotest.test_case "no fallback below the interpreter" `Quick
