@@ -17,6 +17,8 @@
 module Figures = Spf_harness.Figures
 module Pool = Spf_harness.Pool
 module Engine = Spf_sim.Engine
+module Profile_guided = Spf_harness.Profile_guided
+module Runner = Spf_harness.Runner
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks. *)
@@ -67,7 +69,7 @@ let memsys_tests () =
   let tscale = Interp.default_tscale in
   let mk () =
     let dram = Dram.create machine.Machine.dram ~tscale in
-    Memsys.create machine ~tscale ~dram ~stats:(Stats.create ())
+    Memsys.create machine ~tscale ~dram ~stats:(Stats.create ()) ()
   in
   let hit =
     let ms = mk () in
@@ -125,6 +127,52 @@ let run_bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Distance providers: the per-commit acceptance gate for the
+   profile-guided subsystem — static (eq. 1, c = 64) vs profile-guided vs
+   adaptive geomean speedups over the plain builds on Haswell and A53,
+   with the chosen per-workload distances.  The evals are stashed so
+   write_bench_json can emit them as "distance_providers". *)
+
+let provider_evals : Profile_guided.eval list ref = ref []
+
+let run_distance_providers ~engine =
+  let ctx = Runner.ctx_of_engine (Some engine) in
+  let machines = [ Spf_sim.Machine.haswell; Spf_sim.Machine.a53 ] in
+  let evals =
+    List.map
+      (fun machine ->
+        Profile_guided.evaluate ~ctx ~machine
+          (Spf_harness.Benches.sweepable ()))
+      machines
+  in
+  provider_evals := evals;
+  List.iter
+    (fun (e : Profile_guided.eval) ->
+      Format.printf "  --- %s ---@." e.machine;
+      List.iter
+        (fun (r : Profile_guided.row) ->
+          Format.printf
+            "  %-10s static=%5.2fx  profile=%5.2fx (c=%d)  adaptive=%5.2fx@."
+            r.bench
+            (float_of_int r.plain_cycles /. float_of_int r.static_cycles)
+            (float_of_int r.plain_cycles /. float_of_int r.profile_cycles)
+            r.profile_c
+            (float_of_int r.plain_cycles /. float_of_int r.adaptive_cycles))
+        e.rows;
+      Format.printf "  geomean    static=%.3fx  profile=%.3fx  adaptive=%.3fx@."
+        e.geo_static e.geo_profile e.geo_adaptive)
+    evals;
+  List.fold_left
+    (fun acc (e : Profile_guided.eval) ->
+      List.fold_left
+        (fun acc (r : Profile_guided.row) ->
+          acc + r.plain_cycles + r.adaptive_cycles
+          + List.fold_left (fun a (_, cy) -> a + cy) 0 r.sweep)
+        acc e.rows)
+    0 evals
+
+(* ------------------------------------------------------------------ *)
+
 (* Each piece returns the simulated cycles it executed.  [timed] is false
    for pieces that run no timing simulation (table1 profiles instruction
    mixes only) — those are recorded as skipped in BENCH.json rather than
@@ -177,6 +225,11 @@ let pieces : piece list =
       timed = true;
       run = (fun ~jobs ~engine -> Figures.ablation_split ~jobs ~engine ());
     };
+    {
+      pname = "distance-providers";
+      timed = true;
+      run = (fun ~jobs:_ ~engine -> run_distance_providers ~engine);
+    };
     { pname = "bechamel"; timed = true; run = (fun ~jobs:_ ~engine:_ -> run_bechamel ()) };
   ]
 
@@ -190,6 +243,7 @@ let quick_set =
     "fig7";
     "fig8";
     "fig10";
+    "distance-providers";
     "bechamel";
   ]
 
@@ -250,10 +304,10 @@ let write_bench_json ~jobs ~engine ~trials ~total_s (ms : measurement list) =
   let oc = open_out "BENCH.json" in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  (* Schema 4: the default engine became the micro-op tape
-     ("engine": "tape" unless overridden), and supervised_overhead_pct
-     is a like-for-like interleaved measurement clamped at zero. *)
-  Buffer.add_string b "  \"schema\": 4,\n";
+  (* Schema 5: adds "distance_providers" — static vs profile-guided vs
+     adaptive geomean speedups per machine with the chosen per-workload
+     distances (present when the distance-providers piece ran). *)
+  Buffer.add_string b "  \"schema\": 5,\n";
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"engine\": %S,\n" (Engine.to_string engine));
@@ -264,6 +318,32 @@ let write_bench_json ~jobs ~engine ~trials ~total_s (ms : measurement list) =
        (match supervised_overhead_pct ms with
        | Some pct -> Printf.sprintf "%.2f" pct
        | None -> "null"));
+  (match !provider_evals with
+  | [] -> ()
+  | evals ->
+      Buffer.add_string b "  \"distance_providers\": [\n";
+      List.iteri
+        (fun i (e : Profile_guided.eval) ->
+          let sep = if i = List.length evals - 1 then "" else "," in
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"machine\": %S, \"geo_static\": %.4f, \"geo_profile\": \
+                %.4f, \"geo_adaptive\": %.4f, \"benches\": [\n"
+               e.machine e.geo_static e.geo_profile e.geo_adaptive);
+          List.iteri
+            (fun j (r : Profile_guided.row) ->
+              let rsep = if j = List.length e.rows - 1 then "" else "," in
+              Buffer.add_string b
+                (Printf.sprintf
+                   "      {\"bench\": %S, \"profile_c\": %d, \"plain_cycles\": \
+                    %d, \"static_cycles\": %d, \"profile_cycles\": %d, \
+                    \"adaptive_cycles\": %d, \"adaptive_windows\": %d}%s\n"
+                   r.bench r.profile_c r.plain_cycles r.static_cycles
+                   r.profile_cycles r.adaptive_cycles r.adaptive_windows rsep))
+            e.rows;
+          Buffer.add_string b (Printf.sprintf "    ]}%s\n" sep))
+        evals;
+      Buffer.add_string b "  ],\n");
   Buffer.add_string b "  \"pieces\": [\n";
   List.iteri
     (fun i m ->

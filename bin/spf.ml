@@ -114,6 +114,83 @@ let with_margin margin config =
   | None -> config
   | Some m -> { config with Spf_core.Config.assume_margin = m }
 
+(* --- distance-provider flags ------------------------------------------ *)
+
+let provider_kind_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("static", `Static);
+                ("fixed", `Fixed);
+                ("profile", `Profile);
+                ("adaptive", `Adaptive);
+              ]))
+        None
+    & info [ "distance-provider" ] ~docv:"PROVIDER"
+        ~doc:
+          "Where each loop's look-ahead distance comes from: $(b,static) \
+           (eq. 1 with $(b,--c), the paper's default), $(b,fixed) \
+           (per-loop $(b,--dist-loop) overrides), $(b,profile) (a signed \
+           profile file from $(b,spf profile -o), via $(b,--profile-in)), \
+           or $(b,adaptive) (per-loop distance registers re-tuned online \
+           by the simulator's windowed controller).")
+
+let profile_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-in" ] ~docv:"FILE"
+        ~doc:
+          "Profile file for $(b,--distance-provider=profile), as written \
+           by $(b,spf profile BENCH -o FILE).  Profiles are stamped with \
+           a digest of the plain program and the machine model; a stale \
+           or mismatched file is rejected with a diagnostic (exit 2).")
+
+let dist_loop_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' int int) []
+    & info [ "dist-loop" ] ~docv:"HEADER=C"
+        ~doc:
+          "With $(b,--distance-provider=fixed): look-ahead constant for \
+           the loop whose pre-pass header block is $(i,HEADER) \
+           (repeatable).  A value <= 0 disables prefetching for that \
+           loop.")
+
+let die fmtstr =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "%s@." msg;
+      exit 2)
+    fmtstr
+
+(* Resolve the provider flags against the plain (pre-pass) program —
+   profile files are validated here, so a stale file dies with its
+   diagnostic before any simulation runs. *)
+let resolve_provider kind ~dist_loops ~profile_in ~c ~(machine : Machine.t)
+    ~(func : Spf_ir.Ir.func) =
+  match kind with
+  | None | Some `Static -> Spf_core.Distance.Static
+  | Some `Fixed ->
+      Spf_core.Distance.Fixed { default_c = Some c; per_loop = dist_loops }
+  | Some `Adaptive ->
+      Spf_core.Distance.Adaptive Spf_core.Distance.default_adaptive
+  | Some `Profile -> (
+      match profile_in with
+      | None -> die "spf: --distance-provider=profile needs --profile-in FILE"
+      | Some file -> (
+          match Spf_core.Profdata.load file with
+          | Error msg -> die "spf: %s" msg
+          | Ok pd -> (
+              match
+                Spf_core.Profdata.check pd ~func ~machine:machine.Machine.name
+              with
+              | Error msg -> die "spf: %s: %s" file msg
+              | Ok () -> Spf_core.Profdata.provider pd)))
+
 let build_variant (b : Benches.bench) variant ~machine ~c =
   match variant with
   | Baseline -> b.Benches.plain ()
@@ -171,9 +248,44 @@ let show_cmd =
 
 let run_cmd =
   let doc = "Simulate one benchmark variant on one machine." in
-  let run bench machine variant c engine =
-    let built = build_variant bench variant ~machine ~c in
-    let r = Runner.run ~engine ~machine built in
+  let run bench machine variant c engine pkind profile_in dist_loops =
+    let built, tuner =
+      match pkind with
+      | None -> (build_variant bench variant ~machine ~c, None)
+      | Some _ ->
+          if variant <> Auto then
+            die "spf run: --distance-provider applies to the auto variant only";
+          let plain = bench.Benches.plain () in
+          let provider =
+            resolve_provider pkind ~dist_loops ~profile_in ~c ~machine
+              ~func:plain.Workload.func
+          in
+          let config =
+            Spf_core.Config.with_provider provider
+              (Spf_core.Config.with_c c Spf_core.Config.default)
+          in
+          let built, report = Benches.auto_with_report ~config plain in
+          List.iter
+            (fun (ld : Spf_core.Pass.loop_distance) ->
+              if ld.enabled then
+                Format.printf "  loop bb%d: distance c=%d%s@." ld.header
+                  ld.distance
+                  (if ld.dist_slot <> None then " (adaptive register)" else "")
+              else Format.printf "  loop bb%d: prefetching disabled@." ld.header)
+            report.Spf_core.Pass.loop_distances;
+          ( built,
+            Spf_harness.Profile_guided.tuner_of_report built.Workload.func
+              report )
+    in
+    let r = Runner.run ~engine ?tuner ~machine built in
+    (match tuner with
+    | Some tu ->
+        List.iter
+          (fun (header, final_c) ->
+            Format.printf "  loop bb%d: final adaptive c=%d (%d windows)@."
+              header final_c (Spf_sim.Tuner.windows tu))
+          (Spf_sim.Tuner.final tu)
+    | None -> ());
     Format.printf "%s on %s: %a@." built.Workload.name machine.Machine.name
       Spf_sim.Stats.pp r.Runner.stats;
     if variant <> Baseline then begin
@@ -188,7 +300,8 @@ let run_cmd =
     Term.(
       const run
       $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
-      $ machine_arg $ variant_arg $ c_arg $ engine_arg)
+      $ machine_arg $ variant_arg $ c_arg $ engine_arg $ provider_kind_arg
+      $ profile_in_arg $ dist_loop_arg)
 
 (* --- fig -------------------------------------------------------------- *)
 
@@ -268,29 +381,50 @@ let supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries =
 
 let fig_cmd =
   let doc = "Regenerate a figure/table from the paper's evaluation." in
-  let figs sup jobs engine : (string * (unit -> unit)) list =
+  let figs sup jobs engine provider : (string * (unit -> unit)) list =
     [
       ("table1", Figures.table1);
       ("fig2", fun () -> ignore (Figures.fig2 ?sup ?jobs ~engine ()));
-      ("fig4", fun () -> ignore (Figures.fig4 ?sup ?jobs ~engine ()));
-      ("fig5", fun () -> ignore (Figures.fig5 ?sup ?jobs ~engine ()));
+      ("fig4", fun () -> ignore (Figures.fig4 ?sup ?jobs ~engine ?provider ()));
+      ("fig5", fun () -> ignore (Figures.fig5 ?sup ?jobs ~engine ?provider ()));
       ("fig6", fun () -> ignore (Figures.fig6 ?sup ?jobs ~engine ()));
       ("fig7", fun () -> ignore (Figures.fig7 ?sup ?jobs ~engine ()));
       ("fig8", fun () -> ignore (Figures.fig8 ?sup ?jobs ~engine ()));
       ("fig9", fun () -> ignore (Figures.fig9 ?sup ?jobs ~engine ()));
-      ("fig10", fun () -> ignore (Figures.fig10 ?sup ?jobs ~engine ()));
+      ("fig10", fun () -> ignore (Figures.fig10 ?sup ?jobs ~engine ?provider ()));
       ("ablation", fun () -> ignore (Figures.ablation_flat_offsets ?sup ?jobs ~engine ()));
       ("ablation-split", fun () -> ignore (Figures.ablation_split ?sup ?jobs ~engine ()));
+      ("distance-sweep", fun () -> ignore (Figures.distance_sweep ?sup ?jobs ~engine ()));
+      ("distance-smoke", fun () -> ignore (Figures.distance_smoke ?sup ?jobs ~engine ()));
     ]
   in
-  let run which jobs engine resume deadline retries =
+  let run which jobs engine resume deadline retries pkind =
+    (* Providers needing per-program inputs (fixed's loop headers, a
+       profile file measured for one benchmark) cannot apply across a
+       whole figure grid; [spf run] is their consumption path. *)
+    let provider =
+      match pkind with
+      | None | Some `Static -> None
+      | Some `Adaptive ->
+          Some (Spf_core.Distance.Adaptive Spf_core.Distance.default_adaptive)
+      | Some (`Fixed | `Profile) ->
+          die
+            "spf fig: --distance-provider=%s needs per-program inputs \
+             (--dist-loop headers / a --profile-in file); figures accept \
+             static or adaptive — use spf run for per-program providers"
+            (match pkind with Some `Fixed -> "fixed" | _ -> "profile")
+    in
     let campaign =
-      Printf.sprintf "fig %s engine=%s" which (Spf_sim.Engine.to_string engine)
+      Printf.sprintf "fig %s engine=%s provider=%s" which
+        (Spf_sim.Engine.to_string engine)
+        (match provider with
+        | None -> "static"
+        | Some p -> Spf_core.Distance.kind p)
     in
     let sup =
       supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries
     in
-    let figs = figs sup jobs engine in
+    let figs = figs sup jobs engine provider in
     match
       if which = "all" then List.iter (fun (_, f) -> f ()) figs
       else
@@ -318,7 +452,8 @@ let fig_cmd =
     Term.(
       const run
       $ Arg.(value & pos 0 string "all" & info [] ~docv:"FIG")
-      $ jobs_arg $ engine_arg $ resume_arg $ deadline_arg $ retries_arg)
+      $ jobs_arg $ engine_arg $ resume_arg $ deadline_arg $ retries_arg
+      $ provider_kind_arg)
 
 (* --- split ------------------------------------------------------------ *)
 
@@ -357,24 +492,56 @@ let split_cmd =
 let profile_cmd =
   let doc =
     "Profile a benchmark's memory accesses per instruction site (untimed \
-     cache model) — shows exactly which loads miss."
+     cache model) — shows exactly which loads miss.  With $(b,-o FILE), \
+     measure a signed distance profile instead (timed simulator): \
+     per-loop attribution of the plain program plus a look-ahead sweep \
+     of the transformed one, consumable via $(b,spf run \
+     --distance-provider=profile --profile-in FILE)."
   in
-  let run bench machine variant c =
-    let built = build_variant bench variant ~machine ~c in
-    let prof = Spf_sim.Profile.create machine in
-    let retval =
-      Spf_sim.Profile.run prof built.Workload.func ~mem:built.Workload.mem
-        ~args:built.Workload.args
-    in
-    Workload.validate built ~retval;
-    Format.printf "%a" Spf_sim.Profile.pp prof
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write a distance profile to $(docv): the per-loop chosen \
+             look-ahead constants, stamped with a digest of the plain \
+             program and the machine model so stale profiles are \
+             rejected at consumption time.")
+  in
+  let run bench machine variant c out =
+    match out with
+    | Some file ->
+        let pd, sweep =
+          Spf_harness.Profile_guided.profile ~machine bench
+        in
+        List.iter
+          (fun (c, cy) -> Format.printf "  c=%-4d %d cycles@." c cy)
+          sweep;
+        List.iter
+          (fun (l : Spf_core.Profdata.loop_entry) ->
+            Format.printf "  loop bb%d: c=%d (%d accesses, %d misses)@."
+              l.header l.c l.accesses l.misses)
+          pd.Spf_core.Profdata.loops;
+        Spf_core.Profdata.save file pd;
+        Format.printf "wrote %s (machine %s)@." file
+          pd.Spf_core.Profdata.machine
+    | None ->
+        let built = build_variant bench variant ~machine ~c in
+        let prof = Spf_sim.Profile.create machine in
+        let retval =
+          Spf_sim.Profile.run prof built.Workload.func ~mem:built.Workload.mem
+            ~args:built.Workload.args
+        in
+        Workload.validate built ~retval;
+        Format.printf "%a" Spf_sim.Profile.pp prof
   in
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
       const run
       $ Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
-      $ machine_arg $ variant_arg $ c_arg)
+      $ machine_arg $ variant_arg $ c_arg $ out_arg)
 
 (* --- sweep ------------------------------------------------------------ *)
 
@@ -474,9 +641,27 @@ let fuzz_cmd =
              crash-bundle path.  Requires supervised execution.")
   in
   let run seed count shrink c margin jobs engine cross_engine oracle resume
-      deadline retries inject_hang inject_crash =
+      deadline retries inject_hang inject_crash pkind =
+    (* Provider-preservation fuzzing: any provider must leave the
+       transformation semantics-preserving.  Profile is per-program
+       (there is no profile file for a generated case), so only the
+       synthesisable providers are accepted. *)
+    let provider =
+      match pkind with
+      | None | Some `Static -> Spf_core.Distance.Static
+      | Some `Fixed ->
+          Spf_core.Distance.Fixed { default_c = None; per_loop = [] }
+      | Some `Adaptive ->
+          Spf_core.Distance.Adaptive Spf_core.Distance.default_adaptive
+      | Some `Profile ->
+          die
+            "spf fuzz: --distance-provider=profile is per-program (a \
+             generated case has no profile file); fuzz accepts static, \
+             fixed or adaptive"
+    in
     let config =
-      with_margin margin (Spf_core.Config.with_c c Spf_core.Config.default)
+      Spf_core.Config.with_provider provider
+        (with_margin margin (Spf_core.Config.with_c c Spf_core.Config.default))
     in
     let oracle =
       match oracle with
@@ -494,10 +679,12 @@ let fuzz_cmd =
     in
     let progress n = Format.printf "  ... %d/%d@." n count; Format.print_flush () in
     let campaign =
-      Printf.sprintf "fuzz seed=%d count=%d c=%d oracle=%s margin=%s" seed
-        count c
+      Printf.sprintf "fuzz seed=%d count=%d c=%d oracle=%s margin=%s \
+                      provider=%s"
+        seed count c
         (Spf_fuzz.Oracle.mode_to_string mode)
         (match margin with Some m -> string_of_int m | None -> "-")
+        (Spf_core.Distance.kind provider)
     in
     let supervise =
       supervision ~campaign ~jobs ~engine ~resume ~deadline ~retries
@@ -543,7 +730,7 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ shrink_arg $ c_arg
       $ assume_margin_arg $ jobs_arg $ engine_arg $ cross_engine_arg
       $ oracle_arg $ resume_arg $ deadline_arg $ retries_arg
-      $ inject_hang_arg $ inject_crash_arg)
+      $ inject_hang_arg $ inject_crash_arg $ provider_kind_arg)
 
 (* --- validate ---------------------------------------------------------- *)
 

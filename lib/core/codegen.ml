@@ -28,6 +28,17 @@ type emitted = {
   support_ids : int list; (* address-generation clones, program order *)
 }
 
+(* Where the look-ahead distance for a candidate comes from.  [Dconst]
+   bakes eq. 1's offsets into immediates (static/fixed/profile providers);
+   [Dreg] reads the constant term from an SSA value — a per-loop function
+   parameter the simulator's tuner rewrites between windows — and computes
+   eq. 1's stagger at run time. *)
+type dist =
+  | Dconst of int (* the constant term c, in iterations *)
+  | Dreg of { slot : int; init_c : int }
+      (* instr id of the distance register; [init_c] is its initial value,
+         recorded in [offset_iters] for reporting *)
+
 (* Should the group for chain position [l] (of [t]) be emitted?  Position 0
    is the sequential look-ahead access: a stride prefetch, only emitted as
    a companion when requested (§4.3 / Fig 5).  [max_stagger] keeps only the
@@ -60,6 +71,24 @@ let pseudo_adv = -1
 let pseudo_clamp = -2
 let pseudo_limit = -3
 
+(* Pseudo-ids for the runtime distance computation of [Dreg] groups. *)
+let pseudo_dnum = -4 (* reg * (t - l) *)
+let pseudo_ddiv = -5 (* ... / t *)
+let pseudo_dfloor = -6 (* max 1 (deep positions can floor to 0) *)
+let pseudo_dbytes = -7 (* * step *)
+
+(* The clone cache's offset dimension for a [Dreg] group: static groups key
+   on the (positive) byte offset, dynamic groups on a negative code packing
+   the chain shape (t, l) — two candidates on the same induction variable
+   may have different chain lengths, and reg*(t-l)/t differs with [t]. *)
+let dyn_off ~t ~l = -((t * 16) + l + 1)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n asr 1) in
+  go 0 n
+
 (* Resolve a prefetch address to (base id, byte displacement) when it is a
    gep with a constant index off an SSA base. *)
 let line_key func ~block (addr : Ir.operand) =
@@ -73,7 +102,7 @@ let line_key func ~block (addr : Ir.operand) =
   | Ir.Imm _ | Ir.Fimm _ -> None
 
 let emit (a : Analysis.t) (config : Config.t) (cand : Dfs.candidate)
-    (clamp : Safety.clamp) ~(state : state) : emitted list =
+    (clamp : Safety.clamp) ~(dist : dist) ~(state : state) : emitted list =
   let func = a.Analysis.func in
   let anchor = cand.load_id in
   let block = (Ir.instr func anchor).block in
@@ -89,15 +118,18 @@ let emit (a : Analysis.t) (config : Config.t) (cand : Dfs.candidate)
     in
     (* Clone-or-reuse an instruction for a given look-ahead offset. *)
     let iv_id = cand.iv.iv_id in
-    let cached ~key ~off ~name mk =
+    let support = ref [] in
+    let cached ?(count = false) ~key ~off ~name mk =
       match Hashtbl.find_opt state.clone_cache (block, iv_id, key, off) with
       | Some id -> id
       | None ->
           let id = fresh ~name (mk ()) in
           Hashtbl.replace state.clone_cache (block, iv_id, key, off) id;
+          if count then support := id :: !support;
           id
     in
-    let limit_operand () =
+    let limit_operand ~off =
+      ignore off;
       match clamp with
       | Safety.Clamp_imm n -> Ir.Imm n
       | Safety.Clamp_expr (bound, delta) ->
@@ -107,6 +139,8 @@ let emit (a : Analysis.t) (config : Config.t) (cand : Dfs.candidate)
           in
           Ir.Var id
     in
+    (* The advanced-and-clamped induction value for a static byte offset
+       [off] (a [Dconst] group). *)
     let clamped_iv ~off =
       let adv =
         cached ~key:pseudo_adv ~off ~name:"pf.adv" (fun () ->
@@ -117,18 +151,73 @@ let emit (a : Analysis.t) (config : Config.t) (cand : Dfs.candidate)
       if off <= config.Config.assume_margin then adv
       else
         cached ~key:pseudo_clamp ~off ~name:"pf.clamp" (fun () ->
-            Ir.Binop (Ir.Smin, Ir.Var adv, limit_operand ()))
+            Ir.Binop (Ir.Smin, Ir.Var adv, limit_operand ~off))
+    in
+    (* The advanced-and-clamped induction value for a [Dreg] group at chain
+       position [l]: eq. 1 evaluated at run time against the distance
+       register —
+
+         d_l   = max 1 (reg * (t - l) / t)       (iterations)
+         adv   = iv + d_l * step                 (index units)
+         use   = min adv limit                   (always clamped)
+
+       The division strength-reduces to an arithmetic shift when [t] is a
+       power of two (the register is never negative).  The scaffold is
+       shared across candidates through the clone cache under a (t, l)
+       code, and the instructions it does add are counted as support. *)
+    let clamped_iv_dyn ~slot ~l =
+      let off = dyn_off ~t ~l in
+      let d_l =
+        if l = 0 then slot
+        else begin
+          let num =
+            cached ~count:true ~key:pseudo_dnum ~off ~name:"pf.dnum"
+              (fun () -> Ir.Binop (Ir.Mul, Ir.Var slot, Ir.Imm (t - l)))
+          in
+          let q =
+            cached ~count:true ~key:pseudo_ddiv ~off ~name:"pf.ddiv"
+              (fun () ->
+                if is_pow2 t then
+                  Ir.Binop (Ir.Ashr, Ir.Var num, Ir.Imm (log2 t))
+                else Ir.Binop (Ir.Sdiv, Ir.Var num, Ir.Imm t))
+          in
+          cached ~count:true ~key:pseudo_dfloor ~off ~name:"pf.dfloor"
+            (fun () -> Ir.Binop (Ir.Smax, Ir.Var q, Ir.Imm 1))
+        end
+      in
+      let bytes =
+        if cand.iv.step = 1 then d_l
+        else
+          cached ~count:true ~key:pseudo_dbytes ~off ~name:"pf.dbytes"
+            (fun () -> Ir.Binop (Ir.Mul, Ir.Var d_l, Ir.Imm cand.iv.step))
+      in
+      let adv =
+        cached ~key:pseudo_adv ~off ~name:"pf.adv" (fun () ->
+            Ir.Binop (Ir.Add, Ir.Var cand.iv.iv_id, Ir.Var bytes))
+      in
+      (* A runtime distance is never covered by [assume_margin]: always
+         clamp. *)
+      cached ~key:pseudo_clamp ~off ~name:"pf.clamp" (fun () ->
+          Ir.Binop (Ir.Smin, Ir.Var adv, limit_operand ~off))
     in
     let groups = ref [] in
     for l = 0 to t - 1 do
       if keep_group config ~l ~t then begin
-        let off = Schedule.offset ~c:config.Config.c ~t ~l * cand.iv.step in
+        let off =
+          match dist with
+          | Dconst c -> Schedule.distance ~c ~t ~l * cand.iv.step
+          | Dreg _ -> dyn_off ~t ~l
+        in
         let key = (chain.(l), off) in
         if not (Hashtbl.mem state.seen key) then begin
           Hashtbl.replace state.seen key ();
           let sub = Dfs.sub_slice a cand ~root:chain.(l) in
-          let clamped = clamped_iv ~off in
-          let support = ref [] in
+          support := [];
+          let clamped =
+            match dist with
+            | Dconst _ -> clamped_iv ~off
+            | Dreg { slot; _ } -> clamped_iv_dyn ~slot ~l
+          in
           (* Clone the address-generation prefix (everything but the chain
              load itself), sharing clones through the cache. *)
           let map_operand (o : Ir.operand) =
@@ -175,10 +264,15 @@ let emit (a : Analysis.t) (config : Config.t) (cand : Dfs.candidate)
           if covered then ()
           else begin
             let pf = fresh ~name:"pf" (Ir.Prefetch addr) in
+            let offset_iters =
+              match dist with
+              | Dconst _ -> off / max cand.iv.step 1
+              | Dreg { init_c; _ } -> Schedule.distance ~c:init_c ~t ~l
+            in
             groups :=
               {
                 chain_load = chain.(l);
-                offset_iters = off / max cand.iv.step 1;
+                offset_iters;
                 prefetch_id = pf;
                 support_ids = List.rev !support;
               }

@@ -5,10 +5,18 @@
 
 type emitted = {
   chain_load : int;  (** original load this prefetch covers *)
-  offset_iters : int;  (** look-ahead distance in induction steps *)
+  offset_iters : int;
+      (** look-ahead distance in induction steps (the initial distance for
+          a register-scheduled group) *)
   prefetch_id : int;  (** the emitted prefetch instruction *)
   support_ids : int list;  (** address-generation clones, program order *)
 }
+
+(** Where a candidate's look-ahead distance comes from: a compile-time
+    constant term for eq. 1, or a per-loop distance register (an extra
+    function parameter) whose value the simulator's tuner rewrites
+    between windows, with eq. 1's stagger computed at run time. *)
+type dist = Dconst of int | Dreg of { slot : int; init_c : int }
 
 val keep_group : Config.t -> l:int -> t:int -> bool
 (** Stagger/companion policy: which chain positions receive a prefetch. *)
@@ -24,6 +32,7 @@ val emit :
   Config.t ->
   Dfs.candidate ->
   Safety.clamp ->
+  dist:dist ->
   state:state ->
   emitted list
 (** Mutates the function.  Candidates must be emitted in program order so

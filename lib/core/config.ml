@@ -17,6 +17,9 @@ type t = {
                           clamp; only sound after Split has peeled the
                           last [margin] iterations (cf. ICC's hoisted
                           checks, §6.1) *)
+  provider : Distance.provider; (* where each loop's eq. 1 constant term
+                                   comes from (static | fixed | profile |
+                                   adaptive) *)
 }
 
 let default =
@@ -29,6 +32,8 @@ let default =
     require_direct_iv_index = true;
     cleanup = true;
     assume_margin = 0;
+    provider = Distance.Static;
   }
 
 let with_c c t = { t with c }
+let with_provider provider t = { t with provider }

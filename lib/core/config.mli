@@ -24,7 +24,11 @@ type t = {
           sound after {!Split} has peeled the last [margin] iterations
           (the hoisted-checks optimisation the paper attributes to ICC,
           §6.1) *)
+  provider : Distance.provider;
+      (** where each loop's eq. 1 constant term comes from; {!default} is
+          {!Distance.Static}, the paper's setup *)
 }
 
 val default : t
 val with_c : int -> t -> t
+val with_provider : Distance.provider -> t -> t

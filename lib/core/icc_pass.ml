@@ -52,10 +52,20 @@ let run ?(config = Config.default) (func : Ir.func) : Pass.report =
               match Safety.vet a config cand with
               | Error r -> (load_id, Pass.Rejected r)
               | Ok clamp -> (
-                  match Codegen.emit a config cand clamp ~state with
+                  match
+                    Codegen.emit a config cand clamp
+                      ~dist:(Codegen.Dconst config.Config.c) ~state
+                  with
                   | [] -> (load_id, Pass.Rejected Safety.Duplicate)
                   | groups -> (load_id, Pass.Emitted groups))))
       loads
   in
   let n_prefetches, n_support = Pass.count_prefetches decisions in
-  { Pass.decisions; n_prefetches; n_support; diags = [] }
+  {
+    Pass.decisions;
+    n_prefetches;
+    n_support;
+    diags = [];
+    loop_distances = [];
+    adaptive = None;
+  }

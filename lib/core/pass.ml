@@ -27,11 +27,23 @@ type decision =
   | Skipped of Diag.t
       (* a phase failed internally on this load; contained, not raised *)
 
+(* The distance decision the provider made for one loop, recorded for
+   diagnostics and for building the adaptive tuner (the [dist_slot] is the
+   distance-register parameter the tuner rewrites). *)
+type loop_distance = {
+  header : int; (* loop header block *)
+  distance : int; (* eq. 1 constant term (initial value when adaptive) *)
+  enabled : bool;
+  dist_slot : int option; (* adaptive distance-register instr id *)
+}
+
 type report = {
   decisions : (int * decision) list; (* load id -> decision, program order *)
   n_prefetches : int;
   n_support : int; (* address-generation instructions added *)
   diags : Diag.t list; (* skips and contained failures, in discovery order *)
+  loop_distances : loop_distance list; (* per prefetched loop, first-seen order *)
+  adaptive : Distance.adaptive_params option; (* when the provider is adaptive *)
 }
 
 let count_prefetches decisions =
@@ -57,9 +69,30 @@ let run ?(config = Config.default) ?(exclude_blocks = []) ?(strict = false)
     if strict && d.Diag.severity = Diag.Error then raise (Diag.Escalated d);
     diags := d :: !diags
   in
+  (* Per-loop distance decisions, first-seen order, plus the lazily created
+     distance registers of the adaptive provider. *)
+  let loop_dists : (int, loop_distance) Hashtbl.t = Hashtbl.create 4 in
+  let loop_order = ref [] in
+  let record_loop (ld : loop_distance) =
+    if not (Hashtbl.mem loop_dists ld.header) then begin
+      Hashtbl.replace loop_dists ld.header ld;
+      loop_order := ld.header :: !loop_order
+    end
+  in
   let finish decisions =
     let n_prefetches, n_support = count_prefetches decisions in
-    { decisions; n_prefetches; n_support; diags = List.rev !diags }
+    {
+      decisions;
+      n_prefetches;
+      n_support;
+      diags = List.rev !diags;
+      loop_distances =
+        List.rev_map (fun h -> Hashtbl.find loop_dists h) !loop_order;
+      adaptive =
+        (match config.Config.provider with
+        | Distance.Adaptive p -> Some p
+        | _ -> None);
+    }
   in
   let excluded b = List.mem b exclude_blocks in
   (* Phase 1: hoisting. *)
@@ -118,8 +151,27 @@ let run ?(config = Config.default) ?(exclude_blocks = []) ?(strict = false)
                 (load_id, `Skip d))
           loads
       in
-      (* Phase 3: emit. *)
+      (* Phase 3: emit.  The provider decides, per loop, the constant term
+         of eq. 1 and whether to prefetch at all; the adaptive provider
+         additionally materialises one distance register per loop — an
+         extra function parameter appended to the entry block, which DCE
+         spares ([param_ids]) and the simulator's tuner rewrites. *)
       let state = Codegen.create_state () in
+      let dist_regs : (int, int) Hashtbl.t = Hashtbl.create 4 in
+      let dist_reg ~header ~init_c =
+        match Hashtbl.find_opt dist_regs header with
+        | Some slot -> slot
+        | None ->
+            let n = Array.length func.Ir.param_ids in
+            let i =
+              Ir.append_instr func ~bid:func.Ir.entry ~name:"pf.dist"
+                (Ir.Param n)
+            in
+            func.Ir.param_ids <- Array.append func.Ir.param_ids [| i.Ir.id |];
+            ignore init_c;
+            Hashtbl.replace dist_regs header i.Ir.id;
+            i.Ir.id
+      in
       let decisions =
         List.map
           (fun (load_id, v) ->
@@ -127,13 +179,44 @@ let run ?(config = Config.default) ?(exclude_blocks = []) ?(strict = false)
             | `Skip d -> (load_id, Skipped d)
             | `Vet (Error r) -> (load_id, Rejected r)
             | `Vet (Ok (cand, clamp)) -> (
-                match Codegen.emit a config cand clamp ~state with
-                | [] -> (load_id, Rejected Safety.Duplicate)
-                | groups -> (load_id, Emitted groups)
-                | exception exn ->
-                    let d = Diag.of_exn ~load_id Diag.Emit exn in
-                    record d;
-                    (load_id, Skipped d)))
+                let header = (Analysis.loop_of_iv a cand.Dfs.iv).Loops.header in
+                let choice =
+                  Distance.choose config.Config.provider
+                    ~default_c:config.Config.c ~header
+                in
+                if not choice.Distance.enabled then begin
+                  record_loop
+                    { header; distance = 0; enabled = false; dist_slot = None };
+                  (load_id, Rejected Safety.Provider_disabled)
+                end
+                else
+                  let dist =
+                    match config.Config.provider with
+                    | Distance.Adaptive _ ->
+                        let slot =
+                          dist_reg ~header ~init_c:choice.Distance.c
+                        in
+                        Codegen.Dreg { slot; init_c = choice.Distance.c }
+                    | _ -> Codegen.Dconst choice.Distance.c
+                  in
+                  match Codegen.emit a config cand clamp ~dist ~state with
+                  | [] -> (load_id, Rejected Safety.Duplicate)
+                  | groups ->
+                      record_loop
+                        {
+                          header;
+                          distance = choice.Distance.c;
+                          enabled = true;
+                          dist_slot =
+                            (match dist with
+                            | Codegen.Dreg { slot; _ } -> Some slot
+                            | Codegen.Dconst _ -> None);
+                        };
+                      (load_id, Emitted groups)
+                  | exception exn ->
+                      let d = Diag.of_exn ~load_id Diag.Emit exn in
+                      record d;
+                      (load_id, Skipped d)))
           vetted
       in
       let decisions = hoist_decisions @ decisions in
@@ -164,6 +247,24 @@ let pp_report (func : Ir.func) fmt (r : report) =
   in
   Format.fprintf fmt "prefetch pass: %d prefetches, %d support instructions@."
     r.n_prefetches r.n_support;
+  (match r.adaptive with
+  | Some p ->
+      Format.fprintf fmt
+        "  adaptive distances: window=%d demand loads, c in [%d, %d]@."
+        p.Distance.window p.Distance.min_c p.Distance.max_c
+  | None -> ());
+  List.iter
+    (fun ld ->
+      if ld.enabled then
+        Format.fprintf fmt "  loop bb%d: distance c=%d%s@." ld.header
+          ld.distance
+          (match ld.dist_slot with
+          | Some s -> Printf.sprintf " (register %%%d)" s
+          | None -> "")
+      else
+        Format.fprintf fmt "  loop bb%d: prefetching disabled by provider@."
+          ld.header)
+    r.loop_distances;
   List.iter
     (fun (load_id, d) ->
       Format.fprintf fmt "  load %%%s.%d: %a@."

@@ -9,6 +9,18 @@ type decision =
       (** a phase failed internally on this load; the failure was contained
           and recorded rather than raised *)
 
+(** The distance decision the provider made for one loop (identified by
+    its header block in the pre-pass function). *)
+type loop_distance = {
+  header : int;
+  distance : int;
+      (** eq. 1 constant term; the initial value when adaptive *)
+  enabled : bool;  (** [false] when the provider turned the loop off *)
+  dist_slot : int option;
+      (** the adaptive distance register: instr id of the extra [Param]
+          the pass appended, rewritten online by {!Spf_sim.Tuner} *)
+}
+
 type report = {
   decisions : (int * decision) list;
       (** per inspected load (id), in program order *)
@@ -16,6 +28,11 @@ type report = {
   n_support : int;  (** address-generation instructions added *)
   diags : Diag.t list;
       (** hoist skips and contained internal failures, in discovery order *)
+  loop_distances : loop_distance list;
+      (** provider decisions, one per loop that reached emission,
+          first-seen order *)
+  adaptive : Distance.adaptive_params option;
+      (** the tuner parameters when [config.provider] is adaptive *)
 }
 
 val count_prefetches : (int * decision) list -> int * int

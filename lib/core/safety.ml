@@ -29,6 +29,7 @@ type reject =
   | Bad_step
   | Pure_stride (* t = 1: left to the hardware prefetcher (§4.3) *)
   | Duplicate
+  | Provider_disabled (* the distance provider turned this loop off *)
 
 let string_of_reject = function
   | No_candidate -> "no induction variable reachable"
@@ -42,6 +43,7 @@ let string_of_reject = function
   | Bad_step -> "induction step is not a positive constant"
   | Pure_stride -> "pure stride access: left to the hardware prefetcher"
   | Duplicate -> "identical prefetch already emitted"
+  | Provider_disabled -> "distance provider disabled prefetching for this loop"
 
 (* How to clamp the looked-ahead induction value (line 49 of Algorithm 1):
    either a known constant limit, or [base + delta] for a loop-invariant

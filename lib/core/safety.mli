@@ -13,6 +13,7 @@ type reject =
   | Bad_step
   | Pure_stride  (** t = 1: left to the hardware prefetcher (§4.3) *)
   | Duplicate
+  | Provider_disabled  (** the distance provider turned this loop off *)
 
 val string_of_reject : reject -> string
 

@@ -14,3 +14,24 @@ let offset ~c ~t ~l =
   c * (t - l) / t
 
 let offsets ~c ~t = List.init t (fun l -> offset ~c ~t ~l)
+
+(* Largest constant term the clamped entry point accepts.  [offset] computes
+   [c * (t - l)] before dividing, and chain lengths are tiny (t <= ~8), so
+   any [c] below 2^40 is far from overflowing 63-bit ints even after the
+   per-iteration step multiply that Codegen applies afterwards. *)
+let max_c = 1 lsl 40
+
+(* What the code generator actually uses: eq. 1 with degenerate inputs
+   clamped to a sane minimum distance.  A non-positive [c] (a misconfigured
+   provider, a profile for an empty window) or a division-floored zero
+   (c < t at the deepest chain position) must still look *ahead* — a
+   distance of 0 would prefetch the line the load is about to touch, pure
+   overhead — so the result is clamped to at least one iteration.  Huge [c]
+   is capped instead of overflowing into negative offsets.  For every
+   well-formed input (1 <= c <= max_c with c * (t-l) >= t) this is
+   bit-identical to [offset]. *)
+let distance ~c ~t ~l =
+  if t <= 0 then invalid_arg "Schedule.distance: empty chain";
+  let c = if c < 1 then 1 else if c > max_c then max_c else c in
+  let d = c * (t - l) / t in
+  if d < 1 then 1 else d

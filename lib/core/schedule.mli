@@ -6,3 +6,14 @@ val offset : c:int -> t:int -> l:int -> int
 
 val offsets : c:int -> t:int -> int list
 (** All [t] offsets, outermost load first. *)
+
+val distance : c:int -> t:int -> l:int -> int
+(** Like {!offset} but total on degenerate inputs: [c] is clamped to
+    [\[1; max_c\]] and the result to at least 1 iteration, so providers
+    can never schedule a zero or negative (overflowed) look-ahead.
+    Bit-identical to {!offset} for all well-formed inputs (in particular
+    the paper's c = 64 defaults).  Still raises [Invalid_argument] on an
+    empty chain ([t <= 0]) — that is a caller bug, not an input. *)
+
+val max_c : int
+(** Upper clamp of {!distance}'s constant term (2^40). *)

@@ -106,6 +106,10 @@ let auto ?config (b : Workload.built) =
   ignore (Spf_core.Pass.run ?config b.Workload.func);
   b
 
+let auto_with_report ?config (b : Workload.built) =
+  let report = Spf_core.Pass.run ?config b.Workload.func in
+  (b, report)
+
 let icc ?config (b : Workload.built) =
   ignore (Spf_core.Icc_pass.run ?config b.Workload.func);
   b

@@ -31,6 +31,13 @@ val auto :
   Spf_workloads.Workload.built
 (** Apply the paper's pass in place. *)
 
+val auto_with_report :
+  ?config:Spf_core.Config.t ->
+  Spf_workloads.Workload.built ->
+  Spf_workloads.Workload.built * Spf_core.Pass.report
+(** {!auto}, returning the pass report too — needed to recover the
+    per-loop distance decisions and adaptive distance registers. *)
+
 val icc :
   ?config:Spf_core.Config.t ->
   Spf_workloads.Workload.built ->

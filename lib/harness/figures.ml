@@ -134,12 +134,26 @@ type fig4_row = {
   manual : float;
 }
 
+(* The auto-pass cell body shared by the provider-aware figures: apply
+   the pass under [config] (any {!Spf_core.Distance.provider}, adaptive
+   included — {!Profile_guided.run_auto} attaches the tuner) and run.
+   With the default config this is bit-identical to the historical
+   [Benches.auto] path. *)
+let run_auto_cfg (ctx : Runner.ctx) ~machine ?provider (b : Benches.bench) =
+  let config =
+    match provider with
+    | None -> Config.default
+    | Some p -> Config.with_provider p Config.default
+  in
+  Profile_guided.run_auto ~ctx ~config ~machine b
+
 (* One (machine, bench) cell of the Fig 4 grid: base + variants, run
    inside a single job. *)
-let fig4_cell (ctx : Runner.ctx) ~(machine : Machine.t) (b : Benches.bench) =
+let fig4_cell ?provider (ctx : Runner.ctx) ~(machine : Machine.t)
+    (b : Benches.bench) =
   let with_icc = machine.name = "XeonPhi" in
   let base = Runner.run_ctx ctx ~machine (b.plain ()) in
-  let auto_r = Runner.run_ctx ctx ~machine (Benches.auto (b.plain ())) in
+  let auto_r = run_auto_cfg ctx ~machine ?provider b in
   let manual_r = Runner.run_ctx ctx ~machine (b.manual ~machine ~c:None) in
   let icc_r =
     if with_icc then Some (Runner.run_ctx ctx ~machine (Benches.icc (b.plain ())))
@@ -157,25 +171,26 @@ let fig4_cell (ctx : Runner.ctx) ~(machine : Machine.t) (b : Benches.bench) =
     },
     cycles )
 
-let fig4_machine ?jobs ?engine (machine : Machine.t) : fig4_row list =
+let fig4_machine ?jobs ?engine ?provider (machine : Machine.t) : fig4_row list
+    =
   fst
     (par ?jobs ?engine ~fig:"fig4m"
        (List.map
-          (fun b ctx -> fig4_cell ctx ~machine b)
+          (fun b ctx -> fig4_cell ?provider ctx ~machine b)
           (Benches.all ())))
 
-let fig4_core ?(machines = Machine.all) () =
+let fig4_core ?(machines = Machine.all) ?provider () =
   let benches = Benches.all () in
   List.concat_map
     (fun machine ->
-      List.map (fun b ctx -> fig4_cell ctx ~machine b) benches)
+      List.map (fun b ctx -> fig4_cell ?provider ctx ~machine b) benches)
     machines
 
-let fig4 ?sup ?jobs ?engine ?(machines = Machine.all) () =
+let fig4 ?sup ?jobs ?engine ?(machines = Machine.all) ?provider () =
   hr "Fig 4: autogenerated and manual software-prefetch speedups";
   let benches = Benches.all () in
   let cells, cycles =
-    par ?sup ?jobs ?engine ~fig:"fig4" (fig4_core ~machines ())
+    par ?sup ?jobs ?engine ~fig:"fig4" (fig4_core ~machines ?provider ())
   in
   (* Regroup the machine-major job list into per-machine panels. *)
   let nb = List.length benches in
@@ -218,27 +233,33 @@ let fig4 ?sup ?jobs ?engine ?(machines = Machine.all) () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig5_core () =
+let fig5_core ?provider () =
   let machine = Machine.haswell in
+  let cfg =
+    match provider with
+    | None -> Config.default
+    | Some p -> Config.with_provider p Config.default
+  in
   List.map
     (fun (b : Benches.bench) ctx ->
       let base = Runner.run_ctx ctx ~machine (b.plain ()) in
       let ind_r =
-        Runner.run_ctx ctx ~machine
-          (Benches.auto
-             ~config:{ Config.default with Config.stride_companion = false }
-             (b.plain ()))
+        Profile_guided.run_auto ~ctx
+          ~config:{ cfg with Config.stride_companion = false }
+          ~machine b
       in
-      let both_r = Runner.run_ctx ctx ~machine (Benches.auto (b.plain ())) in
+      let both_r = Profile_guided.run_auto ~ctx ~config:cfg ~machine b in
       ( ( b.id,
           Runner.speedup ~baseline:base ind_r,
           Runner.speedup ~baseline:base both_r ),
         Runner.cycles base + Runner.cycles ind_r + Runner.cycles both_r ))
     (Benches.all ())
 
-let fig5 ?sup ?jobs ?engine () =
+let fig5 ?sup ?jobs ?engine ?provider () =
   hr "Fig 5: indirect-only vs indirect+stride prefetches (auto, Haswell)";
-  let rows, cycles = par ?sup ?jobs ?engine ~fig:"fig5" (fig5_core ()) in
+  let rows, cycles =
+    par ?sup ?jobs ?engine ~fig:"fig5" (fig5_core ?provider ())
+  in
   List.iter
     (fun (id, indirect_only, both) ->
       Format.fprintf fmt "  %-10s indirect=%5.2fx  indirect+stride=%5.2fx@."
@@ -412,7 +433,7 @@ let fig9 ?sup ?jobs ?engine ?(core_counts = fig9_default_core_counts) () =
 
 (* ------------------------------------------------------------------ *)
 
-let fig10_core () =
+let fig10_core ?provider () =
   let benches =
     [ Benches.is_bench (); Benches.ra_bench (); Benches.hj2_bench () ]
   in
@@ -422,7 +443,7 @@ let fig10_core () =
       let speedup_with pages =
         let machine = Machine.with_pages Machine.haswell pages in
         let base = Runner.run_ctx ctx ~machine (b.plain ()) in
-        let r = Runner.run_ctx ctx ~machine (Benches.auto (b.plain ())) in
+        let r = run_auto_cfg ctx ~machine ?provider b in
         acc := !acc + Runner.cycles base + Runner.cycles r;
         Runner.speedup ~baseline:base r
       in
@@ -431,9 +452,11 @@ let fig10_core () =
       ((b.id, small, huge), !acc))
     benches
 
-let fig10 ?sup ?jobs ?engine () =
+let fig10 ?sup ?jobs ?engine ?provider () =
   hr "Fig 10: huge-page impact (auto, Haswell; speedup vs same page policy)";
-  let rows, cycles = par ?sup ?jobs ?engine ~fig:"fig10" (fig10_core ()) in
+  let rows, cycles =
+    par ?sup ?jobs ?engine ~fig:"fig10" (fig10_core ?provider ())
+  in
   Format.fprintf fmt "  %-10s %-12s %-12s@." "bench" "small-pages" "huge-pages";
   List.iter
     (fun (id, small, huge) ->
@@ -517,6 +540,104 @@ let ablation_flat_offsets ?sup ?jobs ?engine () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Distance sweep: the acceptance figure for the distance-provider
+   subsystem.  A look-ahead × workload heatmap of auto-pass speedups on
+   each machine, the per-workload profile pick (ties resolve toward the
+   head of [cs], which is eq. 1's c = 64), and the geomean comparison of
+   the profile picks against the static equation — the reproducible
+   demonstration behind BENCH.json's "distance_providers" gate. *)
+
+let distance_sweep_default_cs = Profile_guided.candidates
+let distance_sweep_default_machines = [ Machine.haswell; Machine.a53 ]
+
+let distance_sweep_core ?(cs = distance_sweep_default_cs)
+    ?(machines = distance_sweep_default_machines) ?benches () =
+  let benches =
+    match benches with Some bs -> bs | None -> Benches.sweepable ()
+  in
+  List.concat_map
+    (fun machine ->
+      List.map
+        (fun (b : Benches.bench) ctx ->
+          let plain =
+            Runner.cycles (Runner.run_ctx ctx ~machine (b.Benches.plain ()))
+          in
+          let sweep =
+            List.map
+              (fun c -> (c, Profile_guided.measure ~ctx ~machine b ~c))
+              cs
+          in
+          ( (b.Benches.id, plain, sweep),
+            List.fold_left (fun acc (_, cy) -> acc + cy) plain sweep ))
+        benches)
+    machines
+
+let distance_sweep ?sup ?jobs ?engine ?(fig = "distance-sweep")
+    ?(cs = distance_sweep_default_cs)
+    ?(machines = distance_sweep_default_machines) ?benches () =
+  hr "Distance sweep: auto-pass speedup by look-ahead c (profile vs eq. 1)";
+  let benches =
+    match benches with Some bs -> bs | None -> Benches.sweepable ()
+  in
+  let rows, cycles =
+    par ?sup ?jobs ?engine ~fig (distance_sweep_core ~cs ~machines ~benches ())
+  in
+  let nb = List.length benches in
+  List.iteri
+    (fun k (machine : Machine.t) ->
+      let mrows = List.filteri (fun i _ -> i / nb = k) rows in
+      Format.fprintf fmt "  --- %s ---@." machine.Machine.name;
+      Format.fprintf fmt "  %-10s" "bench";
+      List.iter (fun c -> Format.fprintf fmt "  c=%-5d" c) cs;
+      Format.fprintf fmt "  pick@.";
+      let static_sp = ref [] and pick_sp = ref [] in
+      List.iter
+        (fun (id, plain, sweep) ->
+          let pick, pick_cy =
+            List.fold_left
+              (fun (bc, bcy) (c, cy) ->
+                if cy < bcy then (c, cy) else (bc, bcy))
+              (List.hd sweep) sweep
+          in
+          let static_cy =
+            match List.assoc_opt Config.default.Config.c sweep with
+            | Some cy -> cy
+            | None -> snd (List.hd sweep)
+          in
+          static_sp := (float_of_int plain /. float_of_int static_cy) :: !static_sp;
+          pick_sp := (float_of_int plain /. float_of_int pick_cy) :: !pick_sp;
+          Format.fprintf fmt "  %-10s" id;
+          List.iter
+            (fun (_, cy) ->
+              Format.fprintf fmt " %6.2fx "
+                (float_of_int plain /. float_of_int cy))
+            sweep;
+          Format.fprintf fmt " c=%d@." pick)
+        mrows;
+      Format.fprintf fmt
+        "  geomean    eq.1(c=%d)=%.3fx  profile-guided=%.3fx@."
+        Config.default.Config.c
+        (Benches.geomean !static_sp)
+        (Benches.geomean !pick_sp))
+    machines;
+  cycles
+
+(* The 4-cell smoke variant behind the tier-1 @distance-smoke alias:
+   2 workloads x 2 distances on one machine. *)
+let distance_smoke_cs = [ 64; 16 ]
+let distance_smoke_benches () = [ Benches.is_bench (); Benches.hj2_bench () ]
+
+let distance_smoke_core () =
+  distance_sweep_core ~cs:distance_smoke_cs ~machines:[ Machine.haswell ]
+    ~benches:(distance_smoke_benches ()) ()
+
+let distance_smoke ?sup ?jobs ?engine () =
+  distance_sweep ?sup ?jobs ?engine ~fig:"distance-smoke"
+    ~cs:distance_smoke_cs ~machines:[ Machine.haswell ]
+    ~benches:(distance_smoke_benches ()) ()
+
+(* ------------------------------------------------------------------ *)
+
 (* Replay registry: every figure's default cell list with the payload
    type erased (a crash bundle records only "fig <name>/<index>"; replay
    re-runs that one cell and reports its simulated cycles). *)
@@ -534,6 +655,8 @@ let replay_registry : (string * (unit -> (Runner.ctx -> int) list)) list =
     ("fig10", fun () -> erase (fig10_core ()));
     ("ablation-split", fun () -> erase (ablation_split_core ()));
     ("ablation-flat", fun () -> erase (ablation_flat_offsets_core ()));
+    ("distance-sweep", fun () -> erase (distance_sweep_core ()));
+    ("distance-smoke", fun () -> erase (distance_smoke_core ()));
   ]
 
 let replay_cell ~figure ~index ?engine () =

@@ -1,0 +1,200 @@
+module Machine = Spf_sim.Machine
+module Attrib = Spf_sim.Attrib
+module Tuner = Spf_sim.Tuner
+module Workload = Spf_workloads.Workload
+module Config = Spf_core.Config
+module Distance = Spf_core.Distance
+module Pass = Spf_core.Pass
+module Profdata = Spf_core.Profdata
+
+(* Profile-guided and adaptive distance selection, end to end:
+
+   - [profile] measures a benchmark — a per-loop attribution run of the
+     plain program plus a look-ahead sweep of the transformed one — and
+     returns a signed {!Profdata.t} ready to save;
+   - [build_auto] applies the pass under any provider and, for the
+     adaptive one, constructs the windowed tuner bound to the distance
+     registers the pass materialised;
+   - [evaluate] compares static vs profile vs adaptive on a benchmark
+     list for one machine (the BENCH.json "distance_providers" piece and
+     the acceptance gate for this subsystem).
+
+   The candidate order below doubles as the tie-break preference: the
+   sweep picks the candidate with the fewest simulated cycles and resolves
+   ties toward the front of the list — whose head is the paper's c = 64 —
+   so a profile-guided run can never lose to eq. 1 on the workload it was
+   measured on, and is strictly better wherever any candidate wins. *)
+
+let candidates = [ 64; 32; 128; 16; 256 ]
+
+(* Build the adaptive tuner for a transformed function from the pass
+   report: one register per prefetched loop, windowed per the provider's
+   parameters.  [None] for non-adaptive reports (no registers). *)
+let tuner_of_report (func : Spf_ir.Ir.func) (report : Pass.report) =
+  match report.Pass.adaptive with
+  | None -> None
+  | Some p ->
+      let regs =
+        List.filter_map
+          (fun (ld : Pass.loop_distance) ->
+            match ld.Pass.dist_slot with
+            | Some slot -> Some (slot, ld.Pass.header, ld.Pass.distance)
+            | None -> None)
+          report.Pass.loop_distances
+      in
+      if regs = [] then None
+      else
+        let attrib = Attrib.create func in
+        Some
+          (Tuner.create ~attrib ~window:p.Distance.window
+             ~min_c:p.Distance.min_c ~max_c:p.Distance.max_c regs)
+
+(* Apply the pass to a fresh plain build under [config]; returns the built
+   workload, the report, and the tuner when the provider is adaptive. *)
+let build_auto ?(config = Config.default) (bench : Benches.bench) =
+  let b = bench.Benches.plain () in
+  let b, report = Benches.auto_with_report ~config b in
+  (b, report, tuner_of_report b.Workload.func report)
+
+let run_auto ?(ctx = Runner.null_ctx) ?(config = Config.default) ~machine
+    (bench : Benches.bench) =
+  let b, _report, tuner = build_auto ~config bench in
+  Runner.run_ctx ctx ?tuner ~machine b
+
+(* One sweep point: cycles of the pass-transformed benchmark at a fixed
+   global look-ahead constant. *)
+let measure ?(ctx = Runner.null_ctx) ~machine (bench : Benches.bench) ~c =
+  let config = Config.with_c c Config.default in
+  let b = Benches.auto ~config (bench.Benches.plain ()) in
+  Runner.cycles (Runner.run_ctx ctx ~machine b)
+
+(* Sweep the candidates and pick the winner; ties resolve toward the
+   front of [cs] (c = 64 first by default). *)
+let choose ?(ctx = Runner.null_ctx) ?(cs = candidates) ~machine bench =
+  let sweep = List.map (fun c -> (c, measure ~ctx ~machine bench ~c)) cs in
+  let best_c, _ =
+    List.fold_left
+      (fun (bc, bcy) (c, cy) -> if cy < bcy then (c, cy) else (bc, bcy))
+      (match sweep with
+      | first :: _ -> first
+      | [] -> invalid_arg "Profile_guided.choose: empty candidate list")
+      sweep
+  in
+  (best_c, sweep)
+
+(* Measure a benchmark into a signed profile: attribution run of the plain
+   program for the per-loop evidence, candidate sweep for the distance. *)
+let profile ?(ctx = Runner.null_ctx) ?(cs = candidates) ~machine
+    (bench : Benches.bench) =
+  let plain = bench.Benches.plain () in
+  let attrib = Attrib.create plain.Workload.func in
+  ignore (Runner.run_ctx ctx ~attrib ~machine plain);
+  let best_c, sweep = choose ~ctx ~cs ~machine bench in
+  (* The prefetched loops, from a throwaway pass application at the chosen
+     distance (the pass mutates in place, so use yet another fresh build). *)
+  let _, report =
+    Benches.auto_with_report
+      ~config:(Config.with_c best_c Config.default)
+      (bench.Benches.plain ())
+  in
+  let loops =
+    List.filter_map
+      (fun (ld : Pass.loop_distance) ->
+        if not ld.Pass.enabled then None
+        else
+          let slot = Attrib.slot_of_header attrib ld.Pass.header in
+          Some
+            {
+              Profdata.header = ld.Pass.header;
+              c = best_c;
+              enabled = true;
+              accesses = (if slot >= 0 then attrib.Attrib.demand.(slot) else 0);
+              misses = (if slot >= 0 then attrib.Attrib.miss.(slot) else 0);
+            })
+      report.Pass.loop_distances
+  in
+  let pd =
+    Profdata.make ~func:plain.Workload.func ~machine:machine.Machine.name
+      ~default_c:Config.default.Config.c ~loops
+  in
+  (pd, sweep)
+
+(* ------------------------------------------------------------------ *)
+(* Provider comparison: the acceptance gate and BENCH.json piece.       *)
+
+type row = {
+  bench : string;
+  plain_cycles : int;
+  static_cycles : int; (* eq. 1, c = 64 *)
+  profile_cycles : int; (* best candidate from the sweep *)
+  profile_c : int;
+  sweep : (int * int) list; (* candidate -> cycles *)
+  adaptive_cycles : int;
+  adaptive_windows : int;
+  adaptive_final : (int * int) list; (* loop header -> final distance *)
+}
+
+type eval = {
+  machine : string;
+  rows : row list;
+  geo_static : float; (* geomean speedup over plain *)
+  geo_profile : float;
+  geo_adaptive : float;
+}
+
+let evaluate ?(ctx = Runner.null_ctx) ?(cs = candidates) ~machine benches =
+  let rows =
+    List.map
+      (fun (bench : Benches.bench) ->
+        let plain_cycles =
+          Runner.cycles (Runner.run_ctx ctx ~machine (bench.Benches.plain ()))
+        in
+        let profile_c, sweep = choose ~ctx ~cs ~machine bench in
+        let static_cycles =
+          match List.assoc_opt Config.default.Config.c sweep with
+          | Some cy -> cy
+          | None -> measure ~ctx ~machine bench ~c:Config.default.Config.c
+        in
+        let profile_cycles = List.assoc profile_c sweep in
+        let b, _report, tuner =
+          build_auto
+            ~config:
+              (Config.with_provider
+                 (Distance.Adaptive Distance.default_adaptive) Config.default)
+            bench
+        in
+        let adaptive_cycles =
+          Runner.cycles (Runner.run_ctx ctx ?tuner ~machine b)
+        in
+        let adaptive_windows =
+          match tuner with Some tu -> Tuner.windows tu | None -> 0
+        in
+        let adaptive_final =
+          match tuner with Some tu -> Tuner.final tu | None -> []
+        in
+        {
+          bench = bench.Benches.id;
+          plain_cycles;
+          static_cycles;
+          profile_cycles;
+          profile_c;
+          sweep;
+          adaptive_cycles;
+          adaptive_windows;
+          adaptive_final;
+        })
+      benches
+  in
+  let geo proj =
+    Benches.geomean
+      (List.map
+         (fun r -> float_of_int r.plain_cycles /. float_of_int (proj r))
+         rows)
+  in
+  {
+    machine = machine.Machine.name;
+    rows;
+    geo_static = geo (fun r -> r.static_cycles);
+    geo_profile = geo (fun r -> r.profile_cycles);
+    geo_adaptive = geo (fun r -> r.adaptive_cycles);
+  }

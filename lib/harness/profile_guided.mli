@@ -1,0 +1,83 @@
+(** Profile-guided and adaptive look-ahead selection: measure a benchmark
+    into a signed {!Spf_core.Profdata.t}, apply the pass under any
+    {!Spf_core.Distance.provider} (constructing the adaptive tuner when
+    needed), and compare providers for the BENCH.json gate. *)
+
+val candidates : int list
+(** The look-ahead sweep, in tie-break preference order — head is the
+    paper's c = 64, so a profile can never lose to eq. 1 on the workload
+    it was measured on. *)
+
+val tuner_of_report :
+  Spf_ir.Ir.func -> Spf_core.Pass.report -> Spf_sim.Tuner.t option
+(** Build the windowed tuner bound to the distance registers an adaptive
+    pass application materialised; [None] for non-adaptive reports. *)
+
+val build_auto :
+  ?config:Spf_core.Config.t ->
+  Benches.bench ->
+  Spf_workloads.Workload.built * Spf_core.Pass.report * Spf_sim.Tuner.t option
+(** Fresh plain build, pass applied under [config], tuner when adaptive. *)
+
+val run_auto :
+  ?ctx:Runner.ctx ->
+  ?config:Spf_core.Config.t ->
+  machine:Spf_sim.Machine.t ->
+  Benches.bench ->
+  Runner.result
+(** {!build_auto} then run (with the tuner attached when adaptive). *)
+
+val measure :
+  ?ctx:Runner.ctx ->
+  machine:Spf_sim.Machine.t ->
+  Benches.bench ->
+  c:int ->
+  int
+(** Simulated cycles of the pass-transformed benchmark at global
+    look-ahead [c]. *)
+
+val choose :
+  ?ctx:Runner.ctx ->
+  ?cs:int list ->
+  machine:Spf_sim.Machine.t ->
+  Benches.bench ->
+  int * (int * int) list
+(** Sweep the candidates; return the winner (ties toward the front of
+    [cs]) and the full [(c, cycles)] sweep. *)
+
+val profile :
+  ?ctx:Runner.ctx ->
+  ?cs:int list ->
+  machine:Spf_sim.Machine.t ->
+  Benches.bench ->
+  Spf_core.Profdata.t * (int * int) list
+(** Measure: attribution run of the plain program (per-loop evidence) plus
+    the candidate sweep.  Returns the signed profile and the sweep. *)
+
+type row = {
+  bench : string;
+  plain_cycles : int;
+  static_cycles : int;  (** eq. 1, c = 64 *)
+  profile_cycles : int;
+  profile_c : int;
+  sweep : (int * int) list;
+  adaptive_cycles : int;
+  adaptive_windows : int;
+  adaptive_final : (int * int) list;  (** loop header -> final distance *)
+}
+
+type eval = {
+  machine : string;
+  rows : row list;
+  geo_static : float;  (** geomean speedup over plain *)
+  geo_profile : float;
+  geo_adaptive : float;
+}
+
+val evaluate :
+  ?ctx:Runner.ctx ->
+  ?cs:int list ->
+  machine:Spf_sim.Machine.t ->
+  Benches.bench list ->
+  eval
+(** Static vs profile vs adaptive on [benches] for one machine. *)

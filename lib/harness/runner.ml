@@ -21,8 +21,8 @@ type ctx = {
 let null_ctx = { engine = None; cancel = None }
 let ctx_of_engine engine = { engine; cancel = None }
 
-let run ?fuel ?engine ?cancel ~(machine : Machine.t) (b : Workload.built) :
-    result =
+let run ?fuel ?engine ?cancel ?attrib ?tuner ~(machine : Machine.t)
+    (b : Workload.built) : result =
   (match Spf_ir.Verifier.check b.func with
   | [] -> ()
   | vs ->
@@ -32,14 +32,15 @@ let run ?fuel ?engine ?cancel ~(machine : Machine.t) (b : Workload.built) :
       in
       failwith (Printf.sprintf "%s: verifier: %s" b.name msg));
   let interp =
-    Interp.create ~machine ?engine ?cancel ~mem:b.mem ~args:b.args b.func
+    Interp.create ~machine ?engine ?cancel ?attrib ?tuner ~mem:b.mem
+      ~args:b.args b.func
   in
   Interp.run ?fuel interp;
   Workload.validate b ~retval:(Interp.retval interp);
   { stats = Interp.stats interp; machine = machine.name; bench = b.name }
 
-let run_ctx (c : ctx) ?fuel ~machine b =
-  run ?fuel ?engine:c.engine ?cancel:c.cancel ~machine b
+let run_ctx (c : ctx) ?fuel ?attrib ?tuner ~machine b =
+  run ?fuel ?engine:c.engine ?cancel:c.cancel ?attrib ?tuner ~machine b
 
 let cycles r = r.stats.Stats.cycles
 

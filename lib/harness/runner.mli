@@ -24,16 +24,22 @@ val run :
   ?fuel:int ->
   ?engine:Spf_sim.Engine.t ->
   ?cancel:Spf_sim.Exec_state.cancel ->
+  ?attrib:Spf_sim.Attrib.t ->
+  ?tuner:Spf_sim.Tuner.t ->
   machine:Spf_sim.Machine.t ->
   Spf_workloads.Workload.built ->
   result
 (** @raise Failure on verifier violations or checksum mismatch.
     [engine] selects the simulator engine (default {!Spf_sim.Engine.default}).
+    [attrib] buckets memory behaviour per source loop (profiling);
+    [tuner] drives the adaptive distance registers.
     @raise Spf_sim.Exec_state.Cancelled once [cancel] fires. *)
 
 val run_ctx :
   ctx ->
   ?fuel:int ->
+  ?attrib:Spf_sim.Attrib.t ->
+  ?tuner:Spf_sim.Tuner.t ->
   machine:Spf_sim.Machine.t ->
   Spf_workloads.Workload.built ->
   result

@@ -1,0 +1,85 @@
+module Ir = Spf_ir.Ir
+module Cfg = Spf_ir.Cfg
+module Dom = Spf_ir.Dom
+module Loops = Spf_ir.Loops
+
+(* Per-loop attribution of memory behaviour, engine-independent by
+   construction: the memory system calls in with the demand load's pc and
+   what happened to it, and everything else is a table lookup into arrays
+   indexed by the innermost natural loop containing that pc's block.
+
+   One instance observes one core's run.  The same counters feed two
+   consumers: `spf profile` aggregates a whole run into a profile file,
+   and the adaptive Tuner diffs snapshots of them at window boundaries. *)
+
+type t = {
+  loop_of_pc : int array; (* instr id -> loop slot, -1 outside all loops *)
+  headers : int array; (* loop slot -> header block id *)
+  demand : int array; (* demand loads *)
+  miss : int array; (* demand loads filled from DRAM *)
+  late : int array; (* demand loads that caught a sw-prefetch fill in flight *)
+  unused : int array; (* sw-prefetched lines evicted unused, by prefetch pc *)
+  stall : int array; (* scaled cycles demand loads spent beyond issue *)
+  mutable total_demand : int; (* across all loops and straight-line code *)
+}
+
+let create (func : Ir.func) =
+  let cfg = Cfg.build func in
+  let dom = Dom.build cfg in
+  let loops = Loops.analyze func cfg dom in
+  let n = Array.length (Loops.loops loops) in
+  let headers = Array.map (fun (l : Loops.loop) -> l.header) (Loops.loops loops) in
+  let loop_of_pc = Array.make (Array.length func.Ir.itab) (-1) in
+  Ir.iter_instrs func (fun i ->
+      match Loops.innermost loops i.Ir.block with
+      | Some idx -> loop_of_pc.(i.Ir.id) <- idx
+      | None -> ());
+  {
+    loop_of_pc;
+    headers;
+    demand = Array.make (max n 1) 0;
+    miss = Array.make (max n 1) 0;
+    late = Array.make (max n 1) 0;
+    unused = Array.make (max n 1) 0;
+    stall = Array.make (max n 1) 0;
+    total_demand = 0;
+  }
+
+let n_loops t = Array.length t.headers
+let header t slot = t.headers.(slot)
+
+let slot_of_pc t pc =
+  if pc >= 0 && pc < Array.length t.loop_of_pc then t.loop_of_pc.(pc) else -1
+
+let slot_of_header t h =
+  let rec go k =
+    if k >= Array.length t.headers then -1
+    else if t.headers.(k) = h then k
+    else go (k + 1)
+  in
+  go 0
+
+let on_demand t ~pc ~dram ~late ~stall =
+  t.total_demand <- t.total_demand + 1;
+  let s = slot_of_pc t pc in
+  if s >= 0 then begin
+    t.demand.(s) <- t.demand.(s) + 1;
+    if dram then t.miss.(s) <- t.miss.(s) + 1;
+    if late then t.late.(s) <- t.late.(s) + 1;
+    if stall > 0 then t.stall.(s) <- t.stall.(s) + stall
+  end
+
+let on_unused t ~pf_pc =
+  let s = slot_of_pc t pf_pc in
+  if s >= 0 then t.unused.(s) <- t.unused.(s) + 1
+
+let pp fmt t =
+  Format.fprintf fmt "per-loop attribution (%d demand loads total):@."
+    t.total_demand;
+  Array.iteri
+    (fun s h ->
+      if t.demand.(s) > 0 || t.unused.(s) > 0 then
+        Format.fprintf fmt
+          "  loop bb%d: demand=%d miss=%d late=%d unused=%d stall=%d@." h
+          t.demand.(s) t.miss.(s) t.late.(s) t.unused.(s) t.stall.(s))
+    t.headers

@@ -1,0 +1,30 @@
+(** Per-loop attribution of memory behaviour: demand loads, DRAM misses,
+    prefetch timeliness, and stall cycles bucketed by the innermost
+    natural loop containing each access's pc.  Engine-independent by
+    construction — the memory system reports events, everything else is a
+    table lookup.  Feeds both [spf profile] (whole-run aggregation) and
+    the adaptive {!Tuner} (windowed snapshots). *)
+
+type t = {
+  loop_of_pc : int array;  (** instr id -> loop slot, -1 outside loops *)
+  headers : int array;  (** loop slot -> header block id *)
+  demand : int array;
+  miss : int array;  (** demand loads filled from DRAM *)
+  late : int array;  (** demand loads that caught a sw-prefetch fill in flight *)
+  unused : int array;  (** sw-prefetched lines evicted unused, by prefetch pc *)
+  stall : int array;  (** scaled cycles demand loads spent beyond issue *)
+  mutable total_demand : int;
+}
+
+val create : Spf_ir.Ir.func -> t
+(** Build the pc -> innermost-loop table for [func] (pass the function
+    that will actually run — after any transformation). *)
+
+val n_loops : t -> int
+val header : t -> int -> int
+val slot_of_pc : t -> int -> int
+val slot_of_header : t -> int -> int
+
+val on_demand : t -> pc:int -> dram:bool -> late:bool -> stall:int -> unit
+val on_unused : t -> pf_pc:int -> unit
+val pp : Format.formatter -> t -> unit

@@ -59,6 +59,10 @@ type t = {
   demand_free : int array;
   miss_restart : int;
   cancel : cancel option;
+  tuner : Tuner.t option;
+      (* adaptive-distance controller, ticked after every retired demand
+         load — the same point in all three engines, which is what makes
+         adaptive runs engine-independent *)
   mutable rob_slot : int; (* next ROB ring slot (out-of-order only) *)
   mutable cur : int;
   mutable halted : bool;
@@ -72,10 +76,16 @@ type t = {
    once at create, ready-time permanently 0) so every operand becomes a
    plain slot index.  Instruction destinations are always < n_instrs, so
    the extension is invisible to the other engines. *)
-let create ~machine ~tscale ~dram ?stats ?cancel ?(extra_slots = 0) ~mem ~args
-    func =
+let create ~machine ~tscale ~dram ?stats ?cancel ?attrib ?tuner
+    ?(extra_slots = 0) ~mem ~args func =
   let stats = match stats with Some s -> s | None -> Stats.create () in
-  let memsys = Memsys.create machine ~tscale ~dram ~stats in
+  let attrib =
+    match (attrib, tuner) with
+    | Some _, _ -> attrib
+    | None, Some tu -> Some (Tuner.attrib tu)
+    | None, None -> None
+  in
+  let memsys = Memsys.create machine ~tscale ~dram ~stats ?attrib () in
   let n = Ir.n_instrs func in
   let slots = max (n + extra_slots) 1 in
   let t =
@@ -96,6 +106,7 @@ let create ~machine ~tscale ~dram ?stats ?cancel ?(extra_slots = 0) ~mem ~args
       demand_free = Array.make (max machine.demand_slots 1) 0;
       miss_restart = machine.miss_restart * tscale;
       cancel;
+      tuner;
       rob_slot = 0;
       cur = func.Ir.entry;
       halted = false;
@@ -108,6 +119,9 @@ let create ~machine ~tscale ~dram ?stats ?cancel ?(extra_slots = 0) ~mem ~args
   Array.iteri
     (fun k id -> if k < Array.length args then t.env.(id) <- args.(k))
     func.Ir.param_ids;
+  (* Distance registers are parameters past the caller's arguments; the
+     tuner seeds them with their initial distances. *)
+  (match tuner with Some tu -> Tuner.init_env tu t.env | None -> ());
   t
 
 (* Raise [Cancelled] if this state's token has been fired.  Called by the
@@ -234,6 +248,9 @@ let exec_load t ~pc ~dst ~ty ~addr ~start =
   let completion =
     Memsys.access t.memsys ~kind:Memsys.Demand ~pc ~addr ~now:start
   in
+  (* Tick the adaptive-distance controller on every retired demand load —
+     the window boundary is thereby identical in all three engines. *)
+  (match t.tuner with Some tu -> Tuner.tick tu ~env:t.env | None -> ());
   match Memsys.last_level t.memsys with
   | Memsys.L1 -> completion
   | Memsys.Inflight | Memsys.L2 | Memsys.L3 ->

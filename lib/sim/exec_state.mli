@@ -45,6 +45,8 @@ type t = {
   demand_free : int array;
   miss_restart : int;
   cancel : cancel option;
+  tuner : Tuner.t option;
+      (** adaptive-distance controller, ticked per retired demand load *)
   mutable rob_slot : int;
   mutable cur : int;
   mutable halted : bool;
@@ -59,6 +61,8 @@ val create :
   dram:Dram.t ->
   ?stats:Stats.t ->
   ?cancel:cancel ->
+  ?attrib:Attrib.t ->
+  ?tuner:Tuner.t ->
   ?extra_slots:int ->
   mem:Memory.t ->
   args:int array ->
@@ -66,7 +70,11 @@ val create :
   t
 (** [extra_slots] (default 0) extends [env]/[fenv]/[ready] beyond the SSA
     ids — the tape engine materializes immediates into trailing constant
-    slots there.  Instruction destinations never reach the extension. *)
+    slots there.  Instruction destinations never reach the extension.
+
+    [attrib] buckets demand-load outcomes per source loop; [tuner] seeds
+    and re-tunes the adaptive distance registers (its own attribution
+    table is used when [attrib] is absent). *)
 
 val poll_cancel : t -> unit
 (** @raise Cancelled if this state's token (if any) has been fired. *)

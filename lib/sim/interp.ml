@@ -122,8 +122,8 @@ let build_classic func : classic =
     terms;
   { blocks; terms; edges }
 
-let create ~machine ?(tscale = default_tscale) ?dram ?stats ?cancel
-    ?(engine = Engine.default) ~mem ~args func =
+let create ~machine ?(tscale = default_tscale) ?dram ?stats ?cancel ?attrib
+    ?tuner ?(engine = Engine.default) ~mem ~args func =
   let dram =
     match dram with
     | Some d -> d
@@ -141,7 +141,8 @@ let create ~machine ?(tscale = default_tscale) ?dram ?stats ?cancel
     match tape with Some p -> Tape.n_extra_slots p | None -> 0
   in
   let st =
-    S.create ~machine ~tscale ~dram ?stats ?cancel ~extra_slots ~mem ~args func
+    S.create ~machine ~tscale ~dram ?stats ?cancel ?attrib ?tuner ~extra_slots
+      ~mem ~args func
   in
   (match tape with Some p -> Tape.init_consts p st | None -> ());
   (* Call sites, so intrinsics resolve into a per-instruction array at

@@ -44,6 +44,8 @@ val create :
   ?dram:Dram.t ->
   ?stats:Stats.t ->
   ?cancel:cancel ->
+  ?attrib:Attrib.t ->
+  ?tuner:Tuner.t ->
   ?engine:Engine.t ->
   mem:Memory.t ->
   args:int array ->
@@ -53,7 +55,9 @@ val create :
     the given memory.  Pass a shared [dram] to model multicore bandwidth
     contention.  [engine] selects the classic instruction walker, the
     compile-to-closure engine or the micro-op tape engine (default
-    {!Engine.default}); all three are bit-identical. *)
+    {!Engine.default}); all three are bit-identical.  [attrib] buckets
+    memory behaviour per source loop; [tuner] drives adaptive distance
+    registers — both engine-independent. *)
 
 val register_intrinsic : t -> string -> (int array -> int) -> unit
 (** Provide the implementation of a [Call] target. *)

@@ -21,9 +21,18 @@ type t = {
   mshrs : int array; (* busy-until time per demand fill slot *)
   pf_mshrs : int array; (* busy-until time per prefetch fill slot *)
   inflight : Line_tbl.t; (* line -> fill completion *)
+  pf_tbl : Line_tbl.t;
+      (* line -> pc of the software prefetch whose DRAM fill brought it in,
+         kept until the first demand touch (used) or an LLC eviction
+         (unused) — the timeliness classification of §4.4.  Empty on runs
+         without software prefetches, so the emptiness guard keeps plain
+         runs free of any probe. *)
   dram : Dram.t;
   spf : Stride_pf.t option;
   stats : Stats.t;
+  attrib : Attrib.t option; (* per-loop attribution sink, when profiling *)
+  mutable last_pf_late : bool;
+      (* did the most recent demand lookup catch a marked fill in flight? *)
   lat_l1 : int;
   lat_l2 : int;
   lat_l3 : int;
@@ -32,7 +41,7 @@ type t = {
   mutable last_level : level;
 }
 
-let create (m : Machine.t) ~tscale ~dram ~stats =
+let create (m : Machine.t) ~tscale ~dram ~stats ?attrib () =
   let mk (g : Machine.cache_geom) =
     Cache.create ~size:g.size ~assoc:g.assoc ~unit_shift:Machine.line_shift
   in
@@ -46,9 +55,12 @@ let create (m : Machine.t) ~tscale ~dram ~stats =
     mshrs = Array.make (max 1 m.mshrs) 0;
     pf_mshrs = Array.make (max 1 m.pf_mshrs) 0;
     inflight = Line_tbl.create ();
+    pf_tbl = Line_tbl.create ();
     dram;
     spf = Option.map Stride_pf.create m.stride_pf;
     stats;
+    attrib;
+    last_pf_late = false;
     lat_l1 = m.lat_l1 * tscale;
     lat_l2 = m.lat_l2 * tscale;
     lat_l3 = m.lat_l3 * tscale;
@@ -116,17 +128,56 @@ let with_mshr t ~kind ~now fill =
    The in-flight probe is guarded by an O(1) emptiness check: phases that
    hit in cache never populate the table, so their L1 hits skip the hash
    probe entirely and the walk is a single [Cache.access]. *)
-let lookup t ~kind ~line ~now =
+(* A line evicted from the last-level cache while still carrying its
+   software-prefetch mark was never demand-touched: the prefetch fill was
+   wasted (issued too early for the reuse, or useless).  Lines still marked
+   and resident at end of run are deliberately unclassified — they were
+   neither used nor pushed out. *)
+let note_llc_victim t victim =
+  match victim with
+  | None -> ()
+  | Some v ->
+      if Line_tbl.length t.pf_tbl > 0 then begin
+        let p = Line_tbl.find t.pf_tbl v in
+        if p >= 0 then begin
+          Line_tbl.remove t.pf_tbl v;
+          t.stats.unused_pf_fills <- t.stats.unused_pf_fills + 1;
+          match t.attrib with
+          | Some at -> Attrib.on_unused at ~pf_pc:p
+          | None -> ()
+        end
+      end
+
+let lookup t ~kind ~pc ~line ~now =
+  if kind = Demand then t.last_pf_late <- false;
   let fill =
     if Line_tbl.length t.inflight = 0 then -1 else Line_tbl.find t.inflight line
   in
   if fill > now then begin
-    if kind = Demand then t.stats.inflight_hits <- t.stats.inflight_hits + 1;
+    if kind = Demand then begin
+      t.stats.inflight_hits <- t.stats.inflight_hits + 1;
+      (* Catching a software-prefetch fill in flight means the prefetch
+         helped but came too late to hide the whole miss. *)
+      if Line_tbl.length t.pf_tbl > 0 then begin
+        let p = Line_tbl.find t.pf_tbl line in
+        if p >= 0 then begin
+          Line_tbl.remove t.pf_tbl line;
+          t.stats.late_pf_fills <- t.stats.late_pf_fills + 1;
+          t.last_pf_late <- true
+        end
+      end
+    end;
     t.last_level <- Inflight;
     fill
   end
   else begin
       if fill >= 0 then Line_tbl.remove t.inflight line;
+      (* First demand touch of a timely software-prefetched line: used. *)
+      if
+        kind = Demand
+        && Line_tbl.length t.pf_tbl > 0
+        && Line_tbl.find t.pf_tbl line >= 0
+      then Line_tbl.remove t.pf_tbl line;
       if Cache.access t.l1 line then begin
         t.last_level <- L1;
         t.stats.l1_hits <- t.stats.l1_hits + 1;
@@ -182,12 +233,17 @@ let lookup t ~kind ~line ~now =
                     | None -> false)
                 | Demand | Write | Sw_prefetch -> true
               in
+              (* The insert into the last level is where capacity victims
+                 fall out of the hierarchy for good — classify marked ones
+                 as unused prefetch fills. *)
               (match t.l3 with
-              | Some l3 -> ignore (Cache.insert_absent l3 line)
-              | None -> ());
-              ignore (Cache.insert_absent t.l2 line);
+              | Some l3 ->
+                  note_llc_victim t (Cache.insert_absent l3 line);
+                  ignore (Cache.insert_absent t.l2 line)
+              | None -> note_llc_victim t (Cache.insert_absent t.l2 line));
               if into_l1 then ignore (Cache.insert_absent t.l1 line);
               Line_tbl.replace t.inflight line completion;
+              if kind = Sw_prefetch then Line_tbl.replace t.pf_tbl line pc;
               completion
             end)
   end
@@ -211,10 +267,17 @@ let prune_inflight t ~low_water =
 let access t ~kind ~pc ~addr ~now =
   let ready = translate t ~addr ~now in
   let line = addr lsr Machine.line_shift in
-  let completion = lookup t ~kind ~line ~now:ready in
+  let completion = lookup t ~kind ~pc ~line ~now:ready in
   (match kind with
   | Demand -> (
       t.stats.loads <- t.stats.loads + 1;
+      (match t.attrib with
+      | Some at ->
+          Attrib.on_demand at ~pc
+            ~dram:(t.last_level = Dram)
+            ~late:t.last_pf_late
+            ~stall:(imax 0 (completion - now - t.lat_l1))
+      | None -> ());
       match t.spf with
       | Some p ->
           let pf_addr = Stride_pf.train p ~pc ~addr in
@@ -223,7 +286,7 @@ let access t ~kind ~pc ~addr ~now =
             let level = t.last_level in
             let pf_ready = translate t ~addr:pf_addr ~now:ready in
             ignore
-              (lookup t ~kind:Hw_prefetch
+              (lookup t ~kind:Hw_prefetch ~pc
                  ~line:(pf_addr lsr Machine.line_shift)
                  ~now:pf_ready);
             t.last_level <- level

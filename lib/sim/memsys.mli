@@ -12,10 +12,19 @@ type level = L1 | L2 | L3 | Dram | Inflight
 
 type t
 
-val create : Machine.t -> tscale:int -> dram:Dram.t -> stats:Stats.t -> t
+val create :
+  Machine.t ->
+  tscale:int ->
+  dram:Dram.t ->
+  stats:Stats.t ->
+  ?attrib:Attrib.t ->
+  unit ->
+  t
 (** [tscale] is the core model's sub-cycle time scale; all configured
     latencies are multiplied by it.  The [dram] channel may be shared
-    between several cores' memory systems (Fig 9). *)
+    between several cores' memory systems (Fig 9).  When [attrib] is given,
+    demand-load outcomes and unused-prefetch evictions are additionally
+    bucketed per source loop (profiling and the adaptive tuner). *)
 
 val access : t -> kind:kind -> pc:int -> addr:int -> now:int -> int
 (** Perform an access; returns its completion time.  Demand loads train the

@@ -14,6 +14,12 @@ type t = {
   mutable l3_hits : int;
   mutable dram_fills : int;
   mutable inflight_hits : int; (* demand hits on an in-flight fill *)
+  mutable late_pf_fills : int;
+      (* software-prefetch fills a demand load caught in flight: the
+         prefetch helped but was issued too late to hide all the latency *)
+  mutable unused_pf_fills : int;
+      (* software-prefetched lines evicted from the last-level cache before
+         any demand access touched them: issued too early (or uselessly) *)
   mutable tlb_misses : int;
   mutable page_walks : int;
   mutable cycles : int; (* set at end of run *)
@@ -32,6 +38,8 @@ let create () =
     l3_hits = 0;
     dram_fills = 0;
     inflight_hits = 0;
+    late_pf_fills = 0;
+    unused_pf_fills = 0;
     tlb_misses = 0;
     page_walks = 0;
     cycles = 0;
@@ -51,6 +59,8 @@ let fields t =
     ("l3_hits", t.l3_hits);
     ("dram_fills", t.dram_fills);
     ("inflight_hits", t.inflight_hits);
+    ("late_pf_fills", t.late_pf_fills);
+    ("unused_pf_fills", t.unused_pf_fills);
     ("tlb_misses", t.tlb_misses);
     ("page_walks", t.page_walks);
   ]
@@ -70,8 +80,9 @@ let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instructions /. float_o
 let pp fmt t =
   Format.fprintf fmt
     "cycles=%d insts=%d (ipc %.2f) loads=%d stores=%d swpf=%d hwpf=%d \
-     swpf-dropped=%d@ l1=%d l2=%d l3=%d dram=%d inflight=%d tlbmiss=%d \
-     walks=%d"
+     swpf-dropped=%d@ l1=%d l2=%d l3=%d dram=%d inflight=%d swpf-late=%d \
+     swpf-unused=%d tlbmiss=%d walks=%d"
     t.cycles t.instructions (ipc t) t.loads t.stores t.sw_prefetches
     t.hw_prefetches t.dropped_prefetches t.l1_hits t.l2_hits t.l3_hits
-    t.dram_fills t.inflight_hits t.tlb_misses t.page_walks
+    t.dram_fills t.inflight_hits t.late_pf_fills t.unused_pf_fills
+    t.tlb_misses t.page_walks

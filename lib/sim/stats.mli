@@ -13,6 +13,13 @@ type t = {
   mutable l3_hits : int;
   mutable dram_fills : int;
   mutable inflight_hits : int;  (** demand hits on an in-flight fill *)
+  mutable late_pf_fills : int;
+      (** software-prefetch fills a demand load caught while still in
+          flight — issued too late to hide all the latency *)
+  mutable unused_pf_fills : int;
+      (** software-prefetched lines evicted from the last-level cache
+          before any demand access touched them — issued too early (or
+          uselessly) *)
   mutable tlb_misses : int;
   mutable page_walks : int;
   mutable cycles : int;

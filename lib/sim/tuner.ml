@@ -1,0 +1,142 @@
+(* Online distance re-tuning, in the spirit of runtime-guided prefetcher
+   reconfiguration: the pass compiles each prefetched loop's look-ahead
+   constant into a distance *register* (an extra function parameter), and
+   this controller rewrites those registers from windowed attribution
+   counters while the program runs.
+
+   Determinism and engine-independence are structural: the window is
+   counted in retired demand loads (`Exec_state.exec_load` ticks the tuner
+   after every demand access, identically in all three engines), the
+   inputs are integer counter deltas, and the policy is pure integer
+   arithmetic — so a fixed program + config re-tunes at the same points to
+   the same distances on every run and under every engine. *)
+
+type reg = {
+  slot : int; (* env slot (instr id of the distance-register Param) *)
+  header : int; (* loop header block this register schedules *)
+  init : int;
+  mutable cur : int;
+  loop_slot : int; (* Attrib slot for this header, -1 when unknown *)
+  (* Counter snapshot at the last window boundary. *)
+  mutable p_demand : int;
+  mutable p_miss : int;
+  mutable p_late : int;
+  mutable p_unused : int;
+  mutable trace : int list; (* distances chosen, newest first *)
+}
+
+type t = {
+  attrib : Attrib.t;
+  window : int; (* demand loads per tuning window *)
+  min_c : int;
+  max_c : int;
+  regs : reg array;
+  mutable next_at : int;
+  mutable windows : int;
+}
+
+let create ~attrib ~window ~min_c ~max_c regs =
+  let window = max 1 window in
+  let min_c = max 1 min_c in
+  let max_c = max min_c max_c in
+  let mk (slot, header, init) =
+    let init = if init < min_c then min_c else if init > max_c then max_c else init in
+    {
+      slot;
+      header;
+      init;
+      cur = init;
+      loop_slot = Attrib.slot_of_header attrib header;
+      p_demand = 0;
+      p_miss = 0;
+      p_late = 0;
+      p_unused = 0;
+      trace = [ init ];
+    }
+  in
+  {
+    attrib;
+    window;
+    min_c;
+    max_c;
+    regs = Array.of_list (List.map mk regs);
+    next_at = window;
+    windows = 0;
+  }
+
+let attrib t = t.attrib
+
+(* Write the initial distances; call once after parameter binding (the
+   registers are parameters, so unbound ones read as 0 otherwise). *)
+let init_env t (env : int array) =
+  Array.iter (fun r -> env.(r.slot) <- r.init) t.regs
+
+(* The per-window policy, applied to each loop's counter deltas:
+
+   - the loop is *starved* when a meaningful share of its demand loads
+     still reach DRAM or catch their prefetch in flight — the look-ahead
+     is too short, so double it;
+   - it is *wasteful* when prefetched lines keep falling out of the LLC
+     untouched — the look-ahead overruns the cache, so halve it;
+   - ambiguous or idle windows leave the distance alone (hysteresis: the
+     2x-vs-competitor guards keep the two signals from fighting).
+
+   Thresholds are shares of the window's demand loads in the loop, in
+   integer arithmetic (shortfall/waste >= 1/16th of demand). *)
+let retune_reg t (r : reg) (env : int array) =
+  if r.loop_slot >= 0 then begin
+    let a = t.attrib in
+    let d_demand = a.Attrib.demand.(r.loop_slot) - r.p_demand in
+    let d_miss = a.Attrib.miss.(r.loop_slot) - r.p_miss in
+    let d_late = a.Attrib.late.(r.loop_slot) - r.p_late in
+    let d_unused = a.Attrib.unused.(r.loop_slot) - r.p_unused in
+    r.p_demand <- a.Attrib.demand.(r.loop_slot);
+    r.p_miss <- a.Attrib.miss.(r.loop_slot);
+    r.p_late <- a.Attrib.late.(r.loop_slot);
+    r.p_unused <- a.Attrib.unused.(r.loop_slot);
+    if d_demand > 0 then begin
+      let shortfall = d_miss + d_late in
+      let next =
+        if shortfall * 16 >= d_demand && shortfall >= 2 * d_unused then
+          min (r.cur * 2) t.max_c
+        else if d_unused * 16 >= d_demand && d_unused >= 2 * shortfall then
+          max (r.cur / 2) t.min_c
+        else r.cur
+      in
+      if next <> r.cur then begin
+        r.cur <- next;
+        env.(r.slot) <- next
+      end;
+      r.trace <- r.cur :: r.trace
+    end
+  end
+
+let retune t env =
+  t.windows <- t.windows + 1;
+  Array.iter (fun r -> retune_reg t r env) t.regs
+
+(* Called after every retired demand load. *)
+let tick t ~env =
+  if t.attrib.Attrib.total_demand >= t.next_at then begin
+    t.next_at <- t.attrib.Attrib.total_demand + t.window;
+    retune t env
+  end
+
+let windows t = t.windows
+
+let chosen t =
+  Array.to_list
+    (Array.map (fun r -> (r.header, List.rev r.trace)) t.regs)
+
+let final t =
+  Array.to_list (Array.map (fun r -> (r.header, r.cur)) t.regs)
+
+let pp fmt t =
+  Format.fprintf fmt "adaptive tuner: %d window(s) of %d demand loads@."
+    t.windows t.window;
+  Array.iter
+    (fun r ->
+      Format.fprintf fmt "  loop bb%d: c %d -> %d (%d decisions)@." r.header
+        r.init r.cur
+        (List.length r.trace))
+    t.regs

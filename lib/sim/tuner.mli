@@ -1,0 +1,39 @@
+(** Online look-ahead re-tuning: rewrites the per-loop distance registers
+    the pass materialised, from windowed {!Attrib} counters.  Windows are
+    counted in retired demand loads and the policy is pure integer
+    arithmetic, so a fixed program + config chooses the same distances at
+    the same points on every run, under every engine. *)
+
+type t
+
+val create :
+  attrib:Attrib.t ->
+  window:int ->
+  min_c:int ->
+  max_c:int ->
+  (int * int * int) list ->
+  t
+(** [create ~attrib ~window ~min_c ~max_c regs] with one [(slot, header,
+    init)] triple per distance register: the env slot to rewrite, the loop
+    header it schedules, and its initial distance. *)
+
+val attrib : t -> Attrib.t
+
+val init_env : t -> int array -> unit
+(** Write the initial distances into the environment; call once after
+    parameter binding. *)
+
+val tick : t -> env:int array -> unit
+(** Notify one retired demand load; re-tunes at window boundaries. *)
+
+val windows : t -> int
+(** Window boundaries crossed so far. *)
+
+val chosen : t -> (int * int list) list
+(** Per loop header, the full decision trace (initial value first) —
+    the object of the bit-determinism guarantee. *)
+
+val final : t -> (int * int) list
+(** Per loop header, the distance in force at the end of the run. *)
+
+val pp : Format.formatter -> t -> unit

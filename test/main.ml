@@ -16,6 +16,8 @@ let () =
       ("cache", Test_cache.suite);
       ("memsys", Test_memsys.suite);
       ("pass", Test_pass.suite);
+      ("schedule", Test_schedule.suite);
+      ("distance", Test_distance.suite);
       ("icc", Test_icc.suite);
       ("hoist", Test_hoist.suite);
       ("workloads", Test_workloads.suite);

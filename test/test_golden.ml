@@ -2,6 +2,8 @@ module Machine = Spf_sim.Machine
 module Stats = Spf_sim.Stats
 module Benches = Spf_harness.Benches
 module Runner = Spf_harness.Runner
+module Workload = Spf_workloads.Workload
+module Distance = Spf_core.Distance
 
 (* Golden timing numbers for the interpreter hot path.
 
@@ -37,6 +39,24 @@ let golden =
     ("A53", "HJ-8", "plain", (56465625, 4653062, 851968, 0));
     ("A53", "HJ-8", "auto", (42724759, 5963782, 917504, 327680));
     ("A53", "HJ-8", "manual", (24926651, 7077894, 1245184, 262144));
+    (* Distance-provider rows (PR 7): the pass under a Fixed provider at
+       two explicit look-aheads, and under the Adaptive provider with the
+       windowed tuner attached.  Adaptive is bit-deterministic for a fixed
+       program + config — the tuner ticks at retired demand loads, which
+       all three engines count identically — so its rows pin exact
+       numbers like every other. *)
+    ("Haswell", "IS", "fixed16", (5238351, 5242886, 786432, 524288));
+    ("Haswell", "IS", "fixed128", (3548215, 5242886, 786432, 524288));
+    ("Haswell", "IS", "adaptive", (3641504, 6029319, 786432, 524288));
+    ("Haswell", "HJ-2", "fixed16", (2423897, 4587526, 524288, 262144));
+    ("Haswell", "HJ-2", "fixed128", (1629134, 4587526, 524288, 262144));
+    ("Haswell", "HJ-2", "adaptive", (1642408, 4980743, 524288, 262144));
+    ("A53", "IS", "fixed16", (31625887, 5242886, 786432, 524288));
+    ("A53", "IS", "fixed128", (31629939, 5242886, 786432, 524288));
+    ("A53", "IS", "adaptive", (31662708, 6029319, 786432, 524288));
+    ("A53", "HJ-2", "fixed16", (16397765, 4587526, 524288, 262144));
+    ("A53", "HJ-2", "fixed128", (16403357, 4587526, 524288, 262144));
+    ("A53", "HJ-2", "adaptive", (16455079, 4980743, 524288, 262144));
   ]
 
 let machine_of = function
@@ -51,10 +71,31 @@ let bench_of id =
   | Some b -> b
   | None -> Alcotest.failf "unknown golden bench %s" id
 
+let with_provider p = Spf_core.Config.with_provider p Spf_core.Config.default
+
+let fixed_at c (b : Benches.bench) =
+  Benches.auto
+    ~config:(with_provider (Distance.Fixed { default_c = Some c; per_loop = [] }))
+    (b.plain ())
+
+let adaptive (b : Benches.bench) =
+  let built, report =
+    Benches.auto_with_report
+      ~config:(with_provider (Distance.Adaptive Distance.default_adaptive))
+      (b.plain ())
+  in
+  ( built,
+    Spf_harness.Profile_guided.tuner_of_report built.Workload.func report )
+
+(* Returns the built workload plus the tuner the adaptive variant needs
+   attached to its run. *)
 let build ~machine (b : Benches.bench) = function
-  | "plain" -> b.plain ()
-  | "auto" -> Benches.auto (b.plain ())
-  | "manual" -> b.manual ~machine ~c:None
+  | "plain" -> (b.plain (), None)
+  | "auto" -> (Benches.auto (b.plain ()), None)
+  | "manual" -> (b.manual ~machine ~c:None, None)
+  | "fixed16" -> (fixed_at 16 b, None)
+  | "fixed128" -> (fixed_at 128 b, None)
+  | "adaptive" -> adaptive b
   | v -> Alcotest.failf "unknown golden variant %s" v
 
 (* On a mismatch, fail with the first differing counter spelled out
@@ -62,7 +103,8 @@ let build ~machine (b : Benches.bench) = function
    assert — a regression should read as a sentence in the test log. *)
 let check_one ~engine (mname, bid, variant, (cycles, insts, loads, swpf)) () =
   let machine = machine_of mname in
-  let r = Runner.run ~engine ~machine (build ~machine (bench_of bid) variant) in
+  let built, tuner = build ~machine (bench_of bid) variant in
+  let r = Runner.run ~engine ?tuner ~machine built in
   let s = r.Runner.stats in
   let mismatch =
     List.find_opt
@@ -83,9 +125,10 @@ let check_one ~engine (mname, bid, variant, (cycles, insts, loads, swpf)) () =
         (Spf_sim.Engine.to_string engine)
         field want got
 
-(* Every golden row runs under ALL THREE execution engines (22 rows x
-   interp/compiled/tape = 66 cases): the pre-decoded engines must land
-   on the same cycle, not just the same answer. *)
+(* Every golden row runs under ALL THREE execution engines
+   (interp/compiled/tape): the pre-decoded engines must land on the same
+   cycle, not just the same answer — the distance-provider rows included,
+   which additionally pin the adaptive tuner's bit-determinism. *)
 let suite =
   List.concat_map
     (fun engine ->

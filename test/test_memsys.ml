@@ -11,7 +11,7 @@ let tscale = 12
 let mk ?(machine = Helpers.tiny_machine) () =
   let stats = Stats.create () in
   let dram = Dram.create machine.Machine.dram ~tscale in
-  (Memsys.create machine ~tscale ~dram ~stats, stats, machine)
+  (Memsys.create machine ~tscale ~dram ~stats (), stats, machine)
 
 let access ?(kind = Memsys.Demand) ?(pc = 0) t ~addr ~now =
   Memsys.access t ~kind ~pc ~addr ~now
@@ -137,9 +137,69 @@ let test_stride_prefetcher_defeated_by_random () =
   Alcotest.(check int) "no hardware prefetches on random pattern" 0
     st.Stats.hw_prefetches
 
+(* --- software-prefetch timeliness classification ---------------------- *)
+
+(* A demand load that catches its software-prefetch fill still in flight
+   paid part of the miss: the prefetch was LATE. *)
+let test_late_prefetch_fill () =
+  let t, st, _ = mk () in
+  let c1 = access t ~kind:Memsys.Sw_prefetch ~pc:7 ~addr:0 ~now:0 in
+  ignore (access t ~addr:8 ~now:(c1 / 2));
+  Alcotest.(check int) "late fill counted" 1 st.Stats.late_pf_fills;
+  Alcotest.(check int) "not unused" 0 st.Stats.unused_pf_fills;
+  (* The mark is consumed: the next demand touch classifies nothing. *)
+  ignore (access t ~addr:0 ~now:(c1 + 1));
+  Alcotest.(check int) "counted exactly once" 1 st.Stats.late_pf_fills
+
+(* A demand load that arrives after the fill completed got the full
+   benefit: the prefetch was timely — neither late nor unused. *)
+let test_timely_prefetch_fill () =
+  let t, st, _ = mk () in
+  let c1 = access t ~kind:Memsys.Sw_prefetch ~pc:7 ~addr:0 ~now:0 in
+  ignore (access t ~addr:0 ~now:(c1 + 1));
+  Alcotest.(check int) "not late" 0 st.Stats.late_pf_fills;
+  Alcotest.(check int) "not unused" 0 st.Stats.unused_pf_fills;
+  Alcotest.(check bool) "served from cache" true (Memsys.last_level t = Memsys.L1)
+
+(* A prefetched line evicted from the last-level cache before any demand
+   touch was wasted bandwidth: UNUSED.  The tiny machine has no L3 and a
+   16-set 4-way L2, so five demand fills into the prefetched line's set
+   push it out. *)
+let test_unused_prefetch_fill () =
+  let t, st, m = mk () in
+  Alcotest.(check bool) "fixture assumes no L3" true (m.Machine.l3 = None);
+  let c1 = access t ~kind:Memsys.Sw_prefetch ~pc:7 ~addr:0 ~now:0 in
+  let set_stride =
+    (* Addresses one whole L2 away land in the same set. *)
+    m.Machine.l2.Machine.size
+  in
+  let now = ref (c1 + 1) in
+  for k = 1 to 2 * m.Machine.l2.Machine.assoc do
+    (* Distinct pcs so the stride engine never trains on this walk. *)
+    now := access t ~pc:(100 + k) ~addr:(k * set_stride) ~now:!now + 1
+  done;
+  Alcotest.(check int) "unused fill counted" 1 st.Stats.unused_pf_fills;
+  Alcotest.(check int) "not late" 0 st.Stats.late_pf_fills;
+  (* Touching the line now re-misses without reclassifying anything. *)
+  ignore (access t ~addr:0 ~now:!now);
+  Alcotest.(check int) "counted exactly once" 1 st.Stats.unused_pf_fills
+
+(* A prefetched line still resident and untouched at end of run is
+   deliberately unclassified. *)
+let test_resident_prefetch_unclassified () =
+  let t, st, _ = mk () in
+  ignore (access t ~kind:Memsys.Sw_prefetch ~pc:7 ~addr:0 ~now:0);
+  Alcotest.(check int) "no late" 0 st.Stats.late_pf_fills;
+  Alcotest.(check int) "no unused" 0 st.Stats.unused_pf_fills
+
 let suite =
   [
     Alcotest.test_case "levels and latencies" `Quick test_levels;
+    Alcotest.test_case "late prefetch fill" `Quick test_late_prefetch_fill;
+    Alcotest.test_case "timely prefetch fill" `Quick test_timely_prefetch_fill;
+    Alcotest.test_case "unused prefetch fill" `Quick test_unused_prefetch_fill;
+    Alcotest.test_case "resident prefetch unclassified" `Quick
+      test_resident_prefetch_unclassified;
     Alcotest.test_case "in-flight merge" `Quick test_inflight_merge;
     Alcotest.test_case "dram queueing" `Quick test_dram_queueing;
     Alcotest.test_case "demand vs prefetch pools" `Quick test_demand_vs_prefetch_pools;

@@ -1,0 +1,73 @@
+module Schedule = Spf_core.Schedule
+
+(* Eq. 1 of the paper (§4.4): offset(l) = c * (t - l) / t for the l-th
+   load of a t-load dependent chain, and its total wrapper [distance]
+   used by the distance providers. *)
+
+let check = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+(* Paper values: c = 64.  A 2-load chain staggers 64, 32; a 3-load chain
+   64, 42, 21 (integer division, as in the paper's generated code). *)
+let test_eq1_paper_values () =
+  check "t=2 l=0" 64 (Schedule.offset ~c:64 ~t:2 ~l:0);
+  check "t=2 l=1" 32 (Schedule.offset ~c:64 ~t:2 ~l:1);
+  check_list "t=2 offsets" [ 64; 32 ] (Schedule.offsets ~c:64 ~t:2);
+  check_list "t=3 offsets" [ 64; 42; 21 ] (Schedule.offsets ~c:64 ~t:3);
+  check_list "t=1 offsets" [ 64 ] (Schedule.offsets ~c:64 ~t:1)
+
+(* [distance] is bit-identical to [offset] wherever offset is well
+   formed (c * (t - l) >= t, so eq. 1 stays positive) — the pass's
+   static path must not move by a single iteration under the wrapper. *)
+let test_distance_matches_offset () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun t ->
+          for l = 0 to t - 1 do
+            if c * (t - l) >= t then
+              check
+                (Printf.sprintf "c=%d t=%d l=%d" c t l)
+                (Schedule.offset ~c ~t ~l)
+                (Schedule.distance ~c ~t ~l)
+          done)
+        [ 1; 2; 3; 4; 7 ])
+    [ 1; 4; 16; 64; 256 ]
+
+(* Degenerate constants clamp instead of scheduling a zero or negative
+   look-ahead: c <= 0 behaves as c = 1, and the deepest chain positions
+   floor at one iteration rather than zero. *)
+let test_distance_clamps_degenerate () =
+  check "c=0 floors to 1 iteration" 1 (Schedule.distance ~c:0 ~t:2 ~l:1);
+  check "negative c floors to 1" 1 (Schedule.distance ~c:(-64) ~t:2 ~l:0);
+  check "deep l floors at 1" 1 (Schedule.distance ~c:2 ~t:3 ~l:2);
+  (* eq. 1's raw form yields 0 here (2 * (3-2) / 3); the provider path
+     must still prefetch one iteration ahead. *)
+  check "raw offset is 0 at the same point" 0 (Schedule.offset ~c:2 ~t:3 ~l:2)
+
+(* Huge constants clamp to max_c so the byte-offset multiply downstream
+   cannot overflow, and the clamp itself stays monotonic. *)
+let test_distance_clamps_huge () =
+  check "max_c passes through" Schedule.max_c
+    (Schedule.distance ~c:Schedule.max_c ~t:1 ~l:0);
+  check "above max_c clamps" Schedule.max_c
+    (Schedule.distance ~c:max_int ~t:1 ~l:0);
+  check "clamped value still staggers" (Schedule.max_c / 2)
+    (Schedule.distance ~c:max_int ~t:2 ~l:1)
+
+let test_distance_rejects_empty_chain () =
+  Alcotest.check_raises "t=0 is a caller bug"
+    (Invalid_argument "Schedule.distance: empty chain") (fun () ->
+      ignore (Schedule.distance ~c:64 ~t:0 ~l:0))
+
+let suite =
+  [
+    Alcotest.test_case "eq1 paper values" `Quick test_eq1_paper_values;
+    Alcotest.test_case "distance = offset when well-formed" `Quick
+      test_distance_matches_offset;
+    Alcotest.test_case "degenerate c clamps" `Quick
+      test_distance_clamps_degenerate;
+    Alcotest.test_case "huge c clamps" `Quick test_distance_clamps_huge;
+    Alcotest.test_case "empty chain rejected" `Quick
+      test_distance_rejects_empty_chain;
+  ]
