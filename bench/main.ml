@@ -19,6 +19,7 @@ module Pool = Spf_harness.Pool
 module Engine = Spf_sim.Engine
 module Profile_guided = Spf_harness.Profile_guided
 module Runner = Spf_harness.Runner
+module Bench_json = Spf_harness.Bench_json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks. *)
@@ -173,6 +174,37 @@ let run_distance_providers ~engine =
 
 (* ------------------------------------------------------------------ *)
 
+(* The serve piece: start the compile-and-simulate service in-process on
+   a temp Unix socket and replay the standard loadtest against it — 1000
+   fuzz-generated programs, 50% duplication, concurrency 8.  The result
+   (latency split, throughput, cache hit rate, corruption counters) is
+   stashed for BENCH.json's "serve" section; the piece's own wall time is
+   the loadtest wall plus server start/stop. *)
+
+let serve_result : Spf_serve.Loadtest.result option ref = ref None
+
+let run_serve ~jobs ~engine =
+  let sock = Filename.temp_file "spf-bench-serve" ".sock" in
+  Sys.remove sock;
+  let cfg = { (Spf_serve.Server.default_cfg (Unix_sock sock)) with jobs } in
+  let server = Spf_serve.Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Spf_serve.Server.stop server;
+      Spf_serve.Server.wait server)
+    (fun () ->
+      let r =
+        Spf_serve.Loadtest.run ~count:1000 ~dup:0.5 ~concurrency:8
+          ~opts:[ ("engine", Engine.to_string engine) ]
+          ~connect:(fun () -> Spf_serve.Client.connect_unix sock)
+          ()
+      in
+      serve_result := Some r;
+      Format.printf "  %a@." Spf_serve.Loadtest.pp r);
+  0
+
+(* ------------------------------------------------------------------ *)
+
 (* Each piece returns the simulated cycles it executed.  [timed] is false
    for pieces that run no timing simulation (table1 profiles instruction
    mixes only) — those are recorded as skipped in BENCH.json rather than
@@ -230,6 +262,11 @@ let pieces : piece list =
       timed = true;
       run = (fun ~jobs:_ ~engine -> run_distance_providers ~engine);
     };
+    {
+      pname = "serve";
+      timed = true;
+      run = (fun ~jobs ~engine -> run_serve ~jobs ~engine);
+    };
     { pname = "bechamel"; timed = true; run = (fun ~jobs:_ ~engine:_ -> run_bechamel ()) };
   ]
 
@@ -244,131 +281,38 @@ let quick_set =
     "fig8";
     "fig10";
     "distance-providers";
+    "serve";
     "bechamel";
   ]
 
-(* Recorded serial (-j 1) single-trial baseline wall-clock per piece, in
-   seconds, from the interpreter-only harness (EXPERIMENTS.md "Harness
-   performance baseline").  BENCH.json reports speedup vs these numbers;
-   pieces without a recorded baseline get null. *)
-let baseline_wall_s : (string * float) list =
-  [
-    ("fig2", 4.8);
-    ("fig4", 265.7);
-    ("fig5", 70.9);
-    ("fig7", 15.9);
-    ("fig8", 45.0);
-    ("fig10", 9.3);
-    (* bechamel has no baseline entry: the piece gained the memsys group
-       in PR 3, so its wall is not comparable to the PR-1 recording. *)
-  ]
+(* Measurement record-keeping and BENCH.json rendering live in
+   Spf_harness.Bench_json so the field semantics are unit-tested. *)
 
-type measurement = {
-  name : string;
-  skipped : bool;
-  walls_s : float list; (* one entry per trial, in run order *)
-  cycles : int;
-}
-
-let min_wall m = List.fold_left Float.min infinity m.walls_s
-
-let median_wall m =
-  (* Float.compare, not polymorphic compare: boxed-float comparison via
-     [compare] is both slower and a lurking trap (nan ordering). *)
-  let a = Array.of_list m.walls_s in
-  Array.sort Float.compare a;
-  let n = Array.length a in
-  if n = 0 then infinity
-  else if n mod 2 = 1 then a.(n / 2)
-  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
-
-(* Supervision cost of the supervision pipeline, measured piece-vs-piece:
-   best supervised fig2 wall over best raw fig2 wall (acceptance: <2%).
-   The driver interleaves the two pieces' trials after a shared excluded
-   warmup, so both sets of walls see the same machine state — comparing
-   a cold first piece against a warm second one once produced an
-   impossible negative overhead.  Measurement noise can still leave the
-   supervised min a hair under the raw min; that means "no measurable
-   overhead", so the delta is clamped at zero rather than reported as a
-   negative cost. *)
-let supervised_overhead_pct (ms : measurement list) =
-  let find n = List.find_opt (fun m -> m.name = n && not m.skipped) ms in
-  match (find "fig2", find "fig2-supervised") with
-  | Some raw, Some sup when min_wall raw > 0.0 ->
-      Some
-        (Float.max 0.0
-           (100.0 *. (min_wall sup -. min_wall raw) /. min_wall raw))
-  | _ -> None
-
-let write_bench_json ~jobs ~engine ~trials ~total_s (ms : measurement list) =
-  let oc = open_out "BENCH.json" in
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n";
-  (* Schema 5: adds "distance_providers" — static vs profile-guided vs
-     adaptive geomean speedups per machine with the chosen per-workload
-     distances (present when the distance-providers piece ran). *)
-  Buffer.add_string b "  \"schema\": 5,\n";
-  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
-  Buffer.add_string b
-    (Printf.sprintf "  \"engine\": %S,\n" (Engine.to_string engine));
-  Buffer.add_string b (Printf.sprintf "  \"trials\": %d,\n" trials);
-  Buffer.add_string b (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_s);
-  Buffer.add_string b
-    (Printf.sprintf "  \"supervised_overhead_pct\": %s,\n"
-       (match supervised_overhead_pct ms with
-       | Some pct -> Printf.sprintf "%.2f" pct
-       | None -> "null"));
-  (match !provider_evals with
-  | [] -> ()
-  | evals ->
-      Buffer.add_string b "  \"distance_providers\": [\n";
-      List.iteri
-        (fun i (e : Profile_guided.eval) ->
-          let sep = if i = List.length evals - 1 then "" else "," in
-          Buffer.add_string b
-            (Printf.sprintf
-               "    {\"machine\": %S, \"geo_static\": %.4f, \"geo_profile\": \
-                %.4f, \"geo_adaptive\": %.4f, \"benches\": [\n"
-               e.machine e.geo_static e.geo_profile e.geo_adaptive);
-          List.iteri
-            (fun j (r : Profile_guided.row) ->
-              let rsep = if j = List.length e.rows - 1 then "" else "," in
-              Buffer.add_string b
-                (Printf.sprintf
-                   "      {\"bench\": %S, \"profile_c\": %d, \"plain_cycles\": \
-                    %d, \"static_cycles\": %d, \"profile_cycles\": %d, \
-                    \"adaptive_cycles\": %d, \"adaptive_windows\": %d}%s\n"
-                   r.bench r.profile_c r.plain_cycles r.static_cycles
-                   r.profile_cycles r.adaptive_cycles r.adaptive_windows rsep))
-            e.rows;
-          Buffer.add_string b (Printf.sprintf "    ]}%s\n" sep))
-        evals;
-      Buffer.add_string b "  ],\n");
-  Buffer.add_string b "  \"pieces\": [\n";
-  List.iteri
-    (fun i m ->
-      let sep = if i = List.length ms - 1 then "" else "," in
-      if m.skipped then
-        Buffer.add_string b
-          (Printf.sprintf "    {\"name\": %S, \"skipped\": true}%s\n" m.name sep)
-      else begin
-        let wmin = min_wall m and wmed = median_wall m in
-        let speedup =
-          match List.assoc_opt m.name baseline_wall_s with
-          | Some base when wmin > 0.0 -> Printf.sprintf "%.2f" (base /. wmin)
-          | _ -> "null"
-        in
-        Buffer.add_string b
-          (Printf.sprintf
-             "    {\"name\": %S, \"wall_min_s\": %.3f, \"wall_median_s\": \
-              %.3f, \"trials\": %d, \"cycles\": %d, \"speedup_vs_baseline\": \
-              %s}%s\n"
-             m.name wmin wmed (List.length m.walls_s) m.cycles speedup sep)
-      end)
-    ms;
-  Buffer.add_string b "  ]\n}\n";
-  output_string oc (Buffer.contents b);
-  close_out oc
+let write_bench_json ~jobs ~engine ~trials ~total_s ms =
+  let serve =
+    Option.map
+      (fun (r : Spf_serve.Loadtest.result) ->
+        {
+          Bench_json.sv_requests = r.programs;
+          sv_distinct = r.distinct;
+          sv_concurrency = r.concurrency;
+          sv_errors = r.errors;
+          sv_dropped = r.dropped;
+          sv_corrupted = r.corrupted;
+          sv_cold = r.cold;
+          sv_pass_hits = r.pass_hits;
+          sv_sim_hits = r.sim_hits;
+          sv_p50_us = r.p50_us;
+          sv_p99_us = r.p99_us;
+          sv_cold_p50_us = r.cold_p50_us;
+          sv_hit_p50_us = r.hit_p50_us;
+          sv_throughput_rps = r.throughput_rps;
+          sv_hit_rate = r.hit_rate;
+        })
+      !serve_result
+  in
+  Bench_json.write ~path:"BENCH.json" ~jobs ~engine ~trials ~total_s
+    ~providers:!provider_evals ?serve ms
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -420,11 +364,11 @@ let () =
     let cycles = p.run ~jobs ~engine in
     (Unix.gettimeofday () -. t, cycles)
   in
-  let record m n =
+  let record (m : Bench_json.measurement) n =
     measurements := m :: !measurements;
     if not m.skipped then
       Format.printf "  [%s: min %.1fs, median %.1fs over %d trials]@." m.name
-        (min_wall m) (median_wall m) n
+        (Bench_json.min_wall m) (Bench_json.median_wall m) n
   in
   let find_piece name = List.find_opt (fun p -> p.pname = name) pieces in
   (* fig2 and fig2-supervised exist to be compared, so when both are
@@ -462,7 +406,7 @@ let () =
                 done;
                 record
                   {
-                    name = "fig2";
+                    Bench_json.name = "fig2";
                     skipped = false;
                     walls_s = List.rev !wraw;
                     cycles = !craw;
@@ -470,7 +414,7 @@ let () =
                   trials;
                 record
                   {
-                    name = "fig2-supervised";
+                    Bench_json.name = "fig2-supervised";
                     skipped = false;
                     walls_s = List.rev !wsup;
                     cycles = !csup;
@@ -489,7 +433,7 @@ let () =
                 done;
                 record
                   {
-                    name;
+                    Bench_json.name;
                     skipped = not p.timed;
                     walls_s = List.rev !walls;
                     cycles = !cycles;

@@ -274,8 +274,8 @@ let run_cmd =
               else Format.printf "  loop bb%d: prefetching disabled@." ld.header)
             report.Spf_core.Pass.loop_distances;
           ( built,
-            Spf_harness.Profile_guided.tuner_of_report built.Workload.func
-              report )
+            Spf_harness.Profile_guided.tuner_of_report ~machine
+              built.Workload.func report )
     in
     let r = Runner.run ~engine ?tuner ~machine built in
     (match tuner with
@@ -1003,6 +1003,159 @@ let replay_cmd =
       const run
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE"))
 
+(* --- serve / loadtest -------------------------------------------------- *)
+
+let serve_addr ~socket ~port =
+  match (socket, port) with
+  | Some path, None -> Spf_serve.Server.Unix_sock path
+  | None, Some p -> Spf_serve.Server.Tcp p
+  | Some _, Some _ -> die "spf serve: --socket and --port are exclusive"
+  | None, None -> die "spf serve: one of --socket PATH or --port N is required"
+
+let socket_arg cmd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:(Printf.sprintf "Unix-domain socket for %s." cmd))
+
+let port_arg cmd =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N"
+        ~doc:(Printf.sprintf "Loopback TCP port for %s." cmd))
+
+let serve_cmd =
+  let doc = "Long-running compile-and-simulate service with a shared cache." in
+  let run socket port jobs batch deadline pass_cap sim_cap =
+    let addr = serve_addr ~socket ~port in
+    let cfg =
+      {
+        (Spf_serve.Server.default_cfg addr) with
+        Spf_serve.Server.jobs;
+        batch_max = batch;
+        deadline_s = (if deadline <= 0. then None else Some deadline);
+        pass_cap;
+        sim_cap;
+      }
+    in
+    let t = Spf_serve.Server.start cfg in
+    Format.printf "spf serve: listening on %s (jobs=%d batch=%d)@."
+      (match addr with
+      | Spf_serve.Server.Unix_sock p -> p
+      | Spf_serve.Server.Tcp p -> Printf.sprintf "localhost:%d" p)
+      jobs batch;
+    Spf_serve.Server.wait t
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run
+      $ socket_arg "the service to bind"
+      $ port_arg "the service to bind"
+      $ Arg.(
+          value
+          & opt int (Spf_harness.Pool.default_jobs ())
+          & info [ "j"; "jobs" ] ~docv:"N"
+              ~doc:"Domain-pool size per simulation batch.")
+      $ Arg.(
+          value
+          & opt int 32
+          & info [ "batch" ] ~docv:"N"
+              ~doc:"Max requests fused into one supervised batch.")
+      $ Arg.(
+          value
+          & opt float 30.
+          & info [ "deadline" ] ~docv:"SECONDS"
+              ~doc:"Per-request wall-clock budget (0 disables).")
+      $ Arg.(
+          value
+          & opt int 512
+          & info [ "pass-cache" ] ~docv:"N"
+              ~doc:"Pass-level result-cache capacity, entries.")
+      $ Arg.(
+          value
+          & opt int 2048
+          & info [ "sim-cache" ] ~docv:"N"
+              ~doc:"Sim-level result-cache capacity, entries."))
+
+let loadtest_cmd =
+  let doc =
+    "Replay fuzz-generated programs against a serve daemon, measuring \
+     latency, throughput and cache hit rate."
+  in
+  let run socket port spawn seed count dup concurrency machine engine =
+    let addr =
+      match (socket, port, spawn) with
+      | None, None, true ->
+          Spf_serve.Server.Unix_sock
+            (Filename.temp_file "spf-loadtest" ".sock")
+      | _ -> serve_addr ~socket ~port
+    in
+    let server =
+      if spawn then begin
+        (match addr with
+        | Spf_serve.Server.Unix_sock p when Sys.file_exists p -> Sys.remove p
+        | _ -> ());
+        Some (Spf_serve.Server.start (Spf_serve.Server.default_cfg addr))
+      end
+      else None
+    in
+    let connect () =
+      match addr with
+      | Spf_serve.Server.Unix_sock p -> Spf_serve.Client.connect_unix p
+      | Spf_serve.Server.Tcp p -> Spf_serve.Client.connect_tcp ~port:p
+    in
+    let r =
+      Spf_serve.Loadtest.run ~seed ~count ~dup ~concurrency
+        ~opts:
+          [
+            ("machine", machine.Machine.name);
+            ("engine", Spf_sim.Engine.to_string engine);
+          ]
+        ~connect ()
+    in
+    Format.printf "%a@." Spf_serve.Loadtest.pp r;
+    (match server with
+    | Some t ->
+        let c = connect () in
+        ignore (Spf_serve.Client.shutdown c);
+        Spf_serve.Client.close c;
+        Spf_serve.Server.wait t
+    | None -> ());
+    if r.Spf_serve.Loadtest.dropped > 0 || r.Spf_serve.Loadtest.corrupted > 0
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadtest" ~doc)
+    Term.(
+      const run
+      $ socket_arg "an already-running daemon"
+      $ port_arg "an already-running daemon"
+      $ Arg.(
+          value & flag
+          & info [ "spawn" ]
+              ~doc:
+                "Start an in-process server for the duration of the test \
+                 (on a temp socket unless --socket/--port is given).")
+      $ Arg.(
+          value & opt int 7
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Program-pool seed.")
+      $ Arg.(
+          value & opt int 1000
+          & info [ "count" ] ~docv:"N" ~doc:"Requests to replay.")
+      $ Arg.(
+          value & opt float 0.5
+          & info [ "dup" ] ~docv:"RATE"
+              ~doc:
+                "Duplication rate in [0,1): the distinct-program pool has \
+                 size count*(1-RATE).")
+      $ Arg.(
+          value & opt int 8
+          & info [ "concurrency" ] ~docv:"N" ~doc:"Client connections.")
+      $ machine_arg $ engine_arg)
+
 let () =
   let doc = "Software prefetching for indirect memory accesses (CGO'17) — reproduction" in
   let info = Cmd.info "spf" ~version:"1.0" ~doc in
@@ -1020,4 +1173,6 @@ let () =
             fuzz_cmd;
             validate_cmd;
             replay_cmd;
+            serve_cmd;
+            loadtest_cmd;
           ]))

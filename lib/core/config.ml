@@ -37,3 +37,30 @@ let default =
 
 let with_c c t = { t with c }
 let with_provider provider t = { t with provider }
+
+(* Canonical one-line rendering of every field, the pass half of a
+   content-addressed result-cache key: two configs with equal canonical
+   strings drive the pass identically.  Every field is spelled out —
+   adding a field without extending this function is a compile error
+   (the record pattern below is exhaustive), so the serving cache can
+   never conflate configs that differ in a new knob. *)
+let canonical
+    {
+      c;
+      stride_companion;
+      max_stagger;
+      allow_pure_calls;
+      hoist;
+      require_direct_iv_index;
+      cleanup;
+      assume_margin;
+      provider;
+    } =
+  Printf.sprintf
+    "c=%d stride=%b stagger=%d pure=%b hoist=%b direct=%b cleanup=%b \
+     margin=%d provider=%s"
+    c stride_companion max_stagger allow_pure_calls hoist
+    require_direct_iv_index cleanup assume_margin
+    (Format.asprintf "%a" Distance.pp provider)
+
+let digest t = Digest.to_hex (Digest.string (canonical t))

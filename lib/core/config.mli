@@ -32,3 +32,11 @@ type t = {
 val default : t
 val with_c : int -> t -> t
 val with_provider : Distance.provider -> t -> t
+
+val canonical : t -> string
+(** Deterministic one-line rendering of every field — the pass half of a
+    content-addressed result-cache key.  Exhaustive over the record, so a
+    new field cannot be forgotten silently. *)
+
+val digest : t -> string
+(** Hex MD5 of {!canonical}. *)

@@ -1,0 +1,70 @@
+(** BENCH.json rendering (schema 6), factored out of the bench driver so
+    the field semantics — notably the supervised-overhead skip markers —
+    are unit-testable. *)
+
+type measurement = {
+  name : string;
+  skipped : bool;
+  walls_s : float list;  (** one entry per trial, in run order *)
+  cycles : int;
+}
+
+val min_wall : measurement -> float
+val median_wall : measurement -> float
+
+type overhead =
+  | Measured of float
+  | Skipped of string  (** why there is no number *)
+
+val supervised_overhead : trials:int -> measurement list -> overhead
+(** Best supervised fig2 wall over best raw fig2 wall, clamped at zero.
+    [Skipped "trials<2"] when both pieces ran but only one interleaved
+    trial each (min-of-one cannot gate a <2% threshold); [Skipped "fig2
+    pair not measured"] when either piece is absent. *)
+
+val overhead_field : trials:int -> measurement list -> string
+(** The rendered JSON value for ["supervised_overhead_pct"]: a number
+    such as ["1.43"], or a self-describing string such as
+    ["\"skipped (trials<2)\""] — never [null]. *)
+
+type serve_stats = {
+  sv_requests : int;
+  sv_distinct : int;
+  sv_concurrency : int;
+  sv_errors : int;
+  sv_dropped : int;
+  sv_corrupted : int;
+  sv_cold : int;
+  sv_pass_hits : int;
+  sv_sim_hits : int;
+  sv_p50_us : int;
+  sv_p99_us : int;
+  sv_cold_p50_us : int;
+  sv_hit_p50_us : int;
+  sv_throughput_rps : float;
+  sv_hit_rate : float;
+}
+
+val baseline_wall_s : (string * float) list
+(** Recorded serial single-trial baselines per piece (seconds). *)
+
+val render :
+  jobs:int ->
+  engine:Spf_sim.Engine.t ->
+  trials:int ->
+  total_s:float ->
+  ?providers:Profile_guided.eval list ->
+  ?serve:serve_stats ->
+  measurement list ->
+  string
+
+val write :
+  path:string ->
+  jobs:int ->
+  engine:Spf_sim.Engine.t ->
+  trials:int ->
+  total_s:float ->
+  ?providers:Profile_guided.eval list ->
+  ?serve:serve_stats ->
+  measurement list ->
+  unit

@@ -1,0 +1,74 @@
+(* Blocking client for the serve protocol — what `spf loadtest`, the
+   serve smoke test and the unit tests speak through.  One connection,
+   one outstanding request at a time; concurrency comes from opening
+   more clients. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let of_fd fd =
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  of_fd fd
+
+let connect_tcp ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  of_fd fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n'
+
+let read_line t () = match input_line t.ic with
+  | line -> Some line
+  | exception End_of_file -> None
+
+let read_reply t = Proto.read_reply (read_line t)
+
+let ping t =
+  send_line t "PING";
+  flush t.oc;
+  match read_reply t with
+  | Ok r -> String.equal r.Proto.r_cache "PONG"
+  | Error _ -> false
+
+let shutdown t =
+  send_line t "SHUTDOWN";
+  flush t.oc;
+  match read_reply t with
+  | Ok r -> String.equal r.Proto.r_cache "BYE"
+  | Error _ -> false
+
+let submit t ~id ?(opts = []) ~case_text () =
+  let hdr =
+    String.concat " "
+      ("SUBMIT" :: id :: List.map (fun (k, v) -> k ^ "=" ^ v) opts)
+  in
+  send_line t hdr;
+  output_string t.oc case_text;
+  if String.length case_text > 0
+     && case_text.[String.length case_text - 1] <> '\n'
+  then output_char t.oc '\n';
+  send_line t Proto.terminator;
+  flush t.oc;
+  read_reply t
+
+let stats t =
+  send_line t "STATS";
+  flush t.oc;
+  match read_reply t with
+  | Ok r ->
+      Ok
+        (List.filter_map
+           (fun line ->
+             match String.split_on_char ' ' line with
+             | [ "S"; name; v ] ->
+                 Option.map (fun n -> (name, n)) (int_of_string_opt v)
+             | _ -> None)
+           r.Proto.r_body)
+  | Error e -> Error e

@@ -1,0 +1,29 @@
+(** Blocking client for the serve protocol: one connection, one
+    outstanding request at a time — concurrency comes from opening more
+    clients. *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : port:int -> t
+(** Loopback. *)
+
+val close : t -> unit
+
+val ping : t -> bool
+
+val shutdown : t -> bool
+(** Ask the server to shut down; [true] on a clean [BYE]. *)
+
+val submit :
+  t ->
+  id:string ->
+  ?opts:(string * string) list ->
+  case_text:string ->
+  unit ->
+  (Proto.reply, string) result
+(** [opts] are the SUBMIT header options ([machine], [engine], [c],
+    [provider], [tscale]). *)
+
+val stats : t -> ((string * int) list, string) result
+(** The [STATS] counters, as reported. *)

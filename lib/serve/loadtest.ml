@@ -1,0 +1,164 @@
+(* `spf loadtest`: replay a fleet of fuzz-generated programs against a
+   running server at configurable concurrency and duplication rate,
+   measuring latency percentiles, throughput, cache hit rate — and
+   verifying zero dropped or corrupted replies (every reply body for a
+   given request key must be byte-identical to the first one seen;
+   that's the cache's whole contract). *)
+
+module Rng = Spf_workloads.Rng
+module Gen = Spf_fuzz.Gen
+module Case = Spf_valid.Case
+
+type result = {
+  programs : int;  (* requests replayed *)
+  distinct : int;  (* distinct programs in the pool *)
+  concurrency : int;
+  replies : int;
+  errors : int;  (* ERR replies (all expected to be 0 here) *)
+  dropped : int;  (* requests with no parseable reply *)
+  corrupted : int;  (* reply bodies differing from first-seen for the key *)
+  cold : int;
+  pass_hits : int;
+  sim_hits : int;
+  p50_us : int;
+  p99_us : int;
+  cold_p50_us : int;
+  hit_p50_us : int;
+  wall_s : float;
+  throughput_rps : float;
+  hit_rate : float;  (* sim-hits / replies *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else sorted.(min (n - 1) (p * n / 100))
+
+(* One case text per distinct program: deterministic in [seed]. *)
+let build_pool ~seed ~distinct =
+  List.init distinct (fun i ->
+      let rng = Rng.split ~seed i in
+      let spec = Gen.random rng in
+      let built = Gen.build spec in
+      let case =
+        Case.of_concrete ~func:built.Gen.func ~mem:built.Gen.mem
+          ~args:built.Gen.args ~fuel:(Gen.fuel spec)
+      in
+      Case.to_string case)
+  |> Array.of_list
+
+let run ?(seed = 7) ?(count = 1000) ?(dup = 0.5) ?(concurrency = 8)
+    ?(opts = []) ~connect () =
+  let distinct =
+    max 1 (min count (int_of_float (ceil (float_of_int count *. (1. -. dup)))))
+  in
+  let pool = build_pool ~seed ~distinct in
+  (* The replay schedule: request i exercises program (i mod distinct),
+     shuffled so duplicates interleave rather than cluster. *)
+  let schedule = Array.init count (fun i -> i mod distinct) in
+  Rng.shuffle (Rng.create ~seed:(seed + 1)) schedule;
+  let next = Atomic.make 0 in
+  let m = Mutex.create () in
+  let first_body : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let lat_all = ref [] and lat_cold = ref [] and lat_hit = ref [] in
+  let replies = ref 0
+  and errors = ref 0
+  and dropped = ref 0
+  and corrupted = ref 0
+  and cold = ref 0
+  and pass_hits = ref 0
+  and sim_hits = ref 0 in
+  let record ~prog ~us (r : Proto.reply) =
+    Mutex.lock m;
+    (match r.Proto.r_err with
+    | Some _ ->
+        incr errors;
+        incr replies
+    | None ->
+        incr replies;
+        lat_all := us :: !lat_all;
+        (match r.Proto.r_cache with
+        | "cold" ->
+            incr cold;
+            lat_cold := us :: !lat_cold
+        | "pass-hit" -> incr pass_hits
+        | "sim-hit" ->
+            incr sim_hits;
+            lat_hit := us :: !lat_hit
+        | _ -> ());
+        let body = String.concat "\n" r.Proto.r_body in
+        (match Hashtbl.find_opt first_body prog with
+        | None -> Hashtbl.add first_body prog body
+        | Some first -> if not (String.equal first body) then incr corrupted));
+    Mutex.unlock m
+  in
+  let worker w =
+    let client = connect () in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < count then begin
+        let prog = schedule.(i) in
+        let t0 = Unix.gettimeofday () in
+        (match
+           Client.submit client
+             ~id:(Printf.sprintf "w%d-%d" w i)
+             ~opts ~case_text:pool.(prog) ()
+         with
+        | Ok r ->
+            let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+            record ~prog ~us r
+        | Error _ ->
+            Mutex.lock m;
+            incr dropped;
+            Mutex.unlock m);
+        loop ()
+      end
+    in
+    loop ();
+    Client.close client
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init concurrency (fun w -> Thread.create worker w) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let all = sorted !lat_all
+  and hit = sorted !lat_hit
+  and coldl = sorted !lat_cold in
+  {
+    programs = count;
+    distinct;
+    concurrency;
+    replies = !replies;
+    errors = !errors;
+    dropped = !dropped;
+    corrupted = !corrupted;
+    cold = !cold;
+    pass_hits = !pass_hits;
+    sim_hits = !sim_hits;
+    p50_us = percentile all 50;
+    p99_us = percentile all 99;
+    cold_p50_us = percentile coldl 50;
+    hit_p50_us = percentile hit 50;
+    wall_s;
+    throughput_rps =
+      (if wall_s > 0. then float_of_int !replies /. wall_s else 0.);
+    hit_rate =
+      (if !replies > 0 then float_of_int !sim_hits /. float_of_int !replies
+       else 0.);
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>loadtest: %d requests (%d distinct) at concurrency %d in %.2fs@,\
+     replies=%d errors=%d dropped=%d corrupted=%d@,\
+     cache: cold=%d pass-hit=%d sim-hit=%d (hit rate %.1f%%)@,\
+     latency: p50=%dus p99=%dus cold-p50=%dus hit-p50=%dus@,\
+     throughput: %.0f req/s@]" r.programs r.distinct r.concurrency r.wall_s
+    r.replies r.errors r.dropped r.corrupted r.cold r.pass_hits r.sim_hits
+    (100. *. r.hit_rate) r.p50_us r.p99_us r.cold_p50_us r.hit_p50_us
+    r.throughput_rps

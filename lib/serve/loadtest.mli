@@ -1,0 +1,42 @@
+(** [spf loadtest]: replay fuzz-generated programs against a serve
+    daemon at configurable concurrency and duplication rate, recording
+    latency percentiles, throughput and cache hit rate — and verifying
+    zero dropped or corrupted replies (every reply body for a given
+    program must be byte-identical to the first one seen). *)
+
+type result = {
+  programs : int;  (** requests replayed *)
+  distinct : int;  (** distinct programs in the pool *)
+  concurrency : int;
+  replies : int;
+  errors : int;  (** [ERR] replies *)
+  dropped : int;  (** requests with no parseable reply *)
+  corrupted : int;  (** bodies differing from first-seen for the program *)
+  cold : int;
+  pass_hits : int;
+  sim_hits : int;
+  p50_us : int;
+  p99_us : int;
+  cold_p50_us : int;
+  hit_p50_us : int;
+  wall_s : float;
+  throughput_rps : float;
+  hit_rate : float;  (** sim-hits / replies *)
+}
+
+val run :
+  ?seed:int ->
+  ?count:int ->
+  ?dup:float ->
+  ?concurrency:int ->
+  ?opts:(string * string) list ->
+  connect:(unit -> Client.t) ->
+  unit ->
+  result
+(** [dup] is the duplication rate in [0,1): the distinct-program pool
+    has size [ceil (count * (1 - dup))], and the replay schedule cycles
+    it shuffled, so a 0.5 rate means every program is requested ~twice.
+    [opts] go on every SUBMIT header.  Deterministic in [seed] (program
+    pool and schedule; latencies are wall-clock). *)
+
+val pp : Format.formatter -> result -> unit

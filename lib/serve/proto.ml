@@ -1,0 +1,209 @@
+(* The line-oriented text protocol of `spf serve`.
+
+   Requests:
+
+     PING
+     STATS
+     SHUTDOWN
+     SUBMIT <id> [machine=NAME] [engine=NAME] [c=N] [provider=static|adaptive]
+                 [tscale=N]
+     <case payload: the `spf-case v1` format of lib/valid/case.ml>
+     .
+
+   Replies (every reply ends with a DONE or ERR line, so clients frame
+   on those):
+
+     OK <id> cache=<cold|pass-hit|sim-hit|->
+     R <pass-report line>          (zero or more)
+     S <counter> <value>           (zero or more)
+     V <retval|->                  (SUBMIT replies only)
+     DONE <id> us=<elapsed>
+
+     ERR <id> <class> <message>    (single line, message sanitised)
+
+   PONG answers PING; BYE answers SHUTDOWN.  The R/S/V section is the
+   reply *body*: byte-identical between a cold run and any cache hit of
+   the same key (the loadtest's corruption check digests exactly these
+   lines). *)
+
+module Machine = Spf_sim.Machine
+module Engine = Spf_sim.Engine
+module Interp = Spf_sim.Interp
+module Config = Spf_core.Config
+module Distance = Spf_core.Distance
+
+type request = {
+  id : string;
+  machine : Machine.t;
+  engine : Engine.t;
+  config : Config.t;
+  tscale : int;
+  case_text : string;
+}
+
+type verb =
+  | Submit of { id : string; opts : (string * string) list }
+  | Stats
+  | Ping
+  | Shutdown
+
+let terminator = "."
+
+(* Split on runs of spaces; no quoting — ids and option values are
+   token-shaped by construction. *)
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_opt tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+      Some
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+  | None -> None
+
+let parse_verb line =
+  match tokens line with
+  | [ "PING" ] -> Ok Ping
+  | [ "STATS" ] -> Ok Stats
+  | [ "SHUTDOWN" ] -> Ok Shutdown
+  | "SUBMIT" :: id :: rest ->
+      if String.contains id '=' then Error "SUBMIT: first token must be an id"
+      else
+        let rec opts acc = function
+          | [] -> Ok (Submit { id; opts = List.rev acc })
+          | tok :: rest -> (
+              match parse_opt tok with
+              | Some kv -> opts (kv :: acc) rest
+              | None -> Error (Printf.sprintf "SUBMIT: bad option %S" tok))
+        in
+        opts [] rest
+  | [ "SUBMIT" ] -> Error "SUBMIT: missing request id"
+  | tok :: _ -> Error (Printf.sprintf "unknown verb %S" tok)
+  | [] -> Error "empty request line"
+
+let request_of ~id ~opts ~case_text =
+  let find k = List.assoc_opt k opts in
+  let int_of k v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%s: not an integer: %S" k v)
+  in
+  let ( let* ) = Result.bind in
+  let* machine =
+    match find "machine" with
+    | None -> Ok Machine.haswell
+    | Some name -> (
+        match Machine.by_name name with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown machine %S" name))
+  in
+  let* engine =
+    match find "engine" with
+    | None -> Ok Engine.default
+    | Some name -> (
+        match Engine.of_string name with
+        | Some e -> Ok e
+        | None -> Error (Printf.sprintf "unknown engine %S" name))
+  in
+  let* c = match find "c" with None -> Ok Config.default.Config.c | Some v -> int_of "c" v in
+  let* provider =
+    match find "provider" with
+    | None | Some "static" -> Ok Distance.Static
+    | Some "adaptive" -> Ok (Distance.Adaptive Distance.default_adaptive)
+    | Some p -> Error (Printf.sprintf "unknown provider %S (static|adaptive)" p)
+  in
+  let* tscale =
+    match find "tscale" with
+    | None -> Ok Interp.default_tscale
+    | Some v -> int_of "tscale" v
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun (k, _) ->
+          not (List.mem k [ "machine"; "engine"; "c"; "provider"; "tscale" ]))
+        opts
+    with
+    | Some (k, _) -> Error (Printf.sprintf "unknown option %S" k)
+    | None -> Ok ()
+  in
+  Ok
+    {
+      id;
+      machine;
+      engine;
+      config = Config.with_provider provider (Config.with_c c Config.default);
+      tscale;
+      case_text;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Reply rendering.                                                    *)
+
+let sanitise msg =
+  String.map (function '\n' | '\r' -> ' ' | ch -> ch) msg
+
+let ok_line ~id ~cache = Printf.sprintf "OK %s cache=%s" id cache
+let done_line ~id ~us = Printf.sprintf "DONE %s us=%d" id us
+let err_line ~id ~cls ~msg = Printf.sprintf "ERR %s %s %s" id cls (sanitise msg)
+
+type reply = {
+  r_id : string;
+  r_cache : string;
+  r_body : string list;  (* the R/S/V lines *)
+  r_us : int;
+  r_err : (string * string) option;  (* class, message *)
+}
+
+(* Parse one framed reply from [read_line] (which returns None on EOF). *)
+let read_reply read_line =
+  match read_line () with
+  | None -> Error "connection closed"
+  | Some first -> (
+      match tokens first with
+      | [ "PONG" ] | [ "BYE" ] ->
+          Ok { r_id = ""; r_cache = first; r_body = []; r_us = 0; r_err = None }
+      | "ERR" :: id :: cls :: rest ->
+          Ok
+            {
+              r_id = id;
+              r_cache = "-";
+              r_body = [];
+              r_us = 0;
+              r_err = Some (cls, String.concat " " rest);
+            }
+      | [ "OK"; id; cache_kv ] -> (
+          let cache =
+            match parse_opt cache_kv with Some ("cache", v) -> v | _ -> "-"
+          in
+          let rec body acc =
+            match read_line () with
+            | None -> Error "connection closed mid-reply"
+            | Some line -> (
+                match tokens line with
+                | "DONE" :: _ :: rest ->
+                    let us =
+                      List.fold_left
+                        (fun acc tok ->
+                          match parse_opt tok with
+                          | Some ("us", v) ->
+                              Option.value (int_of_string_opt v) ~default:acc
+                          | _ -> acc)
+                        0 rest
+                    in
+                    Ok (List.rev acc, us)
+                | _ -> body (line :: acc))
+          in
+          match body [] with
+          | Ok (lines, us) ->
+              Ok
+                {
+                  r_id = id;
+                  r_cache = cache;
+                  r_body = lines;
+                  r_us = us;
+                  r_err = None;
+                }
+          | Error e -> Error e)
+      | _ -> Error (Printf.sprintf "malformed reply line %S" first))

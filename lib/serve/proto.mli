@@ -1,0 +1,57 @@
+(** The line-oriented text protocol of [spf serve].
+
+    Requests are one verb line ([PING], [STATS], [SHUTDOWN], or
+    [SUBMIT <id> key=value...] followed by an [spf-case v1] payload and
+    a lone ["."]); replies are framed by a trailing [DONE] or a
+    single-line [ERR].  The [R]/[S]/[V] lines between [OK] and [DONE]
+    are the reply {e body}: byte-identical between a cold run and any
+    cache hit of the same key.  See docs/SERVING.md for the full
+    grammar. *)
+
+type request = {
+  id : string;
+  machine : Spf_sim.Machine.t;
+  engine : Spf_sim.Engine.t;
+  config : Spf_core.Config.t;
+  tscale : int;
+  case_text : string;
+}
+
+type verb =
+  | Submit of { id : string; opts : (string * string) list }
+  | Stats
+  | Ping
+  | Shutdown
+
+val terminator : string
+(** The payload end marker, a lone ["."]. *)
+
+val parse_verb : string -> (verb, string) result
+
+val request_of :
+  id:string ->
+  opts:(string * string) list ->
+  case_text:string ->
+  (request, string) result
+(** Resolve SUBMIT options ([machine], [engine], [c], [provider],
+    [tscale]) against their defaults (Haswell, the default engine,
+    config default c, static, default tscale); unknown keys or values
+    are errors. *)
+
+val sanitise : string -> string
+(** Newlines to spaces — [ERR] messages must stay single-line. *)
+
+val ok_line : id:string -> cache:string -> string
+val done_line : id:string -> us:int -> string
+val err_line : id:string -> cls:string -> msg:string -> string
+
+type reply = {
+  r_id : string;
+  r_cache : string;  (** [cold], [pass-hit], [sim-hit], or [-] *)
+  r_body : string list;  (** the R/S/V lines, in order *)
+  r_us : int;  (** server-side elapsed microseconds *)
+  r_err : (string * string) option;  (** classification, message *)
+}
+
+val read_reply : (unit -> string option) -> (reply, string) result
+(** Parse one framed reply from a line source ([None] = EOF). *)

@@ -1,0 +1,170 @@
+(* The shared content-addressed result cache behind `spf serve`: two
+   LRU levels under one lock.
+
+   Level 1 (pass) memoises compile results — the transformed IR (as
+   text: strings are immutable, so entries are safe to hand to any
+   domain) plus the provider decisions the tuner needs.  Level 2 (sim)
+   memoises fully rendered reply bodies.  The levels feed each other: a
+   sim miss that pass-hits skips verification and the pass and goes
+   straight to simulation of the cached transformed program.
+
+   Keys are content-addressed, never identity-addressed: the program
+   half is {!Spf_ir.Ir.signature} (structural, name-independent), the
+   configuration half is {!Spf_core.Config.canonical} /
+   {!Spf_sim.Machine.canonical} plus engine and tscale, and the
+   environment half digests the concrete memory image, arguments and
+   fuel.  Two clients submitting alpha-renamed copies of the same
+   program under equal configs share entries; any difference in any
+   keyed dimension cannot collide. *)
+
+module Pass = Spf_core.Pass
+module Distance = Spf_core.Distance
+module Config = Spf_core.Config
+module Machine = Spf_sim.Machine
+module Engine = Spf_sim.Engine
+module Case = Spf_valid.Case
+
+(* ------------------------------------------------------------------ *)
+(* Intrusive-list LRU with O(1) find/add/evict.                        *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option; (* toward most-recently used *)
+  mutable next : 'a node option; (* toward least-recently used *)
+}
+
+type level_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+type 'a lru = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most-recently used *)
+  mutable tail : 'a node option; (* least-recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let lru_create cap =
+  {
+    cap = max 1 cap;
+    tbl = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink l n =
+  (match n.prev with Some p -> p.next <- n.next | None -> l.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> l.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front l n =
+  n.next <- l.head;
+  n.prev <- None;
+  (match l.head with Some h -> h.prev <- Some n | None -> l.tail <- Some n);
+  l.head <- Some n
+
+let lru_find l key =
+  match Hashtbl.find_opt l.tbl key with
+  | Some n ->
+      l.hits <- l.hits + 1;
+      unlink l n;
+      push_front l n;
+      Some n.value
+  | None ->
+      l.misses <- l.misses + 1;
+      None
+
+let lru_add l key value =
+  (match Hashtbl.find_opt l.tbl key with
+  | Some old ->
+      (* Re-insertion under the same content-addressed key carries the
+         same content; keep one copy and refresh its recency. *)
+      unlink l old;
+      Hashtbl.remove l.tbl key
+  | None -> ());
+  let n = { key; value; prev = None; next = None } in
+  Hashtbl.replace l.tbl key n;
+  push_front l n;
+  if Hashtbl.length l.tbl > l.cap then
+    match l.tail with
+    | Some t ->
+        unlink l t;
+        Hashtbl.remove l.tbl t.key;
+        l.evictions <- l.evictions + 1
+    | None -> ()
+
+let lru_stats l =
+  {
+    hits = l.hits;
+    misses = l.misses;
+    evictions = l.evictions;
+    entries = Hashtbl.length l.tbl;
+    capacity = l.cap;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The two levels.                                                     *)
+
+type pass_entry = {
+  tfunc_text : string;
+      (* canonical textual IR of the transformed program; both the cold
+         path and the pass-hit path simulate [Parser.parse tfunc_text],
+         so the two are byte-identical by construction *)
+  report_text : string; (* rendered "R " payload lines *)
+  loop_distances : Pass.loop_distance list;
+  adaptive : Distance.adaptive_params option;
+}
+
+type t = {
+  mutex : Mutex.t;
+  pass : pass_entry lru;
+  sim : string lru;
+}
+
+let create ?(pass_cap = 512) ?(sim_cap = 2048) () =
+  { mutex = Mutex.create (); pass = lru_create pass_cap; sim = lru_create sim_cap }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_pass t key = locked t (fun () -> lru_find t.pass key)
+let add_pass t key e = locked t (fun () -> lru_add t.pass key e)
+let find_sim t key = locked t (fun () -> lru_find t.sim key)
+let add_sim t key body = locked t (fun () -> lru_add t.sim key body)
+let pass_stats t = locked t (fun () -> lru_stats t.pass)
+let sim_stats t = locked t (fun () -> lru_stats t.sim)
+
+(* ------------------------------------------------------------------ *)
+(* Key construction.                                                   *)
+
+let pass_key ~sig_digest ~config =
+  sig_digest ^ ":" ^ Config.digest config
+
+let env_digest (case : Case.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "brk=%d fuel=%d args=" case.brk case.fuel);
+  Array.iter (fun a -> Buffer.add_string b (string_of_int a ^ ",")) case.args;
+  List.iter
+    (fun (addr, bytes) ->
+      Buffer.add_string b (Printf.sprintf " %d:" addr);
+      Buffer.add_string b (Digest.string bytes))
+    case.writes;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let sim_key ~pass_key ~env ~machine ~engine ~tscale =
+  Printf.sprintf "%s:%s:%s:%s:%d" pass_key env
+    (Digest.to_hex (Digest.string (Machine.canonical machine)))
+    (Engine.to_string engine) tscale

@@ -1,0 +1,66 @@
+(** The shared content-addressed result cache behind [spf serve]: two
+    bounded LRU levels under one lock, safe to share across the server's
+    connection threads and pool domains.
+
+    Level 1 memoises compile results (transformed IR as canonical text
+    plus provider decisions) keyed by program signature x pass config;
+    level 2 memoises fully rendered reply bodies keyed additionally by
+    environment, machine, engine and tscale.  A sim miss that pass-hits
+    skips verification and the pass; a sim hit skips everything.  See
+    docs/SERVING.md for the key discipline. *)
+
+type t
+
+val create : ?pass_cap:int -> ?sim_cap:int -> unit -> t
+(** Bounded capacities (entries, not bytes); least-recently-used entries
+    are evicted beyond them.  Defaults: 512 pass entries, 2048 sim
+    entries. *)
+
+type pass_entry = {
+  tfunc_text : string;
+      (** canonical textual IR of the transformed program — simulation
+          always runs [Parser.parse tfunc_text], cold or hit, so replies
+          are byte-identical by construction *)
+  report_text : string;  (** rendered report payload lines *)
+  loop_distances : Spf_core.Pass.loop_distance list;
+  adaptive : Spf_core.Distance.adaptive_params option;
+}
+
+val find_pass : t -> string -> pass_entry option
+val add_pass : t -> string -> pass_entry -> unit
+
+val find_sim : t -> string -> string option
+(** The cached value is the complete rendered reply body. *)
+
+val add_sim : t -> string -> string -> unit
+
+type level_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val pass_stats : t -> level_stats
+val sim_stats : t -> level_stats
+
+(** {1 Key construction} *)
+
+val pass_key : sig_digest:string -> config:Spf_core.Config.t -> string
+(** [sig_digest] is the hex digest of {!Spf_ir.Ir.signature} of the
+    {e original} (pre-pass) program: content-addressed, so alpha-renamed
+    resubmissions of one program share entries. *)
+
+val env_digest : Spf_valid.Case.t -> string
+(** Digest of the concrete environment (arguments, break, fuel, memory
+    image) — part of the sim key only; the pass is
+    environment-independent. *)
+
+val sim_key :
+  pass_key:string ->
+  env:string ->
+  machine:Spf_sim.Machine.t ->
+  engine:Spf_sim.Engine.t ->
+  tscale:int ->
+  string

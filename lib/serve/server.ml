@@ -1,0 +1,371 @@
+(* The `spf serve` daemon: accept loop, per-connection handler threads,
+   and a dispatcher that drains queued requests into supervised batches
+   on the domain pool.
+
+   Request flow:
+
+     handler thread:   read SUBMIT -> parse + key (Service.prepare)
+                       -> sim-cache hit?  reply inline, never touch the
+                          pool
+                       -> miss: enqueue {prepared, cell}, block on cell
+     dispatcher:       pop up to [batch_max] pending requests, run them
+                       as one Supervisor.run_jobs batch over the pool,
+                       fill each cell with the outcome
+     handler thread:   render OK+body+DONE, or ERR from the
+                       supervisor's classification
+
+   Isolation is the supervisor's: a poisoned request (demand fault,
+   fuel, verifier violation) raises on its pool domain, is classified
+   Deterministic, and becomes that one client's ERR reply — the batch's
+   other jobs and the fleet are untouched.  Deadlines ride the same
+   watchdog the campaign runner uses. *)
+
+module Supervisor = Spf_harness.Supervisor
+
+type addr = Unix_sock of string | Tcp of int
+
+type cfg = {
+  addr : addr;
+  jobs : int;  (* pool domains per batch *)
+  batch_max : int;  (* max requests fused into one supervised batch *)
+  deadline_s : float option;  (* per-request budget on the pool *)
+  pass_cap : int;
+  sim_cap : int;
+}
+
+let default_cfg addr =
+  {
+    addr;
+    jobs = Spf_harness.Pool.default_jobs ();
+    batch_max = 32;
+    deadline_s = Some 30.;
+    pass_cap = 512;
+    sim_cap = 2048;
+  }
+
+(* A one-shot cell the handler blocks on until the dispatcher fills it. *)
+type outcome = (Service.reply, string * string) result (* Error (class, msg) *)
+
+type cell = {
+  c_mutex : Mutex.t;
+  c_cond : Condition.t;
+  mutable c_value : outcome option;
+}
+
+let cell_create () =
+  { c_mutex = Mutex.create (); c_cond = Condition.create (); c_value = None }
+
+let cell_fill c v =
+  Mutex.lock c.c_mutex;
+  c.c_value <- Some v;
+  Condition.signal c.c_cond;
+  Mutex.unlock c.c_mutex
+
+let cell_wait c =
+  Mutex.lock c.c_mutex;
+  while c.c_value = None do
+    Condition.wait c.c_cond c.c_mutex
+  done;
+  let v = Option.get c.c_value in
+  Mutex.unlock c.c_mutex;
+  v
+
+type pending = { p_prepared : Service.prepared; p_cell : cell }
+
+type counters = {
+  mutable requests : int;
+  mutable inline_hits : int;
+  mutable batches : int;
+  mutable errors : int;
+}
+
+type t = {
+  cfg : cfg;
+  cache : Rcache.t;
+  listen_fd : Unix.file_descr;
+  queue : pending Queue.t;
+  q_mutex : Mutex.t;
+  q_cond : Condition.t;
+  mutable stopping : bool;
+  counters : counters;
+  c_mutex : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+}
+
+let cache t = t.cache
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher.                                                         *)
+
+let drain_batch t =
+  with_lock t.q_mutex (fun () ->
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.q_cond t.q_mutex
+      done;
+      let rec pop acc n =
+        if n = 0 || Queue.is_empty t.queue then List.rev acc
+        else pop (Queue.pop t.queue :: acc) (n - 1)
+      in
+      pop [] t.cfg.batch_max)
+
+let run_batch t batch =
+  with_lock t.c_mutex (fun () ->
+      t.counters.batches <- t.counters.batches + 1);
+  let policy =
+    { Supervisor.default_policy with deadline_s = t.cfg.deadline_s }
+  in
+  let opts = Supervisor.options ~policy ~jobs:t.cfg.jobs () in
+  let jobs =
+    List.map
+      (fun p ->
+        {
+          Supervisor.key = p.p_prepared.Service.req.Proto.id;
+          work = (fun ctx -> Service.run ~cache:t.cache ~ctx p.p_prepared);
+          binfo = None;
+        })
+      batch
+  in
+  (* No journal is configured, so the encode/decode pair is never
+     invoked — results stay in memory and flow back through the cells. *)
+  let results =
+    Supervisor.run_jobs opts
+      ~encode:(fun _ -> "")
+      ~decode:(fun _ -> None)
+      jobs
+  in
+  List.iter2
+    (fun p result ->
+      let v =
+        match result with
+        | Ok (o : _ Supervisor.outcome) -> Ok o.Supervisor.value
+        | Error (f : Supervisor.failure) ->
+            with_lock t.c_mutex (fun () ->
+                t.counters.errors <- t.counters.errors + 1);
+            Error
+              ( Supervisor.classification_to_string f.Supervisor.f_class,
+                Service.describe_error f.Supervisor.f_exn )
+      in
+      cell_fill p.p_cell v)
+    batch results
+
+let dispatcher t =
+  let rec loop () =
+    let batch = drain_batch t in
+    if batch <> [] then run_batch t batch;
+    let continue =
+      with_lock t.q_mutex (fun () ->
+          not (t.stopping && Queue.is_empty t.queue))
+    in
+    if continue then loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection handler.                                             *)
+
+let reply_lines oc lines =
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc
+
+let us_since t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+
+let stats_lines t =
+  let level name (s : Rcache.level_stats) =
+    [
+      Printf.sprintf "S %s_hits %d" name s.Rcache.hits;
+      Printf.sprintf "S %s_misses %d" name s.Rcache.misses;
+      Printf.sprintf "S %s_evictions %d" name s.Rcache.evictions;
+      Printf.sprintf "S %s_entries %d" name s.Rcache.entries;
+      Printf.sprintf "S %s_capacity %d" name s.Rcache.capacity;
+    ]
+  in
+  let c =
+    with_lock t.c_mutex (fun () ->
+        ( t.counters.requests,
+          t.counters.inline_hits,
+          t.counters.batches,
+          t.counters.errors ))
+  in
+  let requests, inline_hits, batches, errors = c in
+  [ Proto.ok_line ~id:"stats" ~cache:"-" ]
+  @ level "pass" (Rcache.pass_stats t.cache)
+  @ level "sim" (Rcache.sim_stats t.cache)
+  @ [
+      Printf.sprintf "S requests %d" requests;
+      Printf.sprintf "S inline_hits %d" inline_hits;
+      Printf.sprintf "S batches %d" batches;
+      Printf.sprintf "S errors %d" errors;
+      Proto.done_line ~id:"stats" ~us:0;
+    ]
+
+let read_payload ic =
+  let b = Buffer.create 1024 in
+  let rec loop () =
+    let line = input_line ic in
+    if String.equal line Proto.terminator then Buffer.contents b
+    else begin
+      Buffer.add_string b line;
+      Buffer.add_char b '\n';
+      loop ()
+    end
+  in
+  loop ()
+
+let submit t oc ~id ~opts ~case_text =
+  with_lock t.c_mutex (fun () ->
+      t.counters.requests <- t.counters.requests + 1);
+  let t0 = Unix.gettimeofday () in
+  let err cls msg =
+    with_lock t.c_mutex (fun () -> t.counters.errors <- t.counters.errors + 1);
+    reply_lines oc [ Proto.err_line ~id ~cls ~msg ]
+  in
+  let ok (r : Service.reply) =
+    reply_lines oc
+      ((Proto.ok_line ~id ~cache:(Service.status_to_string r.Service.status)
+       :: r.Service.body)
+      @ [ Proto.done_line ~id ~us:(us_since t0) ])
+  in
+  match Proto.request_of ~id ~opts ~case_text with
+  | Error msg -> err "protocol" msg
+  | Ok req -> (
+      match Service.prepare req with
+      | exception exn -> err "deterministic" (Service.describe_error exn)
+      | p -> (
+          match Service.try_hit ~cache:t.cache p with
+          | Some r ->
+              with_lock t.c_mutex (fun () ->
+                  t.counters.inline_hits <- t.counters.inline_hits + 1);
+              ok r
+          | None ->
+              let cell = cell_create () in
+              with_lock t.q_mutex (fun () ->
+                  Queue.push { p_prepared = p; p_cell = cell } t.queue;
+                  Condition.signal t.q_cond);
+              (match cell_wait cell with
+              | Ok r -> ok r
+              | Error (cls, msg) -> err cls msg)))
+
+let trigger_stop t =
+  with_lock t.q_mutex (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.q_cond);
+  (* Wake the accept loop and any handler blocked on a client read. *)
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+  (try Unix.close t.listen_fd with _ -> ());
+  (match t.cfg.addr with
+  | Unix_sock path -> ( try Unix.unlink path with _ -> ())
+  | Tcp _ -> ());
+  with_lock t.c_mutex (fun () ->
+      List.iter
+        (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+        t.conns)
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line -> (
+        match Proto.parse_verb line with
+        | Error msg ->
+            reply_lines oc [ Proto.err_line ~id:"-" ~cls:"protocol" ~msg ];
+            loop ()
+        | Ok Proto.Ping ->
+            reply_lines oc [ "PONG" ];
+            loop ()
+        | Ok Proto.Stats ->
+            reply_lines oc (stats_lines t);
+            loop ()
+        | Ok Proto.Shutdown -> reply_lines oc [ "BYE" ]; trigger_stop t
+        | Ok (Proto.Submit { id; opts }) -> (
+            match read_payload ic with
+            | exception (End_of_file | Sys_error _) -> ()
+            | case_text ->
+                submit t oc ~id ~opts ~case_text;
+                loop ()))
+  in
+  (try loop () with Sys_error _ -> ());
+  with_lock t.c_mutex (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns);
+  try Unix.close fd with _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error _ -> () (* closed: stopping *)
+    | exception Invalid_argument _ -> ()
+    | fd, _ ->
+        with_lock t.c_mutex (fun () -> t.conns <- fd :: t.conns);
+        let th = Thread.create (fun () -> handle_conn t fd) () in
+        with_lock t.c_mutex (fun () -> t.threads <- th :: t.threads);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let listen addr =
+  match addr with
+  | Unix_sock path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      fd
+
+let start cfg =
+  let t =
+    {
+      cfg;
+      cache = Rcache.create ~pass_cap:cfg.pass_cap ~sim_cap:cfg.sim_cap ();
+      listen_fd = listen cfg.addr;
+      queue = Queue.create ();
+      q_mutex = Mutex.create ();
+      q_cond = Condition.create ();
+      stopping = false;
+      counters = { requests = 0; inline_hits = 0; batches = 0; errors = 0 };
+      c_mutex = Mutex.create ();
+      conns = [];
+      threads = [];
+    }
+  in
+  let acc = Thread.create (fun () -> accept_loop t) () in
+  let disp = Thread.create (fun () -> dispatcher t) () in
+  with_lock t.c_mutex (fun () -> t.threads <- [ disp; acc ]);
+  t
+
+let stop t = trigger_stop t
+
+let wait t =
+  let rec join () =
+    let th =
+      with_lock t.c_mutex (fun () ->
+          match t.threads with
+          | [] -> None
+          | th :: rest ->
+              t.threads <- rest;
+              Some th)
+    in
+    match th with
+    | Some th ->
+        Thread.join th;
+        join ()
+    | None -> ()
+  in
+  join ()

@@ -1,0 +1,42 @@
+(** The [spf serve] daemon: accept loop, per-connection handler threads,
+    and a dispatcher that fuses queued cache misses into supervised
+    batches on the domain pool.
+
+    Sim-level cache hits are answered inline on the connection thread;
+    misses queue for the next batch.  Poisoned requests (demand faults,
+    fuel exhaustion, verifier violations) are classified by the
+    supervisor and become that one client's [ERR] reply — they never
+    take down the batch or the server.  See docs/SERVING.md. *)
+
+type addr = Unix_sock of string | Tcp of int
+(** TCP binds the loopback interface only. *)
+
+type cfg = {
+  addr : addr;
+  jobs : int;  (** pool domains per batch *)
+  batch_max : int;  (** max requests fused into one supervised batch *)
+  deadline_s : float option;  (** per-request wall-clock budget *)
+  pass_cap : int;  (** pass-level cache capacity, entries *)
+  sim_cap : int;  (** sim-level cache capacity, entries *)
+}
+
+val default_cfg : addr -> cfg
+(** Pool-sized jobs, batches of 32, 30 s deadline, 512/2048 cache
+    entries. *)
+
+type t
+
+val start : cfg -> t
+(** Bind, listen and return immediately; serving happens on background
+    threads.  @raise Unix.Unix_error if the address cannot be bound. *)
+
+val stop : t -> unit
+(** Initiate shutdown: stop accepting, wake blocked threads, drain the
+    queue.  Idempotent; also triggered by the [SHUTDOWN] verb. *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped (all threads joined). *)
+
+val cache : t -> Rcache.t
+(** The shared result cache (exposed for in-process loadtests and
+    tests). *)

@@ -185,6 +185,54 @@ let with_pages m = function
 let line_shift = 6
 let line_size = 64
 
+(* Canonical one-line rendering of every timing-relevant field, the
+   machine half of a content-addressed result-cache key.  The record
+   pattern is exhaustive so a new field cannot silently be left out of
+   the key; [name] is included (it selects nothing by itself, but two
+   models that differ only in name should read as different keys — they
+   are different declared machines). *)
+let canonical
+    {
+      name;
+      kind;
+      width;
+      inst_cost;
+      rob;
+      demand_slots;
+      mshrs;
+      pf_mshrs;
+      l1;
+      l2;
+      l3;
+      lat_l1;
+      lat_l2;
+      lat_l3;
+      dram;
+      tlb_entries;
+      tlb_assoc;
+      page_shift;
+      walk_latency;
+      walkers;
+      stride_pf;
+      miss_restart;
+    } =
+  let geom (g : cache_geom) = Printf.sprintf "%d/%d" g.size g.assoc in
+  Printf.sprintf
+    "name=%s kind=%s width=%d icost=%d rob=%d dslots=%d mshrs=%d pfmshrs=%d \
+     l1=%s l2=%s l3=%s lat=%d/%d/%d dram=%d/%d tlb=%d/%d page=%d walk=%d/%d \
+     stride=%s restart=%d"
+    name
+    (match kind with In_order -> "in-order" | Out_of_order -> "ooo")
+    width inst_cost rob demand_slots mshrs pf_mshrs (geom l1) (geom l2)
+    (match l3 with None -> "-" | Some g -> geom g)
+    lat_l1 lat_l2 lat_l3 dram.latency dram.occupancy tlb_entries tlb_assoc
+    page_shift walk_latency walkers
+    (match stride_pf with
+    | None -> "-"
+    | Some s ->
+        Printf.sprintf "%d/%d/%d/%b" s.table s.threshold s.distance s.to_l1)
+    miss_restart
+
 let pp fmt m =
   let geom fmt (g : cache_geom) =
     if g.size >= mib 1 then Format.fprintf fmt "%dMiB/%d-way" (g.size / mib 1) g.assoc

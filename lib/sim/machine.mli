@@ -61,6 +61,11 @@ val with_pages : t -> page_policy -> t
 val line_shift : int
 val line_size : int
 
+val canonical : t -> string
+(** Deterministic one-line rendering of every timing-relevant field — the
+    machine half of a content-addressed result-cache key.  Exhaustive
+    over the record, so a new field cannot be forgotten silently. *)
+
 val kib : int -> int
 val mib : int -> int
 

@@ -11,10 +11,22 @@
    arithmetic — so a fixed program + config re-tunes at the same points to
    the same distances on every run and under every engine. *)
 
+type spec = {
+  spec_slot : int;
+  spec_header : int;
+  spec_init : int;
+  spec_band : (int * int) option;
+}
+
+let spec ?band ~slot ~header ~init () =
+  { spec_slot = slot; spec_header = header; spec_init = init; spec_band = band }
+
 type reg = {
   slot : int; (* env slot (instr id of the distance-register Param) *)
   header : int; (* loop header block this register schedules *)
   init : int;
+  lo : int; (* per-register tuning range — the cost-model band when the *)
+  hi : int; (* register was seeded from eq. 1, [min_c, max_c] otherwise *)
   mutable cur : int;
   loop_slot : int; (* Attrib slot for this header, -1 when unknown *)
   (* Counter snapshot at the last window boundary. *)
@@ -39,14 +51,26 @@ let create ~attrib ~window ~min_c ~max_c regs =
   let window = max 1 window in
   let min_c = max 1 min_c in
   let max_c = max min_c max_c in
-  let mk (slot, header, init) =
-    let init = if init < min_c then min_c else if init > max_c then max_c else init in
+  let mk s =
+    let lo, hi =
+      match s.spec_band with
+      | None -> (min_c, max_c)
+      | Some (lo, hi) ->
+          let lo = max min_c (min lo max_c) in
+          (lo, max lo (min hi max_c))
+    in
+    let init =
+      if s.spec_init < lo then lo else if s.spec_init > hi then hi
+      else s.spec_init
+    in
     {
-      slot;
-      header;
+      slot = s.spec_slot;
+      header = s.spec_header;
       init;
+      lo;
+      hi;
       cur = init;
-      loop_slot = Attrib.slot_of_header attrib header;
+      loop_slot = Attrib.slot_of_header attrib s.spec_header;
       p_demand = 0;
       p_miss = 0;
       p_late = 0;
@@ -98,9 +122,9 @@ let retune_reg t (r : reg) (env : int array) =
       let shortfall = d_miss + d_late in
       let next =
         if shortfall * 16 >= d_demand && shortfall >= 2 * d_unused then
-          min (r.cur * 2) t.max_c
+          min (r.cur * 2) r.hi
         else if d_unused * 16 >= d_demand && d_unused >= 2 * shortfall then
-          max (r.cur / 2) t.min_c
+          max (r.cur / 2) r.lo
         else r.cur
       in
       if next <> r.cur then begin

@@ -6,16 +6,26 @@
 
 type t
 
+type spec
+(** One distance register: the env slot to rewrite, the loop header it
+    schedules, its initial distance, and an optional per-register tuning
+    band. *)
+
+val spec : ?band:int * int -> slot:int -> header:int -> init:int -> unit -> spec
+(** [band], when given, bounds the hill-climb for this register (clipped
+    to the provider's global [min_c, max_c]).  Used to anchor the
+    controller around an eq. 1 cost-model seed: the model fixes the
+    scale, the controller fine-tunes within it — without the band, a
+    bandwidth-bound loop whose miss share never improves with distance
+    climbs to [max_c] and evicts its own prefetches. *)
+
 val create :
   attrib:Attrib.t ->
   window:int ->
   min_c:int ->
   max_c:int ->
-  (int * int * int) list ->
+  spec list ->
   t
-(** [create ~attrib ~window ~min_c ~max_c regs] with one [(slot, header,
-    init)] triple per distance register: the env slot to rewrite, the loop
-    header it schedules, and its initial distance. *)
 
 val attrib : t -> Attrib.t
 

@@ -33,4 +33,5 @@ let () =
       ("engine", Test_engine.suite);
       ("tape", Test_tape.suite);
       ("golden", Test_golden.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -196,7 +196,10 @@ let run_adaptive () =
   let b, report =
     Benches.auto_with_report ~config ((Benches.is_bench ()).Benches.plain ())
   in
-  let tuner = Profile_guided.tuner_of_report b.Workload.func report in
+  let tuner =
+    Profile_guided.tuner_of_report ~machine:Machine.haswell b.Workload.func
+      report
+  in
   let r = Runner.run ?tuner ~machine:Machine.haswell b in
   match tuner with
   | None -> Alcotest.fail "adaptive pass produced no tuner"

@@ -47,16 +47,16 @@ let golden =
        numbers like every other. *)
     ("Haswell", "IS", "fixed16", (5238351, 5242886, 786432, 524288));
     ("Haswell", "IS", "fixed128", (3548215, 5242886, 786432, 524288));
-    ("Haswell", "IS", "adaptive", (3641504, 6029319, 786432, 524288));
+    ("Haswell", "IS", "adaptive", (3562744, 6029319, 786432, 524288));
     ("Haswell", "HJ-2", "fixed16", (2423897, 4587526, 524288, 262144));
     ("Haswell", "HJ-2", "fixed128", (1629134, 4587526, 524288, 262144));
-    ("Haswell", "HJ-2", "adaptive", (1642408, 4980743, 524288, 262144));
+    ("Haswell", "HJ-2", "adaptive", (1671057, 4980743, 524288, 262144));
     ("A53", "IS", "fixed16", (31625887, 5242886, 786432, 524288));
     ("A53", "IS", "fixed128", (31629939, 5242886, 786432, 524288));
-    ("A53", "IS", "adaptive", (31662708, 6029319, 786432, 524288));
+    ("A53", "IS", "adaptive", (31629215, 6029319, 786432, 524288));
     ("A53", "HJ-2", "fixed16", (16397765, 4587526, 524288, 262144));
     ("A53", "HJ-2", "fixed128", (16403357, 4587526, 524288, 262144));
-    ("A53", "HJ-2", "adaptive", (16455079, 4980743, 524288, 262144));
+    ("A53", "HJ-2", "adaptive", (16402388, 4980743, 524288, 262144));
   ]
 
 let machine_of = function
@@ -78,14 +78,15 @@ let fixed_at c (b : Benches.bench) =
     ~config:(with_provider (Distance.Fixed { default_c = Some c; per_loop = [] }))
     (b.plain ())
 
-let adaptive (b : Benches.bench) =
+let adaptive ~machine (b : Benches.bench) =
   let built, report =
     Benches.auto_with_report
       ~config:(with_provider (Distance.Adaptive Distance.default_adaptive))
       (b.plain ())
   in
   ( built,
-    Spf_harness.Profile_guided.tuner_of_report built.Workload.func report )
+    Spf_harness.Profile_guided.tuner_of_report ~machine built.Workload.func
+      report )
 
 (* Returns the built workload plus the tuner the adaptive variant needs
    attached to its run. *)
@@ -95,7 +96,7 @@ let build ~machine (b : Benches.bench) = function
   | "manual" -> (b.manual ~machine ~c:None, None)
   | "fixed16" -> (fixed_at 16 b, None)
   | "fixed128" -> (fixed_at 128 b, None)
-  | "adaptive" -> adaptive b
+  | "adaptive" -> adaptive ~machine b
   | v -> Alcotest.failf "unknown golden variant %s" v
 
 (* On a mismatch, fail with the first differing counter spelled out

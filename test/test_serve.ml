@@ -1,0 +1,242 @@
+(* The serve subsystem: result-cache accounting (hits, misses,
+   evictions, LRU order), the byte-identity contract (a cache hit must
+   reproduce the cold reply body exactly, on every engine), cache-key
+   separation (same program under a different machine / engine /
+   provider / tscale must never collide), poisoned-request
+   classification, and the BENCH.json overhead-marker semantics.
+
+   The socket server itself is exercised end-to-end by the
+   @serve-smoke rule (test/serve_smoke.ml). *)
+
+module Rcache = Spf_serve.Rcache
+module Proto = Spf_serve.Proto
+module Service = Spf_serve.Service
+module Runner = Spf_harness.Runner
+module Supervisor = Spf_harness.Supervisor
+module Bench_json = Spf_harness.Bench_json
+module Engine = Spf_sim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Rcache: LRU accounting. *)
+
+let stats_line (s : Rcache.level_stats) =
+  Printf.sprintf "h=%d m=%d e=%d n=%d/%d" s.hits s.misses s.evictions
+    s.entries s.capacity
+
+let test_sim_lru_accounting () =
+  let c = Rcache.create ~pass_cap:8 ~sim_cap:2 () in
+  Rcache.add_sim c "a" "A";
+  Rcache.add_sim c "b" "B";
+  Alcotest.(check (option string)) "a hits" (Some "A") (Rcache.find_sim c "a");
+  (* a is now most-recent; adding c must evict b, the LRU entry. *)
+  Rcache.add_sim c "c" "C";
+  Alcotest.(check (option string)) "b evicted" None (Rcache.find_sim c "b");
+  Alcotest.(check (option string)) "a survives" (Some "A")
+    (Rcache.find_sim c "a");
+  Alcotest.(check (option string)) "c present" (Some "C")
+    (Rcache.find_sim c "c");
+  let s = Rcache.sim_stats c in
+  Alcotest.(check string) "counters" "h=3 m=1 e=1 n=2/2" (stats_line s)
+
+let test_sim_reinsert_dedups () =
+  let c = Rcache.create ~sim_cap:2 () in
+  Rcache.add_sim c "a" "A";
+  Rcache.add_sim c "b" "B";
+  (* Re-adding an existing key must refresh, not duplicate: a becomes
+     most-recent, so the next insertion evicts b. *)
+  Rcache.add_sim c "a" "A";
+  Rcache.add_sim c "d" "D";
+  Alcotest.(check (option string)) "b was LRU" None (Rcache.find_sim c "b");
+  Alcotest.(check (option string)) "a survived re-insert" (Some "A")
+    (Rcache.find_sim c "a");
+  Alcotest.(check int) "entries stay bounded" 2 (Rcache.sim_stats c).entries
+
+(* ------------------------------------------------------------------ *)
+(* Service: byte-identity and key separation, on a real fuzz-generated
+   program (same generator the loadtest replays). *)
+
+let case_text =
+  lazy
+    (let rng = Spf_workloads.Rng.split ~seed:11 0 in
+     let spec = Spf_fuzz.Gen.random rng in
+     let built = Spf_fuzz.Gen.build spec in
+     Spf_valid.Case.to_string
+       (Spf_valid.Case.of_concrete ~func:built.Spf_fuzz.Gen.func
+          ~mem:built.Spf_fuzz.Gen.mem ~args:built.Spf_fuzz.Gen.args
+          ~fuel:(Spf_fuzz.Gen.fuel spec)))
+
+let prepare_opts opts =
+  match
+    Proto.request_of ~id:"t" ~opts ~case_text:(Lazy.force case_text)
+  with
+  | Ok req -> Service.prepare req
+  | Error e -> Alcotest.fail e
+
+let body_string (r : Service.reply) = String.concat "\n" r.Service.body
+
+let test_hit_matches_cold () =
+  (* For every engine: the cold body, the inline sim-hit body and a full
+     re-run body must be byte-identical — the cache's whole contract. *)
+  List.iter
+    (fun engine ->
+      let name = Engine.to_string engine in
+      let cache = Rcache.create () in
+      let p = prepare_opts [ ("engine", name) ] in
+      let cold = Service.run ~cache ~ctx:Runner.null_ctx p in
+      Alcotest.(check string) (name ^ " first run is cold") "cold"
+        (Service.status_to_string cold.Service.status);
+      (match Service.try_hit ~cache p with
+      | None -> Alcotest.fail (name ^ ": no inline hit after cold run")
+      | Some hit ->
+          Alcotest.(check string) (name ^ " inline hit status") "sim-hit"
+            (Service.status_to_string hit.Service.status);
+          Alcotest.(check string)
+            (name ^ " inline hit body = cold body")
+            (body_string cold) (body_string hit));
+      let rerun = Service.run ~cache ~ctx:Runner.null_ctx p in
+      Alcotest.(check string) (name ^ " rerun is a sim hit") "sim-hit"
+        (Service.status_to_string rerun.Service.status);
+      Alcotest.(check string)
+        (name ^ " rerun body = cold body")
+        (body_string cold) (body_string rerun))
+    Engine.all
+
+let test_pass_hit_on_machine_change () =
+  (* Same program and pass config on a different machine: the compile
+     memo applies (the pass is machine-independent under the static
+     provider), the sim memo must not. *)
+  let cache = Rcache.create () in
+  let hsw = prepare_opts [] in
+  ignore (Service.run ~cache ~ctx:Runner.null_ctx hsw);
+  let a53 = prepare_opts [ ("machine", "a53") ] in
+  Alcotest.(check (option string)) "no inline hit across machines" None
+    (Option.map body_string (Service.try_hit ~cache a53));
+  let r = Service.run ~cache ~ctx:Runner.null_ctx a53 in
+  Alcotest.(check string) "a53 run reuses the pass memo" "pass-hit"
+    (Service.status_to_string r.Service.status)
+
+let test_key_separation () =
+  (* Pairwise-distinct sim keys for every config dimension, and no
+     false inline hit after a cold run of the base request. *)
+  let base = prepare_opts [] in
+  let variants =
+    [
+      ("machine", prepare_opts [ ("machine", "a53") ]);
+      ("engine", prepare_opts [ ("engine", "interp") ]);
+      ("provider", prepare_opts [ ("provider", "adaptive") ]);
+      ("c", prepare_opts [ ("c", "4") ]);
+      ("tscale", prepare_opts [ ("tscale", "2") ]);
+    ]
+  in
+  List.iter
+    (fun (dim, v) ->
+      Alcotest.(check bool)
+        (dim ^ " changes the sim key")
+        false
+        (String.equal base.Service.sim_key v.Service.sim_key))
+    variants;
+  (* provider and c are pass-level dimensions; machine/engine/tscale are
+     sim-level only and must share the compile memo. *)
+  List.iter
+    (fun (dim, v) ->
+      let same = String.equal base.Service.pass_key v.Service.pass_key in
+      match dim with
+      | "provider" | "c" ->
+          Alcotest.(check bool) (dim ^ " changes the pass key") false same
+      | _ -> Alcotest.(check bool) (dim ^ " keeps the pass key") true same)
+    variants;
+  let cache = Rcache.create () in
+  ignore (Service.run ~cache ~ctx:Runner.null_ctx base);
+  List.iter
+    (fun (dim, v) ->
+      match Service.try_hit ~cache v with
+      | None -> ()
+      | Some _ -> Alcotest.fail (dim ^ " variant collided with base"))
+    variants
+
+let poison_case =
+  ";; spf-case v1\n!brk 4096\n!fuel 1000\n\
+   func poison (0 params, entry bb0) {\n\
+   bb0 (entry):\n\
+  \  %v.0 = load i32, #1048576\n\
+  \  ret %v.0\n\
+   }\n"
+
+let test_poison_classified () =
+  (* A demand fault must surface as a raise the supervisor classifies
+     Deterministic — the serve dispatcher turns exactly this into the
+     one client's ERR reply. *)
+  let req =
+    match Proto.request_of ~id:"p" ~opts:[] ~case_text:poison_case with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let p = Service.prepare req in
+  let cache = Rcache.create () in
+  match Service.run ~cache ~ctx:Runner.null_ctx p with
+  | _ -> Alcotest.fail "poisoned request did not trap"
+  | exception e ->
+      Alcotest.(check string) "classified deterministic" "deterministic"
+        (Supervisor.classification_to_string (Supervisor.classify e));
+      Alcotest.(check bool) "error message is non-empty" true
+        (String.length (Service.describe_error e) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Bench_json: the supervised-overhead field is a number or a
+   self-describing skip marker — never null. *)
+
+let meas name walls =
+  { Bench_json.name; skipped = false; walls_s = walls; cycles = 1 }
+
+let test_overhead_measured () =
+  let ms = [ meas "fig2" [ 1.0; 1.1 ]; meas "fig2-supervised" [ 1.05; 1.2 ] ] in
+  Alcotest.(check string) "pct from min walls" "5.00"
+    (Bench_json.overhead_field ~trials:2 ms);
+  (* Noise can put the supervised min under the raw min; that is "no
+     measurable overhead", clamped at zero, not a negative cost. *)
+  let ms = [ meas "fig2" [ 1.0 ]; meas "fig2-supervised" [ 0.9; 1.2 ] ] in
+  Alcotest.(check string) "clamped at zero" "0.00"
+    (Bench_json.overhead_field ~trials:2 ms)
+
+let test_overhead_skip_markers () =
+  let pair = [ meas "fig2" [ 1.0 ]; meas "fig2-supervised" [ 1.05 ] ] in
+  Alcotest.(check string) "trials<2 is marked, not null"
+    "\"skipped (trials<2)\""
+    (Bench_json.overhead_field ~trials:1 pair);
+  Alcotest.(check string) "missing pair is marked, not null"
+    "\"skipped (fig2 pair not measured)\""
+    (Bench_json.overhead_field ~trials:3 [ meas "fig4" [ 1.0 ] ])
+
+let test_render_never_null_overhead () =
+  let json =
+    Bench_json.render ~jobs:1 ~engine:Engine.default ~trials:1 ~total_s:1.0
+      [ meas "fig2" [ 1.0 ]; meas "fig2-supervised" [ 1.0 ] ]
+  in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema 6" true (contains ~sub:"\"schema\": 6" json);
+  Alcotest.(check bool) "skip marker rendered" true
+    (contains ~sub:"\"supervised_overhead_pct\": \"skipped (trials<2)\"" json);
+  Alcotest.(check bool) "no null overhead" false
+    (contains ~sub:"\"supervised_overhead_pct\": null" json)
+
+let suite =
+  [
+    Alcotest.test_case "sim LRU accounting" `Quick test_sim_lru_accounting;
+    Alcotest.test_case "sim re-insert dedups" `Quick test_sim_reinsert_dedups;
+    Alcotest.test_case "hit body = cold body, all engines" `Quick
+      test_hit_matches_cold;
+    Alcotest.test_case "machine change pass-hits" `Quick
+      test_pass_hit_on_machine_change;
+    Alcotest.test_case "cache-key separation" `Quick test_key_separation;
+    Alcotest.test_case "poisoned request classified" `Quick
+      test_poison_classified;
+    Alcotest.test_case "overhead measured" `Quick test_overhead_measured;
+    Alcotest.test_case "overhead skip markers" `Quick
+      test_overhead_skip_markers;
+    Alcotest.test_case "render: overhead never null" `Quick
+      test_render_never_null_overhead;
+  ]
