@@ -179,14 +179,31 @@ let run_distance_providers ~engine =
    fuzz-generated programs, 50% duplication, concurrency 8.  The result
    (latency split, throughput, cache hit rate, corruption counters) is
    stashed for BENCH.json's "serve" section; the piece's own wall time is
-   the loadtest wall plus server start/stop. *)
+   the loadtest wall plus server start/stop.
+
+   The run is journaled: after the loadtest the server drains (which
+   snapshots the cache journal), a second server starts on the same
+   journal, and a shorter replay over a prefix of the same program pool
+   measures the warm-start hit rate — how much of the cache a restart
+   actually keeps. *)
 
 let serve_result : Spf_serve.Loadtest.result option ref = ref None
+let serve_warm : (float * int) option ref = ref None
 
 let run_serve ~jobs ~engine =
   let sock = Filename.temp_file "spf-bench-serve" ".sock" in
   Sys.remove sock;
-  let cfg = { (Spf_serve.Server.default_cfg (Unix_sock sock)) with jobs } in
+  let jdir = Filename.temp_file "spf-bench-journal" "" in
+  Sys.remove jdir;
+  let cfg =
+    {
+      (Spf_serve.Server.default_cfg (Unix_sock sock)) with
+      jobs;
+      journal_dir = Some jdir;
+    }
+  in
+  let opts = [ ("engine", Engine.to_string engine) ] in
+  let connect () = Spf_serve.Client.connect_unix sock in
   let server = Spf_serve.Server.start cfg in
   Fun.protect
     ~finally:(fun () ->
@@ -194,13 +211,36 @@ let run_serve ~jobs ~engine =
       Spf_serve.Server.wait server)
     (fun () ->
       let r =
-        Spf_serve.Loadtest.run ~count:1000 ~dup:0.5 ~concurrency:8
-          ~opts:[ ("engine", Engine.to_string engine) ]
-          ~connect:(fun () -> Spf_serve.Client.connect_unix sock)
-          ()
+        Spf_serve.Loadtest.run ~count:1000 ~dup:0.5 ~concurrency:8 ~opts
+          ~connect ()
       in
       serve_result := Some r;
       Format.printf "  %a@." Spf_serve.Loadtest.pp r);
+  (* Warm restart on the journal the drain just snapshotted.  The
+     replay uses the same seed, so its 100-program pool is a prefix of
+     the 500 distinct programs above: every request has been seen. *)
+  let server2 = Spf_serve.Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Spf_serve.Server.stop server2;
+      Spf_serve.Server.wait server2)
+    (fun () ->
+      let js = Spf_serve.Rcache.journal_stats (Spf_serve.Server.cache server2) in
+      let replayed =
+        js.Spf_serve.Rcache.replayed_pass + js.Spf_serve.Rcache.replayed_sim
+      in
+      let wr =
+        Spf_serve.Loadtest.run ~count:200 ~dup:0.5 ~concurrency:8 ~opts
+          ~connect ()
+      in
+      serve_warm := Some (wr.Spf_serve.Loadtest.hit_rate, replayed);
+      Format.printf
+        "  warm restart: hit rate %.1f%% over %d requests (journal replayed \
+         %d records)@."
+        (100. *. wr.Spf_serve.Loadtest.hit_rate)
+        wr.Spf_serve.Loadtest.programs replayed);
+  (try Sys.remove (Filename.concat jdir "cache-journal") with Sys_error _ -> ());
+  (try Unix.rmdir jdir with Unix.Unix_error _ -> ());
   0
 
 (* ------------------------------------------------------------------ *)
@@ -308,6 +348,10 @@ let write_bench_json ~jobs ~engine ~trials ~total_s ms =
           sv_hit_p50_us = r.hit_p50_us;
           sv_throughput_rps = r.throughput_rps;
           sv_hit_rate = r.hit_rate;
+          sv_warm_hit_rate =
+            (match !serve_warm with Some (hr, _) -> hr | None -> 0.);
+          sv_journal_replayed =
+            (match !serve_warm with Some (_, n) -> n | None -> 0);
         })
       !serve_result
   in

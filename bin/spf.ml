@@ -1028,7 +1028,8 @@ let port_arg cmd =
 
 let serve_cmd =
   let doc = "Long-running compile-and-simulate service with a shared cache." in
-  let run socket port jobs batch deadline pass_cap sim_cap =
+  let run socket port jobs batch deadline pass_cap sim_cap journal max_conns
+      max_queue idle_timeout max_request_bytes drain_deadline =
     let addr = serve_addr ~socket ~port in
     let cfg =
       {
@@ -1038,14 +1039,39 @@ let serve_cmd =
         deadline_s = (if deadline <= 0. then None else Some deadline);
         pass_cap;
         sim_cap;
+        journal_dir = journal;
+        max_conns;
+        max_queue;
+        idle_timeout_s = idle_timeout;
+        max_request_bytes;
+        drain_deadline_s = drain_deadline;
       }
     in
-    let t = Spf_serve.Server.start cfg in
-    Format.printf "spf serve: listening on %s (jobs=%d batch=%d)@."
+    (* Route SIGTERM/SIGINT into a graceful drain: block them before any
+       server thread exists (threads inherit the mask), then park one
+       thread in wait_signal.  A handler could not call Server.stop
+       safely — stop takes mutexes. *)
+    ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+    let t =
+      match Spf_serve.Server.start cfg with
+      | t -> t
+      | exception Failure msg -> die "spf serve: %s" msg
+    in
+    ignore
+      (Thread.create
+         (fun () ->
+           let _ = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+           Format.eprintf "spf serve: draining@.";
+           Spf_serve.Server.stop t)
+         ());
+    Format.printf "spf serve: listening on %s (jobs=%d batch=%d%s)@."
       (match addr with
       | Spf_serve.Server.Unix_sock p -> p
       | Spf_serve.Server.Tcp p -> Printf.sprintf "localhost:%d" p)
-      jobs batch;
+      jobs batch
+      (match journal with
+      | Some dir -> Printf.sprintf " journal=%s" dir
+      | None -> "");
     Spf_serve.Server.wait t
   in
   Cmd.v
@@ -1078,7 +1104,177 @@ let serve_cmd =
           value
           & opt int 2048
           & info [ "sim-cache" ] ~docv:"N"
-              ~doc:"Sim-level result-cache capacity, entries."))
+              ~doc:"Sim-level result-cache capacity, entries.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "cache-journal" ] ~docv:"DIR"
+              ~doc:
+                "Crash-safe result-cache journal directory: replayed on \
+                 start for a warm cache, appended per insertion, \
+                 snapshotted on drain.")
+      $ Arg.(
+          value
+          & opt int 256
+          & info [ "max-conns" ] ~docv:"N"
+              ~doc:
+                "Live-connection budget; excess connections are answered \
+                 with a classified busy reply and closed.")
+      $ Arg.(
+          value
+          & opt int 1024
+          & info [ "max-queue" ] ~docv:"N"
+              ~doc:
+                "Queued-request budget; excess SUBMITs get ERR busy \
+                 retry-after instead of queueing without bound.")
+      $ Arg.(
+          value
+          & opt float 30.
+          & info [ "idle-timeout" ] ~docv:"SECONDS"
+              ~doc:"Per-read idle deadline on client input.")
+      $ Arg.(
+          value
+          & opt int (4 * 1024 * 1024)
+          & info [ "max-request-bytes" ] ~docv:"N"
+              ~doc:"SUBMIT payload budget, bytes.")
+      $ Arg.(
+          value
+          & opt float 10.
+          & info [ "drain-deadline" ] ~docv:"SECONDS"
+              ~doc:
+                "How long in-flight work may run after SIGTERM/SIGINT/\
+                 SHUTDOWN before remaining sockets are force-closed."))
+
+let chaos_cmd =
+  let doc =
+    "Chaos-test a spawned serve daemon: mixed honest + fault traffic, \
+     SIGTERM drain, SIGKILL crash, journal warm restarts, leak check."
+  in
+  let run seed count concurrency jobs keep =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "spf-chaos-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let sock = Filename.concat dir "chaos.sock" in
+    let journal = Filename.concat dir "journal" in
+    let idle_timeout = 1.0 in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let pid = ref None in
+    let start () =
+      (try if Sys.file_exists sock then Sys.remove sock with Sys_error _ -> ());
+      pid :=
+        Some
+          (Unix.create_process Sys.executable_name
+             [|
+               Sys.executable_name;
+               "serve";
+               "--socket";
+               sock;
+               "--jobs";
+               string_of_int jobs;
+               "--batch";
+               "8";
+               "--deadline";
+               "10";
+               "--cache-journal";
+               journal;
+               "--max-conns";
+               "64";
+               "--max-queue";
+               "64";
+               "--idle-timeout";
+               Printf.sprintf "%g" idle_timeout;
+               "--max-request-bytes";
+               "65536";
+               "--drain-deadline";
+               "5";
+             |]
+             devnull devnull devnull)
+    in
+    let signal s =
+      match !pid with
+      | Some p -> ( try Unix.kill p s with Unix.Unix_error _ -> ())
+      | None -> ()
+    in
+    let wait_exit () =
+      match !pid with
+      | None -> -1
+      | Some p -> (
+          pid := None;
+          match Unix.waitpid [] p with
+          | _, Unix.WEXITED n -> n
+          | _, Unix.WSIGNALED s | _, Unix.WSTOPPED s -> 128 + s
+          | exception Unix.Unix_error _ -> -1)
+    in
+    (* The harness pokes sockets of a daemon it just killed: EPIPE,
+       not process death. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cfg =
+      {
+        Spf_serve.Chaos.seed;
+        count;
+        concurrency;
+        fault_wait_s = 4. *. idle_timeout;
+        connect = (fun () -> Spf_serve.Client.connect_unix sock);
+        raw_connect =
+          (fun () ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            (try Unix.connect fd (Unix.ADDR_UNIX sock)
+             with e ->
+               (try Unix.close fd with Unix.Unix_error _ -> ());
+               raise e);
+            fd);
+        ctl =
+          {
+            Spf_serve.Chaos.start;
+            term = (fun () -> signal Sys.sigterm);
+            kill = (fun () -> signal Sys.sigkill);
+            wait_exit;
+          };
+        log = (fun m -> Format.printf "chaos: %s@." m);
+      }
+    in
+    let r = Spf_serve.Chaos.run cfg in
+    (try Unix.close devnull with Unix.Unix_error _ -> ());
+    Format.printf "%a@." Spf_serve.Chaos.pp r;
+    if keep then Format.printf "chaos: workspace kept at %s@." dir
+    else
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [
+          sock;
+          Filename.concat journal "cache-journal";
+          Filename.concat journal "cache-journal.tmp";
+        ]
+      |> fun () ->
+      List.iter
+        (fun d -> try Unix.rmdir d with Unix.Unix_error _ -> ())
+        [ journal; dir ];
+    if not r.Spf_serve.Chaos.passed then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 9
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Program-pool seed.")
+      $ Arg.(
+          value & opt int 120
+          & info [ "count" ] ~docv:"N"
+              ~doc:"Honest requests in the mixed phase.")
+      $ Arg.(
+          value & opt int 6
+          & info [ "concurrency" ] ~docv:"N" ~doc:"Client threads.")
+      $ Arg.(
+          value & opt int 2
+          & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Daemon pool domains.")
+      $ Arg.(
+          value & flag
+          & info [ "keep" ]
+              ~doc:"Keep the temp workspace (socket + journal) afterwards."))
 
 let loadtest_cmd =
   let doc =
@@ -1175,4 +1371,5 @@ let () =
             replay_cmd;
             serve_cmd;
             loadtest_cmd;
+            chaos_cmd;
           ]))

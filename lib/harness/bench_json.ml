@@ -6,7 +6,11 @@
    Schema 6: adds the "serve" section (loadtest results of the
    compile-and-simulate service: latency split, throughput, cache hit
    rate, corruption counters) and replaces the `null`
-   supervised_overhead_pct with explicit skip markers. *)
+   supervised_overhead_pct with explicit skip markers.
+
+   Schema 7: the serve section gains warm_hit_rate and journal_replayed
+   — the cache-journal warm-start measurement (restart the daemon on
+   its journal, replay the same pool, record the sim-hit rate). *)
 
 type measurement = {
   name : string;
@@ -80,6 +84,10 @@ type serve_stats = {
   sv_hit_p50_us : int;
   sv_throughput_rps : float;
   sv_hit_rate : float;
+  sv_warm_hit_rate : float;
+      (* sim-hit rate of a restarted daemon replaying its journal over
+         the same program pool — the warm-start payoff *)
+  sv_journal_replayed : int;  (* journal records replayed at restart *)
 }
 
 (* Recorded serial (-j 1) single-trial baseline wall-clock per piece, in
@@ -103,7 +111,7 @@ let render ~jobs ~engine ~trials ~total_s
     (ms : measurement list) =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 6,\n";
+  Buffer.add_string b "  \"schema\": 7,\n";
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"engine\": %S,\n" (Spf_sim.Engine.to_string engine));
@@ -153,11 +161,13 @@ let render ~jobs ~engine ~trials ~total_s
             \"corrupted\": %d, \"cold\": %d, \"pass_hits\": %d, \
             \"sim_hits\": %d, \"p50_us\": %d, \"p99_us\": %d, \
             \"cold_p50_us\": %d, \"hit_p50_us\": %d, \"throughput_rps\": \
-            %.1f, \"hit_rate\": %.4f},\n"
+            %.1f, \"hit_rate\": %.4f, \"warm_hit_rate\": %.4f, \
+            \"journal_replayed\": %d},\n"
            s.sv_requests s.sv_distinct s.sv_concurrency s.sv_errors
            s.sv_dropped s.sv_corrupted s.sv_cold s.sv_pass_hits s.sv_sim_hits
            s.sv_p50_us s.sv_p99_us s.sv_cold_p50_us s.sv_hit_p50_us
-           s.sv_throughput_rps s.sv_hit_rate));
+           s.sv_throughput_rps s.sv_hit_rate s.sv_warm_hit_rate
+           s.sv_journal_replayed));
   Buffer.add_string b "  \"pieces\": [\n";
   List.iteri
     (fun i m ->

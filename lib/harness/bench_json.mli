@@ -1,4 +1,4 @@
-(** BENCH.json rendering (schema 6), factored out of the bench driver so
+(** BENCH.json rendering (schema 7), factored out of the bench driver so
     the field semantics — notably the supervised-overhead skip markers —
     are unit-testable. *)
 
@@ -43,6 +43,9 @@ type serve_stats = {
   sv_hit_p50_us : int;
   sv_throughput_rps : float;
   sv_hit_rate : float;
+  sv_warm_hit_rate : float;
+      (** sim-hit rate of a journal-restarted daemon over the same pool *)
+  sv_journal_replayed : int;  (** journal records replayed at restart *)
 }
 
 val baseline_wall_s : (string * float) list

@@ -1,0 +1,531 @@
+(* `spf chaos`: a fault-injecting client fleet that proves the daemon's
+   hostile-reality contract instead of assuming it.  Layered on the
+   loadtest's deterministic program pool, it drives five phases:
+
+     A  mixed traffic — honest workers interleaved with fault clients
+        (mid-request disconnects, a slowloris partial-verb sender,
+        garbage and NUL-bearing frames, oversized lines and payloads),
+        gating on zero corrupted / torn / dropped honest replies and on
+        every observable fault connection being answered or reaped;
+     B  graceful drain — a burst of cold (uncached) work, SIGTERM fired
+        mid-burst; every request that was in flight when the drain
+        started must complete (full reply or classified busy), the
+        daemon must exit 0;
+     C  warm restart — the daemon comes back on the same journal;
+        previously-seen programs must answer as cache hits with bodies
+        byte-identical to the pre-restart replies;
+     D  kill — SIGKILL mid-burst (no drain, journal tail may tear),
+        restart; the journal must still load and the phase-A programs
+        must still answer byte-identically;
+     E  leak check — final STATS must show no lingering handler threads
+        beyond the one serving the STATS request itself, and a clean
+        SHUTDOWN must exit 0.
+
+   The client-side definition of "unanswered" is {!Proto.read_reply}'s
+   framing: a reply cut mid-body is torn (a contract violation outside
+   a kill window); a clean EOF before any reply line only violates the
+   contract when the daemon had no declared reason (not draining, not
+   killed) to close. *)
+
+type ctl = {
+  start : unit -> unit;
+  term : unit -> unit;
+  kill : unit -> unit;
+  wait_exit : unit -> int;  (* exit code; 128+signal when killed *)
+}
+
+type cfg = {
+  seed : int;
+  count : int;  (* honest requests in the mixed phase *)
+  concurrency : int;
+  fault_wait_s : float;  (* client patience for fault-reply reads *)
+  connect : unit -> Client.t;
+  raw_connect : unit -> Unix.file_descr;
+  ctl : ctl;
+  log : string -> unit;
+}
+
+type result = {
+  honest : int;  (* full OK replies across recorded phases *)
+  busy : int;  (* classified busy sheds (acceptable answers) *)
+  corrupted : int;  (* bodies differing from first-seen for a program *)
+  torn : int;  (* replies cut mid-body outside kill windows *)
+  unanswered : int;  (* no reply at all, outside drain/kill windows *)
+  faults : int;  (* fault injections performed *)
+  unreaped : int;  (* verifiable fault conns left hanging *)
+  drain_exit : int;  (* exit code of the SIGTERM drain *)
+  warm_hits : int;  (* byte-identical post-restart cache hits *)
+  warm_after_kill : bool;
+  journal_replayed : int;  (* records replayed at the post-drain restart *)
+  active_handlers : int;  (* from the final STATS (includes that conn) *)
+  failures : string list;
+  passed : bool;
+}
+
+exception Abort of string
+
+type state = {
+  m : Mutex.t;
+  first_body : (string, string) Hashtbl.t;
+  mutable s_honest : int;
+  mutable s_busy : int;
+  mutable s_corrupted : int;
+  mutable s_torn : int;
+  mutable s_unanswered : int;
+  mutable s_faults : int;
+  mutable s_unreaped : int;
+  mutable s_warm_hits : int;
+  mutable s_failures : string list;
+}
+
+let locked st f =
+  Mutex.lock st.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.m) f
+
+let fail st msg =
+  locked st (fun () ->
+      if not (List.mem msg st.s_failures) then
+        st.s_failures <- msg :: st.s_failures)
+
+let classify_error e =
+  if String.equal e "connection closed mid-reply" then `Torn
+  else if String.length e >= 9 && String.equal (String.sub e 0 9) "malformed"
+  then `Corrupt
+  else `Closed
+
+(* One honest submit on a fresh connection.  [key] names the program
+   for the byte-identity ledger. *)
+let submit_once st cfg ~key ~id ~case_text =
+  match cfg.connect () with
+  | exception _ -> `NoConn
+  | client ->
+      let outcome =
+        match Client.submit client ~id ~case_text () with
+        | Ok r -> (
+            match r.Proto.r_err with
+            | Some ("busy", _) -> `Busy
+            | Some (cls, msg) -> `Err (cls, msg)
+            | None ->
+                let body = String.concat "\n" r.Proto.r_body in
+                locked st (fun () ->
+                    match Hashtbl.find_opt st.first_body key with
+                    | None ->
+                        Hashtbl.add st.first_body key body;
+                        `Reply (r.Proto.r_cache, body)
+                    | Some first ->
+                        if String.equal first body then
+                          `Reply (r.Proto.r_cache, body)
+                        else `Corrupt))
+        | Error e -> (
+            match classify_error e with
+            | `Torn -> `Torn
+            | `Corrupt -> `Corrupt
+            | `Closed -> `NoConn)
+      in
+      Client.close client;
+      outcome
+
+let run_workers ~concurrency work =
+  let threads = List.init concurrency (fun w -> Thread.create work w) in
+  List.iter Thread.join threads
+
+(* ------------------------------------------------------------------ *)
+(* Fault clients.  Each uses a raw fd so it can violate the protocol
+   freely; replies are read through the same bounded reader the server
+   uses, so a daemon that hangs a fault connection fails the gate here
+   instead of hanging the harness.                                     *)
+
+let try_write fd s =
+  try ignore (Unix.write_substring fd s 0 (String.length s))
+  with Unix.Unix_error _ -> ()
+
+let try_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Read until an ERR line or EOF, within [wait_s]. *)
+let expect_err_or_eof fd ~wait_s =
+  let rd = Ioline.create ~idle_s:wait_s fd in
+  let rec loop () =
+    match Ioline.read_line rd with
+    | Ioline.Eof -> true
+    | Ioline.Timeout | Ioline.Overflow -> false
+    | Ioline.Line l ->
+        if String.length l >= 3 && String.equal (String.sub l 0 3) "ERR" then
+          true
+        else loop ()
+  in
+  loop ()
+
+let fault_mid_request_disconnect st cfg ~case_text =
+  locked st (fun () -> st.s_faults <- st.s_faults + 1);
+  match cfg.raw_connect () with
+  | exception _ -> ()
+  | fd ->
+      let half = String.sub case_text 0 (String.length case_text / 2) in
+      try_write fd ("SUBMIT chaos-drop\n" ^ half);
+      try_close fd
+
+let fault_slowloris st cfg =
+  locked st (fun () -> st.s_faults <- st.s_faults + 1);
+  match cfg.raw_connect () with
+  | exception _ -> ()
+  | fd ->
+      (* A verb that never finishes: the daemon's idle deadline must
+         reap it with a classified timeout (or a close), not wait
+         forever. *)
+      try_write fd "STAT";
+      if not (expect_err_or_eof fd ~wait_s:cfg.fault_wait_s) then begin
+        locked st (fun () -> st.s_unreaped <- st.s_unreaped + 1);
+        fail st "slowloris connection was not reaped"
+      end;
+      try_close fd
+
+let fault_garbage st cfg frame =
+  locked st (fun () -> st.s_faults <- st.s_faults + 1);
+  match cfg.raw_connect () with
+  | exception _ -> ()
+  | fd ->
+      try_write fd frame;
+      if not (expect_err_or_eof fd ~wait_s:cfg.fault_wait_s) then begin
+        locked st (fun () -> st.s_unreaped <- st.s_unreaped + 1);
+        fail st "garbage frame got no classified reply"
+      end;
+      try_close fd
+
+let fault_oversized_line st cfg =
+  (* One line far past the server's max-request-bytes (the chaos CLI
+     spawns the daemon with a small budget). *)
+  fault_garbage st cfg ("SUBMIT big " ^ String.make 200_000 'x' ^ "\n")
+
+let fault_oversized_payload st cfg =
+  locked st (fun () -> st.s_faults <- st.s_faults + 1);
+  match cfg.raw_connect () with
+  | exception _ -> ()
+  | fd ->
+      try_write fd "SUBMIT big2\n";
+      (let chunk = String.make 4096 'y' ^ "\n" in
+       for _ = 1 to 64 do
+         try_write fd chunk
+       done);
+      try_write fd ".\n";
+      if not (expect_err_or_eof fd ~wait_s:cfg.fault_wait_s) then begin
+        locked st (fun () -> st.s_unreaped <- st.s_unreaped + 1);
+        fail st "oversized payload got no classified reply"
+      end;
+      try_close fd
+
+(* ------------------------------------------------------------------ *)
+(* Phases.                                                             *)
+
+let wait_ready cfg ~what =
+  let rec loop tries =
+    if tries = 0 then raise (Abort (what ^ ": daemon did not come up"))
+    else
+      match cfg.connect () with
+      | exception _ ->
+          Thread.delay 0.1;
+          loop (tries - 1)
+      | client ->
+          let ok = Client.ping client in
+          Client.close client;
+          if not ok then begin
+            Thread.delay 0.1;
+            loop (tries - 1)
+          end
+  in
+  loop 100
+
+let daemon_stats cfg =
+  match cfg.connect () with
+  | exception _ -> []
+  | client ->
+      let r = match Client.stats client with Ok kv -> kv | Error _ -> [] in
+      Client.close client;
+      r
+
+let stat kv name = Option.value (List.assoc_opt name kv) ~default:0
+
+let phase_mixed st cfg pool =
+  cfg.log "phase A: mixed honest + fault traffic";
+  let next = Atomic.make 0 in
+  let injector () =
+    let faults =
+      [
+        (fun () -> fault_mid_request_disconnect st cfg ~case_text:pool.(0));
+        (fun () -> fault_garbage st cfg "XYZZY plugh\n");
+        (fun () -> fault_garbage st cfg "\x00\x01\xfe garbage\n");
+        (fun () -> fault_oversized_line st cfg);
+        (fun () -> fault_oversized_payload st cfg);
+        (fun () -> fault_mid_request_disconnect st cfg ~case_text:pool.(0));
+        (fun () -> fault_garbage st cfg "SUBMIT\n");
+        (fun () -> fault_slowloris st cfg);
+      ]
+    in
+    List.iter
+      (fun f ->
+        f ();
+        Thread.delay 0.01)
+      faults
+  in
+  let inj = Thread.create injector () in
+  run_workers ~concurrency:cfg.concurrency (fun w ->
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < cfg.count then begin
+          let prog = i mod Array.length pool in
+          let key = "a:" ^ string_of_int prog in
+          (match
+             submit_once st cfg ~key
+               ~id:(Printf.sprintf "a%d-%d" w i)
+               ~case_text:pool.(prog)
+           with
+          | `Reply _ -> locked st (fun () -> st.s_honest <- st.s_honest + 1)
+          | `Busy -> locked st (fun () -> st.s_busy <- st.s_busy + 1)
+          | `Err (cls, msg) ->
+              fail st
+                (Printf.sprintf "unexpected ERR on honest traffic: %s %s" cls
+                   msg)
+          | `Corrupt ->
+              locked st (fun () -> st.s_corrupted <- st.s_corrupted + 1);
+              fail st "corrupted reply on honest traffic"
+          | `Torn ->
+              locked st (fun () -> st.s_torn <- st.s_torn + 1);
+              fail st "torn reply on honest traffic"
+          | `NoConn ->
+              locked st (fun () -> st.s_unanswered <- st.s_unanswered + 1);
+              fail st "dropped honest request outside any drain/kill window");
+          loop ()
+        end
+      in
+      loop ());
+  Thread.join inj
+
+let phase_drain st cfg pool =
+  cfg.log "phase B: SIGTERM mid-burst, gating on answered in-flight work";
+  let next = Atomic.make 0 in
+  let count = Array.length pool in
+  let term_time = ref infinity in
+  let burst =
+    Thread.create
+      (fun () ->
+        run_workers ~concurrency:cfg.concurrency (fun w ->
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < count then begin
+                let key = "b:" ^ string_of_int i in
+                let t0 = Unix.gettimeofday () in
+                (match
+                   submit_once st cfg ~key
+                     ~id:(Printf.sprintf "b%d-%d" w i)
+                     ~case_text:pool.(i)
+                 with
+                | `Reply _ ->
+                    locked st (fun () -> st.s_honest <- st.s_honest + 1)
+                | `Busy -> locked st (fun () -> st.s_busy <- st.s_busy + 1)
+                | `Err (cls, msg) ->
+                    fail st
+                      (Printf.sprintf "unexpected ERR during drain: %s %s" cls
+                         msg)
+                | `Corrupt ->
+                    locked st (fun () -> st.s_corrupted <- st.s_corrupted + 1);
+                    fail st "corrupted reply during drain"
+                | `Torn ->
+                    (* The hard gate: a drain must never cut a reply
+                       mid-body. *)
+                    locked st (fun () -> st.s_torn <- st.s_torn + 1);
+                    fail st "reply cut mid-body during drain"
+                | `NoConn ->
+                    (* Fine after the drain started (the daemon shuts
+                       idle conns and refuses new ones); a violation
+                       before it. *)
+                    if t0 < !term_time then begin
+                      locked st (fun () ->
+                          st.s_unanswered <- st.s_unanswered + 1);
+                      fail st "request dropped before the drain started"
+                    end);
+                loop ()
+              end
+            in
+            loop ()))
+      ()
+  in
+  Thread.delay 0.3;
+  term_time := Unix.gettimeofday ();
+  cfg.ctl.term ();
+  Thread.join burst;
+  let code = cfg.ctl.wait_exit () in
+  if code <> 0 then
+    fail st (Printf.sprintf "drain exited with code %d, want 0" code);
+  code
+
+let phase_warm st cfg pool ~what =
+  cfg.ctl.start ();
+  wait_ready cfg ~what;
+  let kv = daemon_stats cfg in
+  let replayed = stat kv "journal_replayed_pass" + stat kv "journal_replayed_sim" in
+  if replayed = 0 then fail st (what ^ ": restart replayed nothing from the journal");
+  let n = min 5 (Array.length pool) in
+  for prog = 0 to n - 1 do
+    let key = "a:" ^ string_of_int prog in
+    let expected = locked st (fun () -> Hashtbl.find_opt st.first_body key) in
+    match expected with
+    | None -> ()
+    | Some first -> (
+        match
+          submit_once st cfg ~key
+            ~id:(Printf.sprintf "warm-%d" prog)
+            ~case_text:pool.(prog)
+        with
+        | `Reply (cache, body) ->
+            if not (String.equal body first) then begin
+              locked st (fun () -> st.s_corrupted <- st.s_corrupted + 1);
+              fail st (what ^ ": warm reply not byte-identical")
+            end
+            else if not (String.equal cache "sim-hit") then
+              fail st
+                (Printf.sprintf "%s: expected a warm sim-hit, got cache=%s"
+                   what cache)
+            else locked st (fun () -> st.s_warm_hits <- st.s_warm_hits + 1)
+        | `Corrupt ->
+            locked st (fun () -> st.s_corrupted <- st.s_corrupted + 1);
+            fail st (what ^ ": warm reply not byte-identical")
+        | `Busy | `Err _ | `Torn | `NoConn ->
+            fail st (what ^ ": warm submit did not get a full reply"))
+  done;
+  replayed
+
+let phase_kill st cfg pool =
+  cfg.log "phase D: SIGKILL mid-burst, then restart on the same journal";
+  let next = Atomic.make 0 in
+  let count = Array.length pool in
+  (* Kill-window traffic: outcomes are deliberately not gated — a
+     SIGKILL may tear anything client-visible; the contract under test
+     is what the *journal* lets the restarted daemon do. *)
+  let burst =
+    Thread.create
+      (fun () ->
+        run_workers ~concurrency:cfg.concurrency (fun w ->
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < count then begin
+                (match cfg.connect () with
+                | exception _ -> ()
+                | client ->
+                    ignore
+                      (Client.submit client
+                         ~id:(Printf.sprintf "d%d-%d" w i)
+                         ~case_text:pool.(i) ());
+                    Client.close client);
+                loop ()
+              end
+            in
+            loop ()))
+      ()
+  in
+  Thread.delay 0.2;
+  cfg.ctl.kill ();
+  ignore (cfg.ctl.wait_exit ());
+  Thread.join burst
+
+let phase_final st cfg =
+  cfg.log "phase E: leak check + clean shutdown";
+  (* Give just-closed handlers a moment to finish their accounting. *)
+  let rec poll tries =
+    let kv = daemon_stats cfg in
+    let handlers = stat kv "active_handlers" in
+    if handlers <= 1 || tries = 0 then (kv, handlers)
+    else begin
+      Thread.delay 0.1;
+      poll (tries - 1)
+    end
+  in
+  let kv, handlers = poll 20 in
+  if handlers > 1 then
+    fail st
+      (Printf.sprintf "handler leak: %d still active at quiescence" handlers);
+  if stat kv "draining" <> 0 then fail st "daemon reports draining at rest";
+  (match cfg.connect () with
+  | exception _ -> fail st "could not connect for final shutdown"
+  | client ->
+      let bye = Client.shutdown client in
+      Client.close client;
+      if not bye then fail st "final SHUTDOWN got no BYE");
+  let code = cfg.ctl.wait_exit () in
+  if code <> 0 then
+    fail st (Printf.sprintf "final shutdown exited with code %d, want 0" code);
+  handlers
+
+let run cfg =
+  let st =
+    {
+      m = Mutex.create ();
+      first_body = Hashtbl.create 64;
+      s_honest = 0;
+      s_busy = 0;
+      s_corrupted = 0;
+      s_torn = 0;
+      s_unanswered = 0;
+      s_faults = 0;
+      s_unreaped = 0;
+      s_warm_hits = 0;
+      s_failures = [];
+    }
+  in
+  let distinct = max 2 (cfg.count / 4) in
+  let pool_a = Loadtest.build_pool ~seed:cfg.seed ~distinct in
+  let pool_b =
+    Loadtest.build_pool ~seed:(cfg.seed + 1000)
+      ~distinct:(max 6 (cfg.count / 3))
+  in
+  let pool_d =
+    Loadtest.build_pool ~seed:(cfg.seed + 2000)
+      ~distinct:(max 4 (cfg.count / 4))
+  in
+  let drain_exit = ref 0 in
+  let journal_replayed = ref 0 in
+  let warm_after_kill = ref false in
+  let handlers = ref 0 in
+  (try
+     cfg.ctl.start ();
+     wait_ready cfg ~what:"initial start";
+     phase_mixed st cfg pool_a;
+     drain_exit := phase_drain st cfg pool_b;
+     cfg.log "phase C: warm restart, byte-identity against pre-drain replies";
+     journal_replayed := phase_warm st cfg pool_a ~what:"post-drain restart";
+     phase_kill st cfg pool_d;
+     cfg.log "      ... restarting after SIGKILL";
+     let before = locked st (fun () -> List.length st.s_failures) in
+     ignore (phase_warm st cfg pool_a ~what:"post-kill restart");
+     warm_after_kill :=
+       locked st (fun () -> List.length st.s_failures) = before;
+     handlers := phase_final st cfg
+   with Abort msg -> fail st msg);
+  let failures = List.rev st.s_failures in
+  {
+    honest = st.s_honest;
+    busy = st.s_busy;
+    corrupted = st.s_corrupted;
+    torn = st.s_torn;
+    unanswered = st.s_unanswered;
+    faults = st.s_faults;
+    unreaped = st.s_unreaped;
+    drain_exit = !drain_exit;
+    warm_hits = st.s_warm_hits;
+    warm_after_kill = !warm_after_kill;
+    journal_replayed = !journal_replayed;
+    active_handlers = !handlers;
+    failures;
+    passed = failures = [];
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>chaos: %s@,\
+     honest=%d busy=%d corrupted=%d torn=%d unanswered=%d@,\
+     faults=%d unreaped=%d drain_exit=%d@,\
+     warm_hits=%d warm_after_kill=%b journal_replayed=%d active_handlers=%d"
+    (if r.passed then "PASS" else "FAIL")
+    r.honest r.busy r.corrupted r.torn r.unanswered r.faults r.unreaped
+    r.drain_exit r.warm_hits r.warm_after_kill r.journal_replayed
+    r.active_handlers;
+  List.iter (fun f -> Format.fprintf fmt "@,FAIL: %s" f) r.failures;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,49 @@
+(** [spf chaos]: a fault-injecting client fleet that proves the serve
+    daemon's hostile-reality contract — mixed honest + fault traffic,
+    SIGTERM drain, journal warm restart, SIGKILL crash recovery, and a
+    final handler-leak check.  Gates on zero corrupted replies, zero
+    unanswered in-flight requests on drain, and byte-identical
+    post-restart warm hits.  See docs/ROBUSTNESS.md. *)
+
+type ctl = {
+  start : unit -> unit;  (** (re)start the daemon on the same address + journal *)
+  term : unit -> unit;  (** SIGTERM (graceful drain) *)
+  kill : unit -> unit;  (** SIGKILL (no drain; journal tail may tear) *)
+  wait_exit : unit -> int;  (** reap; exit code, [128+n] when signalled *)
+}
+
+type cfg = {
+  seed : int;
+  count : int;  (** honest requests in the mixed phase *)
+  concurrency : int;
+  fault_wait_s : float;
+      (** client patience for fault replies; must exceed the daemon's
+          idle timeout so slowloris reaping is observable *)
+  connect : unit -> Client.t;  (** may raise while the daemon is down *)
+  raw_connect : unit -> Unix.file_descr;  (** for protocol-violating clients *)
+  ctl : ctl;
+  log : string -> unit;  (** phase narration *)
+}
+
+type result = {
+  honest : int;
+  busy : int;  (** classified busy sheds (acceptable answers) *)
+  corrupted : int;
+  torn : int;
+  unanswered : int;
+  faults : int;
+  unreaped : int;
+  drain_exit : int;
+  warm_hits : int;
+  warm_after_kill : bool;
+  journal_replayed : int;
+  active_handlers : int;
+  failures : string list;  (** empty iff [passed] *)
+  passed : bool;
+}
+
+val run : cfg -> result
+(** Owns the daemon lifecycle end to end: starts it via [ctl.start],
+    drains, kills and restarts it, and leaves it stopped. *)
+
+val pp : Format.formatter -> result -> unit

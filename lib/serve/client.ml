@@ -24,44 +24,62 @@ let send_line t line =
   output_string t.oc line;
   output_char t.oc '\n'
 
-let read_line t () = match input_line t.ic with
+(* A daemon that died (or a chaos harness that killed it) surfaces here
+   as EPIPE/reset on write or read: classify as a closed connection
+   instead of raising into the caller's worker thread. *)
+let read_line t () =
+  match input_line t.ic with
   | line -> Some line
-  | exception End_of_file -> None
+  | exception (End_of_file | Sys_error _) -> None
 
 let read_reply t = Proto.read_reply (read_line t)
 
+let guarded f =
+  try f () with
+  | Sys_error _ | Unix.Unix_error _ -> Error "connection closed"
+
 let ping t =
-  send_line t "PING";
-  flush t.oc;
-  match read_reply t with
+  match
+    guarded (fun () ->
+        send_line t "PING";
+        flush t.oc;
+        read_reply t)
+  with
   | Ok r -> String.equal r.Proto.r_cache "PONG"
   | Error _ -> false
 
 let shutdown t =
-  send_line t "SHUTDOWN";
-  flush t.oc;
-  match read_reply t with
+  match
+    guarded (fun () ->
+        send_line t "SHUTDOWN";
+        flush t.oc;
+        read_reply t)
+  with
   | Ok r -> String.equal r.Proto.r_cache "BYE"
   | Error _ -> false
 
 let submit t ~id ?(opts = []) ~case_text () =
-  let hdr =
-    String.concat " "
-      ("SUBMIT" :: id :: List.map (fun (k, v) -> k ^ "=" ^ v) opts)
-  in
-  send_line t hdr;
-  output_string t.oc case_text;
-  if String.length case_text > 0
-     && case_text.[String.length case_text - 1] <> '\n'
-  then output_char t.oc '\n';
-  send_line t Proto.terminator;
-  flush t.oc;
-  read_reply t
+  guarded (fun () ->
+      let hdr =
+        String.concat " "
+          ("SUBMIT" :: id :: List.map (fun (k, v) -> k ^ "=" ^ v) opts)
+      in
+      send_line t hdr;
+      output_string t.oc case_text;
+      if String.length case_text > 0
+         && case_text.[String.length case_text - 1] <> '\n'
+      then output_char t.oc '\n';
+      send_line t Proto.terminator;
+      flush t.oc;
+      read_reply t)
 
 let stats t =
-  send_line t "STATS";
-  flush t.oc;
-  match read_reply t with
+  match
+    guarded (fun () ->
+        send_line t "STATS";
+        flush t.oc;
+        read_reply t)
+  with
   | Ok r ->
       Ok
         (List.filter_map

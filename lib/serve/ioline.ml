@@ -1,0 +1,65 @@
+(* Bounded, deadline-aware line reading for the serve daemon.
+
+   The stdlib [in_channel] the first serve cut used has two failure
+   modes a hostile client can drive: [input_line] blocks forever on a
+   peer that stops sending mid-line (slowloris), and it happily
+   accumulates an unbounded line from a peer that never sends the
+   newline.  This reader works directly on the fd: every refill waits at
+   most [idle_s] for bytes (via [select]), and a line that exceeds
+   [max_line] bytes is classified [Overflow] instead of growing the
+   buffer — the handler turns both into a classified reply and closes
+   the connection.
+
+   Not thread-safe; one reader per connection handler thread. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* received, not yet consumed *)
+  chunk : Bytes.t;
+  max_line : int;
+  idle_s : float;
+}
+
+type line =
+  | Line of string
+  | Eof  (* peer closed (or reset) the connection *)
+  | Timeout  (* no bytes for [idle_s] seconds mid-read *)
+  | Overflow  (* line exceeds [max_line] bytes; stream is unframeable *)
+
+let create ?(max_line = 1 lsl 16) ~idle_s fd =
+  { fd; pending = ""; chunk = Bytes.create 8192; max_line; idle_s }
+
+let buffered_bytes t = String.length t.pending
+
+let rec read_line t =
+  match String.index_opt t.pending '\n' with
+  | Some i ->
+      let line = String.sub t.pending 0 i in
+      t.pending <-
+        String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+      if String.length line > t.max_line then Overflow else Line line
+  | None ->
+      if String.length t.pending > t.max_line then Overflow
+      else refill t
+
+and refill t =
+  match Unix.select [ t.fd ] [] [] t.idle_s with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill t
+  | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+      (* The drain watchdog force-shut the socket under us. *)
+      Eof
+  | [], _, _ -> Timeout
+  | _ -> (
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill t
+      | exception
+          Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+        ->
+          Eof
+      | 0 ->
+          (* A partial unterminated line at EOF is a vanished client,
+             not a request. *)
+          Eof
+      | n ->
+          t.pending <- t.pending ^ Bytes.sub_string t.chunk 0 n;
+          read_line t)

@@ -1,0 +1,25 @@
+(** Bounded, deadline-aware line reading over a socket fd — the serve
+    daemon's defense against slowloris senders (every refill waits at
+    most [idle_s] for bytes) and unbounded-line senders (a line past
+    [max_line] bytes is [Overflow], not an ever-growing buffer).
+
+    Not thread-safe; one reader per connection handler. *)
+
+type t
+
+val create : ?max_line:int -> idle_s:float -> Unix.file_descr -> t
+(** [max_line] defaults to 64 KiB.  [idle_s] is the per-refill idle
+    deadline, not a whole-request budget. *)
+
+type line =
+  | Line of string
+  | Eof  (** peer closed or reset the connection *)
+  | Timeout  (** no bytes arrived for [idle_s] seconds *)
+  | Overflow
+      (** the current line exceeds [max_line] bytes; the stream cannot
+          be re-framed, so the caller should reply and close *)
+
+val read_line : t -> line
+
+val buffered_bytes : t -> int
+(** Bytes received but not yet consumed (diagnostics). *)

@@ -24,6 +24,10 @@ type result = {
   hit_rate : float;  (** sim-hits / replies *)
 }
 
+val build_pool : seed:int -> distinct:int -> string array
+(** The deterministic case-text pool [run] replays — exposed so the
+    chaos harness drives the same honest traffic. *)
+
 val run :
   ?seed:int ->
   ?count:int ->

@@ -148,6 +148,10 @@ let ok_line ~id ~cache = Printf.sprintf "OK %s cache=%s" id cache
 let done_line ~id ~us = Printf.sprintf "DONE %s us=%d" id us
 let err_line ~id ~cls ~msg = Printf.sprintf "ERR %s %s %s" id cls (sanitise msg)
 
+let busy_line ~id ~retry_after_ms ~msg =
+  err_line ~id ~cls:"busy"
+    ~msg:(Printf.sprintf "retry-after=%d %s" retry_after_ms msg)
+
 type reply = {
   r_id : string;
   r_cache : string;
@@ -155,6 +159,18 @@ type reply = {
   r_us : int;
   r_err : (string * string) option;  (* class, message *)
 }
+
+(* A shed reply's suggested client backoff, if this is one. *)
+let retry_after_ms r =
+  match r.r_err with
+  | Some ("busy", msg) ->
+      List.find_map
+        (fun tok ->
+          match parse_opt tok with
+          | Some ("retry-after", v) -> int_of_string_opt v
+          | _ -> None)
+        (tokens msg)
+  | _ -> None
 
 (* Parse one framed reply from [read_line] (which returns None on EOF). *)
 let read_reply read_line =

@@ -45,6 +45,11 @@ val ok_line : id:string -> cache:string -> string
 val done_line : id:string -> us:int -> string
 val err_line : id:string -> cls:string -> msg:string -> string
 
+val busy_line : id:string -> retry_after_ms:int -> msg:string -> string
+(** The load-shedding reply:
+    [ERR <id> busy retry-after=<ms> <msg>] — admission control always
+    answers, never silently drops. *)
+
 type reply = {
   r_id : string;
   r_cache : string;  (** [cold], [pass-hit], [sim-hit], or [-] *)
@@ -55,3 +60,6 @@ type reply = {
 
 val read_reply : (unit -> string option) -> (reply, string) result
 (** Parse one framed reply from a line source ([None] = EOF). *)
+
+val retry_after_ms : reply -> int option
+(** The suggested backoff of a [busy] shed reply; [None] otherwise. *)

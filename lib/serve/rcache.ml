@@ -131,21 +131,231 @@ type t = {
   mutex : Mutex.t;
   pass : pass_entry lru;
   sim : string lru;
+  journal : Cjournal.t option;
 }
 
-let create ?(pass_cap = 512) ?(sim_cap = 2048) () =
-  { mutex = Mutex.create (); pass = lru_create pass_cap; sim = lru_create sim_cap }
+(* ------------------------------------------------------------------ *)
+(* Pass-entry codec for the journal: an explicit versioned textual
+   format (not [Marshal] — a Marshal payload silently breaks across
+   compiler versions and record layout changes, and the journal's
+   whole point is surviving restarts).  Strings are hex-encoded so the
+   payload is one unambiguous space-separated line regardless of IR
+   text contents. *)
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter
+    (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let of_hex s =
+  if String.length s mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init (String.length s / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> None
+
+let encode_pass_entry (e : pass_entry) =
+  let ld { Pass.header; distance; enabled; dist_slot } =
+    Printf.sprintf "%d:%d:%d:%s" header distance
+      (if enabled then 1 else 0)
+      (match dist_slot with Some s -> string_of_int s | None -> "-")
+  in
+  let lds =
+    match e.loop_distances with
+    | [] -> "-"
+    | l -> String.concat "," (List.map ld l)
+  in
+  let ad =
+    match e.adaptive with
+    | None -> "-"
+    | Some { Distance.window; min_c; max_c } ->
+        Printf.sprintf "%d:%d:%d" window min_c max_c
+  in
+  Printf.sprintf "pe1 %s %s %s %s" (to_hex e.tfunc_text)
+    (to_hex e.report_text) lds ad
+
+let decode_pass_entry s =
+  let int_opt x = int_of_string_opt x in
+  let ld_of part =
+    match String.split_on_char ':' part with
+    | [ h; d; en; slot ] -> (
+        match (int_opt h, int_opt d, en) with
+        | Some header, Some distance, ("0" | "1") -> (
+            let enabled = en = "1" in
+            match slot with
+            | "-" -> Some { Pass.header; distance; enabled; dist_slot = None }
+            | _ -> (
+                match int_opt slot with
+                | Some s ->
+                    Some { Pass.header; distance; enabled; dist_slot = Some s }
+                | None -> None))
+        | _ -> None)
+    | _ -> None
+  in
+  match String.split_on_char ' ' s with
+  | [ "pe1"; tfunc_hex; report_hex; lds; ad ] -> (
+      match (of_hex tfunc_hex, of_hex report_hex) with
+      | Some tfunc_text, Some report_text -> (
+          let loop_distances =
+            if lds = "-" then Some []
+            else
+              let parts = String.split_on_char ',' lds in
+              let decoded = List.filter_map ld_of parts in
+              if List.length decoded = List.length parts then Some decoded
+              else None
+          in
+          let adaptive =
+            if ad = "-" then Some None
+            else
+              match String.split_on_char ':' ad with
+              | [ w; mn; mx ] -> (
+                  match (int_opt w, int_opt mn, int_opt mx) with
+                  | Some window, Some min_c, Some max_c ->
+                      Some (Some { Distance.window; min_c; max_c })
+                  | _ -> None)
+              | _ -> None
+          in
+          match (loop_distances, adaptive) with
+          | Some loop_distances, Some adaptive ->
+              Some { tfunc_text; report_text; loop_distances; adaptive }
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let create ?(pass_cap = 512) ?(sim_cap = 2048) ?journal_dir () =
+  let pass = lru_create pass_cap and sim = lru_create sim_cap in
+  let journal =
+    match journal_dir with
+    | None -> None
+    | Some dir ->
+        let j = Cjournal.open_ ~dir in
+        (* Replay oldest-first: later duplicates of a key refresh
+           recency, so the restarted LRU ends up in write order. *)
+        List.iter
+          (function
+            | Cjournal.Sim (key, body) -> lru_add sim key body
+            | Cjournal.Pass (key, payload) -> (
+                match decode_pass_entry payload with
+                | Some e -> lru_add pass key e
+                | None ->
+                    failwith
+                      (Printf.sprintf
+                         "cache journal %s is not usable: undecodable pass \
+                          entry for key %s (delete it to start the cache \
+                          cold)"
+                         (Cjournal.path j) key)))
+          (Cjournal.replayed j);
+        Some j
+  in
+  { mutex = Mutex.create (); pass; sim; journal }
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Under the cache lock: the live entries of both levels, oldest-first,
+   in journal-record form — replaying them left to right rebuilds both
+   LRUs with today's recency order. *)
+let dump_locked t =
+  let collect lru mk =
+    (* Walk head (MRU) toward tail consing, so the result lists the
+       tail (LRU, oldest) first. *)
+    let acc = ref [] in
+    let rec go = function
+      | None -> ()
+      | Some n ->
+          acc := mk n.key n.value :: !acc;
+          go n.next
+    in
+    go lru.head;
+    !acc
+  in
+  collect t.pass (fun k e -> Cjournal.Pass (k, encode_pass_entry e))
+  @ collect t.sim (fun k body -> Cjournal.Sim (k, body))
+
+(* Compact once the journal holds several times more records than the
+   caches hold entries — i.e. once it is mostly evicted/duplicate dead
+   weight.  The floor keeps small caches from compacting constantly. *)
+let maybe_compact_locked t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let live = Hashtbl.length t.pass.tbl + Hashtbl.length t.sim.tbl in
+      if Cjournal.appends j > max 64 (4 * live) then
+        Cjournal.compact j (dump_locked t)
+
+let journal_record_locked t r =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Cjournal.append j r;
+      maybe_compact_locked t
+
 let find_pass t key = locked t (fun () -> lru_find t.pass key)
-let add_pass t key e = locked t (fun () -> lru_add t.pass key e)
+
+let add_pass t key e =
+  locked t (fun () ->
+      lru_add t.pass key e;
+      journal_record_locked t (Cjournal.Pass (key, encode_pass_entry e)))
+
 let find_sim t key = locked t (fun () -> lru_find t.sim key)
-let add_sim t key body = locked t (fun () -> lru_add t.sim key body)
+
+let add_sim t key body =
+  locked t (fun () ->
+      lru_add t.sim key body;
+      journal_record_locked t (Cjournal.Sim (key, body)))
+
 let pass_stats t = locked t (fun () -> lru_stats t.pass)
 let sim_stats t = locked t (fun () -> lru_stats t.sim)
+
+type journal_stats = {
+  journaled : bool;
+  replayed_pass : int;
+  replayed_sim : int;
+  recovered_truncated : bool;
+  appends : int;
+  compactions : int;
+}
+
+let journal_stats t =
+  locked t (fun () ->
+      match t.journal with
+      | None ->
+          {
+            journaled = false;
+            replayed_pass = 0;
+            replayed_sim = 0;
+            recovered_truncated = false;
+            appends = 0;
+            compactions = 0;
+          }
+      | Some j ->
+          {
+            journaled = true;
+            replayed_pass = Cjournal.replayed_pass j;
+            replayed_sim = Cjournal.replayed_sim j;
+            recovered_truncated = Cjournal.truncated j;
+            appends = Cjournal.appends j;
+            compactions = Cjournal.compactions j;
+          })
+
+let flush_journal t =
+  locked t (fun () ->
+      match t.journal with
+      | None -> ()
+      | Some j -> Cjournal.compact j (dump_locked t))
+
+let close_journal t =
+  locked t (fun () ->
+      match t.journal with
+      | None -> ()
+      | Some j ->
+          Cjournal.compact j (dump_locked t);
+          Cjournal.close j)
 
 (* ------------------------------------------------------------------ *)
 (* Key construction.                                                   *)

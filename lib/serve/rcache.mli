@@ -11,10 +11,17 @@
 
 type t
 
-val create : ?pass_cap:int -> ?sim_cap:int -> unit -> t
+val create : ?pass_cap:int -> ?sim_cap:int -> ?journal_dir:string -> unit -> t
 (** Bounded capacities (entries, not bytes); least-recently-used entries
     are evicted beyond them.  Defaults: 512 pass entries, 2048 sim
-    entries. *)
+    entries.
+
+    When [journal_dir] is given, every insertion is also appended to a
+    crash-safe journal there (see {!Cjournal}) and any existing journal
+    is replayed into the cache first — a restarted daemon starts warm.
+    @raise Failure if the existing journal is corrupt (beyond a torn
+    tail) or was written under a different machine/engine/config
+    identity. *)
 
 type pass_entry = {
   tfunc_text : string;
@@ -44,6 +51,33 @@ type level_stats = {
 
 val pass_stats : t -> level_stats
 val sim_stats : t -> level_stats
+
+(** {1 Journal} *)
+
+type journal_stats = {
+  journaled : bool;  (** a journal_dir was configured *)
+  replayed_pass : int;  (** pass entries recovered at startup *)
+  replayed_sim : int;  (** sim bodies recovered at startup *)
+  recovered_truncated : bool;  (** a torn tail record was dropped *)
+  appends : int;  (** records appended since the last compaction *)
+  compactions : int;
+}
+
+val journal_stats : t -> journal_stats
+(** All-zero with [journaled = false] when no journal is configured. *)
+
+val flush_journal : t -> unit
+(** Compact the journal to exactly the live entries (atomic
+    snapshot+rename); no-op without a journal.  The daemon calls this
+    on graceful drain. *)
+
+val close_journal : t -> unit
+(** {!flush_journal} then close the append channel. *)
+
+val encode_pass_entry : pass_entry -> string
+val decode_pass_entry : string -> pass_entry option
+(** The versioned textual codec journal records use for pass entries;
+    exposed for property tests.  [decode_pass_entry] never raises. *)
 
 (** {1 Key construction} *)
 

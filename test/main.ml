@@ -34,4 +34,6 @@ let () =
       ("tape", Test_tape.suite);
       ("golden", Test_golden.suite);
       ("serve", Test_serve.suite);
+      ("proto-fuzz", Test_proto_fuzz.suite);
+      ("cache-journal", Test_cjournal.suite);
     ]

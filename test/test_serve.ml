@@ -217,11 +217,156 @@ let test_render_never_null_overhead () =
     let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "schema 6" true (contains ~sub:"\"schema\": 6" json);
+  Alcotest.(check bool) "schema 7" true (contains ~sub:"\"schema\": 7" json);
   Alcotest.(check bool) "skip marker rendered" true
     (contains ~sub:"\"supervised_overhead_pct\": \"skipped (trials<2)\"" json);
   Alcotest.(check bool) "no null overhead" false
     (contains ~sub:"\"supervised_overhead_pct\": null" json)
+
+(* ------------------------------------------------------------------ *)
+(* The daemon under hostile conditions, in process: admission control
+   always answers busy (never a silent drop), the read loop is bounded
+   in bytes and in time, and a journal-backed restart serves the same
+   bytes warm.  The spawned-process versions of these checks live in
+   @serve-smoke and @chaos-smoke. *)
+
+module Server = Spf_serve.Server
+module Client = Spf_serve.Client
+
+let scratch =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spf-ts-%d-%d-%s" (Unix.getpid ()) !n name)
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Sys.rmdir d
+  end
+
+let with_server cfg f =
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.wait t)
+    (fun () -> f t)
+
+let test_cfg sock = { (Server.default_cfg (Server.Unix_sock sock)) with Server.jobs = 1 }
+
+let with_client sock f =
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* Read one raw reply line off a fresh connection without sending
+   anything — how a shed or idling client experiences the server. *)
+let read_raw_reply sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line = ref (try Some (input_line ic) with End_of_file -> None) in
+      let next () =
+        let l = !line in
+        line := None;
+        l
+      in
+      match Proto.read_reply next with
+      | Ok r -> r
+      | Error e -> Alcotest.fail ("raw reply unparsable: " ^ e))
+
+let test_queue_shed_answers_busy () =
+  let sock = scratch "shed.sock" in
+  let cfg = { (test_cfg sock) with Server.max_queue = 0 } in
+  with_server cfg (fun _ ->
+      with_client sock (fun c ->
+          match Client.submit c ~id:"q" ~case_text:(Lazy.force case_text) () with
+          | Error e -> Alcotest.fail e
+          | Ok r ->
+              (match r.Proto.r_err with
+              | Some ("busy", _) -> ()
+              | _ -> Alcotest.fail "full queue did not answer busy");
+              Alcotest.(check (option int)) "backoff hint carried" (Some 250)
+                (Proto.retry_after_ms r)))
+
+let test_conn_shed_answers_busy () =
+  let sock = scratch "conns.sock" in
+  let cfg = { (test_cfg sock) with Server.max_conns = 1 } in
+  with_server cfg (fun _ ->
+      with_client sock (fun c1 ->
+          Alcotest.(check bool) "admitted connection serves" true
+            (Client.ping c1);
+          let r = read_raw_reply sock in
+          (match r.Proto.r_err with
+          | Some ("busy", _) -> ()
+          | _ -> Alcotest.fail "excess connection not answered busy");
+          Alcotest.(check (option int)) "shed carries a backoff" (Some 500)
+            (Proto.retry_after_ms r);
+          (* The admitted connection is unaffected by the shed. *)
+          Alcotest.(check bool) "first connection still serves" true
+            (Client.ping c1)))
+
+let test_oversized_request_classified () =
+  let sock = scratch "big.sock" in
+  let cfg = { (test_cfg sock) with Server.max_request_bytes = 64 } in
+  with_server cfg (fun _ ->
+      with_client sock (fun c ->
+          match Client.submit c ~id:"b" ~case_text:(Lazy.force case_text) () with
+          | Error e -> Alcotest.fail e
+          | Ok r -> (
+              match r.Proto.r_err with
+              | Some ("protocol", _) -> ()
+              | _ -> Alcotest.fail "oversized request not classified")))
+
+let test_idle_timeout_classified () =
+  let sock = scratch "idle.sock" in
+  let cfg = { (test_cfg sock) with Server.idle_timeout_s = 0.2 } in
+  with_server cfg (fun _ ->
+      (* Connect and send nothing: the bounded read must answer a
+         classified timeout instead of holding the handler forever. *)
+      let r = read_raw_reply sock in
+      match r.Proto.r_err with
+      | Some ("timeout", _) -> ()
+      | _ -> Alcotest.fail "idle connection not timed out")
+
+let test_journal_warm_restart () =
+  let sock = scratch "warm.sock" in
+  let jdir = scratch "warm-journal" in
+  let cfg = { (test_cfg sock) with Server.journal_dir = Some jdir } in
+  Fun.protect
+    ~finally:(fun () -> rm_rf jdir)
+    (fun () ->
+      let cold_body = ref [] in
+      with_server cfg (fun _ ->
+          with_client sock (fun c ->
+              match Client.submit c ~id:"w" ~case_text:(Lazy.force case_text) () with
+              | Error e -> Alcotest.fail e
+              | Ok r ->
+                  Alcotest.(check string) "first run is cold" "cold"
+                    r.Proto.r_cache;
+                  cold_body := r.Proto.r_body));
+      (* Graceful drain unlinked the socket and snapshotted the journal;
+         a restarted daemon on the same directory answers warm. *)
+      Alcotest.(check bool) "socket removed on drain" false
+        (Sys.file_exists sock);
+      with_server cfg (fun t ->
+          let js = Rcache.journal_stats (Server.cache t) in
+          Alcotest.(check bool) "journal replayed at restart" true
+            (js.Rcache.replayed_sim >= 1);
+          with_client sock (fun c ->
+              match Client.submit c ~id:"w2" ~case_text:(Lazy.force case_text) () with
+              | Error e -> Alcotest.fail e
+              | Ok r ->
+                  Alcotest.(check string) "warm restart answers from cache"
+                    "sim-hit" r.Proto.r_cache;
+                  Alcotest.(check (list string))
+                    "warm body byte-identical to the cold body" !cold_body
+                    r.Proto.r_body)))
 
 let suite =
   [
@@ -239,4 +384,14 @@ let suite =
       test_overhead_skip_markers;
     Alcotest.test_case "render: overhead never null" `Quick
       test_render_never_null_overhead;
+    Alcotest.test_case "full queue answers busy" `Quick
+      test_queue_shed_answers_busy;
+    Alcotest.test_case "excess connection answers busy" `Quick
+      test_conn_shed_answers_busy;
+    Alcotest.test_case "oversized request classified" `Quick
+      test_oversized_request_classified;
+    Alcotest.test_case "idle connection times out" `Quick
+      test_idle_timeout_classified;
+    Alcotest.test_case "journal warm restart byte-identical" `Quick
+      test_journal_warm_restart;
   ]
